@@ -1,0 +1,224 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// stripe unit, device scheduling discipline, cache capacity, and
+// buffer/I/O-process sizing. Each reports its figure of merit via
+// b.ReportMetric on deterministic virtual-time runs.
+package pario_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	pario "repro"
+	"repro/internal/blockio"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// scanElapsed runs a full type-S scan of a file created with spec over
+// devs drives and returns the virtual scan time.
+func scanElapsed(b *testing.B, devs int, spec pfs.Spec, opts core.Options) time.Duration {
+	b.Helper()
+	e := sim.NewEngine()
+	disks := make([]*device.Disk, devs)
+	for i := range disks {
+		disks[i] = device.New(device.Config{Name: fmt.Sprintf("d%d", i), Engine: e})
+	}
+	store, err := blockio.NewDirect(disks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vol := pfs.NewVolume(store)
+	f, err := vol.Create(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var elapsed time.Duration
+	e.Go("main", func(p *sim.Proc) {
+		w, err := core.OpenWriter(f, opts)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		buf := make([]byte, spec.RecordSize)
+		for r := int64(0); r < spec.NumRecords; r++ {
+			if _, err := w.WriteRecord(p, buf); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		if err := w.Close(p); err != nil {
+			b.Error(err)
+			return
+		}
+		start := p.Now()
+		rd, err := core.OpenReader(f, opts)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for {
+			if _, _, err := rd.ReadRecord(p); err != nil {
+				if err == io.EOF {
+					break
+				}
+				b.Error(err)
+				return
+			}
+		}
+		_ = rd.Close(p)
+		elapsed = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return elapsed
+}
+
+// BenchmarkAblationStripeUnit sweeps the stripe unit of a striped S
+// file: fine units maximize read-ahead parallelism for sequential scans,
+// coarse units cost device idleness.
+func BenchmarkAblationStripeUnit(b *testing.B) {
+	const devs = 4
+	for _, unit := range []int64{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("unit%d", unit), func(b *testing.B) {
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				elapsed = scanElapsed(b, devs, pfs.Spec{
+					Name: "s", Org: pfs.OrgSequential, RecordSize: 4096,
+					BlockRecords: 1, NumRecords: 256, StripeUnitFS: unit,
+				}, core.Options{NBufs: 8, IOProcs: 4})
+			}
+			b.ReportMetric(elapsed.Seconds(), "virtual_s")
+		})
+	}
+}
+
+// BenchmarkAblationSched compares FCFS and SCAN on a contended drive
+// (16 partitions, 1 device — E4's worst case).
+func BenchmarkAblationSched(b *testing.B) {
+	for _, sched := range []device.Sched{device.FCFS, device.SCAN} {
+		b.Run(sched.String(), func(b *testing.B) {
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				e := sim.NewEngine()
+				d := device.New(device.Config{Engine: e, Sched: sched})
+				store, err := blockio.NewDirect([]*device.Disk{d})
+				if err != nil {
+					b.Fatal(err)
+				}
+				vol := pfs.NewVolume(store)
+				f, err := vol.Create(pfs.Spec{
+					Name: "ps", Org: pfs.OrgPartitioned, RecordSize: 4096,
+					BlockRecords: 1, NumRecords: 256, Parts: 16,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.Go("main", func(p *sim.Proc) {
+					w, err := core.OpenWriter(f, core.Options{NBufs: 4, IOProcs: 2})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					buf := make([]byte, 4096)
+					for r := int64(0); r < 256; r++ {
+						if _, err := w.WriteRecord(p, buf); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					if err := w.Close(p); err != nil {
+						b.Error(err)
+						return
+					}
+					var g sim.Group
+					for wk := 0; wk < 16; wk++ {
+						wid := wk
+						g.Spawn(p.Engine(), "w", func(c *sim.Proc) {
+							r, err := core.OpenPartReader(f, wid, core.Options{NBufs: 2, IOProcs: 1})
+							if err != nil {
+								return
+							}
+							for {
+								if _, _, err := r.ReadRecord(c); err != nil {
+									break
+								}
+								c.Sleep(time.Millisecond)
+							}
+							_ = r.Close(c)
+						})
+					}
+					g.Wait(p)
+				})
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+				elapsed = e.Now()
+			}
+			b.ReportMetric(elapsed.Seconds(), "virtual_s")
+		})
+	}
+}
+
+// BenchmarkAblationCacheSize sweeps the GDA block-cache capacity under a
+// skewed workload and reports the hit rate — sizing the §4 "buffer
+// caching" recommendation.
+func BenchmarkAblationCacheSize(b *testing.B) {
+	for _, capacity := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("cache%d", capacity), func(b *testing.B) {
+			var hitRate float64
+			for i := 0; i < b.N; i++ {
+				disks := []*pario.Disk{pario.NewDisk(pario.DiskConfig{})}
+				vol, err := pario.NewVolume(disks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f, err := vol.Create(pario.Spec{
+					Name: "gda", Org: pario.OrgGlobalDirect, RecordSize: 512, NumRecords: 2048,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := pario.DefaultOptions()
+				opts.CacheBlocks = capacity
+				d, err := pario.OpenDirect(f, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := pario.NewWall()
+				pat := workload.NewZipfAccess(11, 2048, 1.1)
+				buf := make([]byte, 512)
+				for n := 0; n < 8000; n++ {
+					if err := d.ReadRecordAt(ctx, pat.Next(), buf); err != nil {
+						b.Fatal(err)
+					}
+				}
+				hitRate = d.CacheStats().HitRate()
+			}
+			b.ReportMetric(hitRate*100, "hit_pct")
+		})
+	}
+}
+
+// BenchmarkAblationIOProcs fixes 8 buffers and sweeps the dedicated I/O
+// process count on a 4-drive striped scan: parallel prefetchers are what
+// turn buffer space into device concurrency.
+func BenchmarkAblationIOProcs(b *testing.B) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ioprocs%d", procs), func(b *testing.B) {
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				elapsed = scanElapsed(b, 4, pfs.Spec{
+					Name: "s", Org: pfs.OrgSequential, RecordSize: 4096,
+					BlockRecords: 1, NumRecords: 256, StripeUnitFS: 1,
+				}, core.Options{NBufs: 8, IOProcs: procs})
+			}
+			b.ReportMetric(elapsed.Seconds(), "virtual_s")
+		})
+	}
+}

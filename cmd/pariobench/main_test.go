@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListShowsAllExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(true, "all", &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, id := range []string{"f1", "e1", "e11"} {
+		if !strings.Contains(s, id) {
+			t.Fatalf("list missing %s:\n%s", id, s)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(false, "f1", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 1") {
+		t.Fatalf("f1 output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(false, "zzz", &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,152 @@
+// Command pariosim explores the device model: it prints the seek curve,
+// single-drive service times, and a striping demonstration for the
+// default 1989-class drive, so the timing assumptions behind every
+// experiment are inspectable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/blockio"
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	scenario := flag.String("scenario", "all", "one of: seek, service, stripe, all")
+	flag.Parse()
+	if err := run(*scenario, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pariosim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one scenario; factored out of main for testability.
+func run(scenario string, w io.Writer) error {
+	switch scenario {
+	case "seek":
+		return seekTable(w)
+	case "service":
+		return serviceTable(w)
+	case "stripe":
+		return stripeDemo(w)
+	case "all":
+		if err := seekTable(w); err != nil {
+			return err
+		}
+		if err := serviceTable(w); err != nil {
+			return err
+		}
+		return stripeDemo(w)
+	default:
+		return fmt.Errorf("unknown scenario %q", scenario)
+	}
+}
+
+// seekTable prints seek time versus distance for the default drive.
+func seekTable(w io.Writer) error {
+	e := sim.NewEngine()
+	d := device.New(device.Config{Engine: e})
+	geom := d.Geometry()
+	t := stats.NewTable("Seek curve (default 1989 drive, √distance model)",
+		"distance (cylinders)", "seek time")
+	bs := geom.BlockSize
+	var rows []struct {
+		dist int
+		dur  time.Duration
+	}
+	e.Go("probe", func(p *sim.Proc) {
+		buf := make([]byte, bs)
+		prevCyl := 0
+		for _, dist := range []int{0, 1, 10, 100, 400, geom.Cylinders - 1} {
+			target := prevCyl // measure by issuing a request at a known distance
+			_ = target
+			// Issue a request to cylinder `dist` from cylinder 0: first
+			// rehome to 0, then measure.
+			_ = d.ReadBlock(p, 0, buf)
+			t0 := p.Now()
+			_ = d.ReadBlock(p, int64(dist)*int64(geom.BlocksPerCyl), buf)
+			rows = append(rows, struct {
+				dist int
+				dur  time.Duration
+			}{dist, p.Now() - t0})
+		}
+	})
+	if err := e.Run(); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		t.AddRow(r.dist, r.dur)
+	}
+	t.Note = "includes fixed overhead + half-rotation + one-block transfer"
+	fmt.Fprintln(w, t.String())
+	return nil
+}
+
+// serviceTable prints the service-time decomposition for common sizes.
+func serviceTable(w io.Writer) error {
+	timing := device.DefaultTiming1989()
+	t := stats.NewTable("Single-request service time, no seek (default drive)",
+		"transfer size", "overhead", "rotation/2", "transfer", "total")
+	for _, size := range []int{4096, 16384, 65536} {
+		tr := time.Duration(float64(size) / timing.TransferRate * float64(time.Second))
+		total := timing.Overhead + timing.RotationPeriod/2 + tr
+		t.AddRow(fmt.Sprintf("%d KiB", size/1024), timing.Overhead, timing.RotationPeriod/2, tr, total)
+	}
+	fmt.Fprintln(w, t.String())
+	return nil
+}
+
+// stripeDemo shows aggregate bandwidth of a striped raw scan.
+func stripeDemo(w io.Writer) error {
+	t := stats.NewTable("Raw striped scan of 256 blocks (4 KiB), read-ahead = device count",
+		"devices", "elapsed", "MB/s")
+	for _, devs := range []int{1, 2, 4, 8} {
+		e := sim.NewEngine()
+		disks := make([]*device.Disk, devs)
+		for i := range disks {
+			disks[i] = device.New(device.Config{Engine: e, Name: fmt.Sprintf("d%d", i)})
+		}
+		store, err := blockio.NewDirect(disks)
+		if err != nil {
+			return err
+		}
+		set, err := blockio.NewSet(store, blockio.NewStriped(devs, 1), make([]int64, devs))
+		if err != nil {
+			return err
+		}
+		const blocks = 256
+		e.Go("main", func(p *sim.Proc) {
+			var g sim.Group
+			next := int64(0)
+			for w := 0; w < devs; w++ {
+				g.Spawn(p.Engine(), "reader", func(c *sim.Proc) {
+					buf := make([]byte, store.BlockSize())
+					for {
+						if next >= blocks {
+							return
+						}
+						b := next
+						next++
+						if err := set.ReadBlock(c, b, buf); err != nil {
+							return
+						}
+					}
+				})
+			}
+			g.Wait(p)
+		})
+		if err := e.Run(); err != nil {
+			return err
+		}
+		bytes := int64(blocks) * int64(store.BlockSize())
+		t.AddRow(devs, e.Now(), stats.MBps(bytes, e.Now()))
+	}
+	fmt.Fprintln(w, t.String())
+	return nil
+}

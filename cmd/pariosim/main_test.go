@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScenarios(t *testing.T) {
+	for _, sc := range []string{"seek", "service", "stripe"} {
+		var out bytes.Buffer
+		if err := run(sc, &out); err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("%s produced no output", sc)
+		}
+	}
+}
+
+func TestAllScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("all", &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Seek curve", "service time", "striped scan"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestSeekTableMonotone(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("seek", &out); err != nil {
+		t.Fatal(err)
+	}
+	// The longest seek row (899 cylinders) must appear.
+	if !strings.Contains(out.String(), "899") {
+		t.Fatalf("full-stroke row missing:\n%s", out.String())
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("wat", &out); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

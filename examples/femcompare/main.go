@@ -1,0 +1,178 @@
+// Femcompare: the paper's §3 motivating experience, replayed. The NASA
+// Finite Element Machine practice assigned a separate file to each
+// process; pre- and post-processing utilities partitioned the global
+// input and merged the outputs. This example runs the same workload both
+// ways and reports the two §3 pain points: the number of file-system
+// objects, and the sequential pre/post time a PS parallel file
+// eliminates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	pario "repro"
+	"repro/internal/core"
+	"repro/internal/fem"
+	"repro/internal/workload"
+)
+
+const (
+	procs      = 16
+	recordSize = 4096
+	records    = 256
+	computePer = 2 * time.Millisecond
+)
+
+// filePerProcess runs the FEM way: partition -> parallel phase on
+// private files -> merge.
+func filePerProcess() (files int, prePost, total time.Duration) {
+	m := pario.NewMachine(4)
+	global, err := m.Volume.Create(pario.Spec{
+		Name: "input", Org: pario.OrgSequential,
+		RecordSize: recordSize, NumRecords: records, StripeUnitFS: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	output, err := m.Volume.Create(pario.Spec{
+		Name: "output", Org: pario.OrgSequential,
+		RecordSize: recordSize, NumRecords: records, StripeUnitFS: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := fem.NewManager(m.Volume, "fem", procs, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.CreateAll(recordSize, records/procs); err != nil {
+		log.Fatal(err)
+	}
+
+	m.Go("driver", func(p *pario.Proc) {
+		// Produce the global input.
+		w, err := pario.OpenWriter(global, pario.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf := make([]byte, recordSize)
+		for r := int64(0); r < records; r++ {
+			workload.Record(buf, 1, r)
+			if _, err := w.WriteRecord(p, buf); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := w.Close(p); err != nil {
+			log.Fatal(err)
+		}
+
+		// Pre-processing (sequential).
+		partT, err := mgr.Partition(p, global, core.Options{NBufs: 4, IOProcs: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Parallel phase on private files.
+		var g pario.Group
+		for wk := 0; wk < procs; wk++ {
+			wid := wk
+			g.Spawn(p.Engine(), fmt.Sprintf("proc-%d", wid), func(c *pario.Proc) {
+				f, err := mgr.ProcFile(wid, 0)
+				if err != nil {
+					log.Fatal(err)
+				}
+				r, err := pario.OpenReader(f, pario.DefaultOptions())
+				if err != nil {
+					log.Fatal(err)
+				}
+				for {
+					if _, _, err := r.ReadRecord(c); err != nil {
+						break
+					}
+					c.Sleep(computePer)
+				}
+				_ = r.Close(c)
+			})
+		}
+		g.Wait(p)
+		// Post-processing (sequential).
+		mergeT, err := mgr.Merge(p, output, core.Options{NBufs: 4, IOProcs: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		prePost = partT + mergeT
+	})
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return mgr.FileCount() + 2, prePost, m.Engine.Now()
+}
+
+// parallelFile runs the paper's way: one PS file, no pre/post passes.
+func parallelFile() (files int, total time.Duration) {
+	m := pario.NewMachine(4)
+	f, err := m.Volume.Create(pario.Spec{
+		Name: "data", Org: pario.OrgPartitioned,
+		RecordSize: recordSize, NumRecords: records, Parts: procs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Go("driver", func(p *pario.Proc) {
+		// Producers write straight into their partitions...
+		var g pario.Group
+		for wk := 0; wk < procs; wk++ {
+			wid := wk
+			g.Spawn(p.Engine(), fmt.Sprintf("w-%d", wid), func(c *pario.Proc) {
+				w, err := pario.OpenPartWriter(f, wid, pario.DefaultOptions())
+				if err != nil {
+					log.Fatal(err)
+				}
+				buf := make([]byte, recordSize)
+				first, end := f.PartRecordRange(wid)
+				for r := first; r < end; r++ {
+					workload.Record(buf, 1, r)
+					if _, err := w.WriteRecord(c, buf); err != nil {
+						log.Fatal(err)
+					}
+				}
+				_ = w.Close(c)
+			})
+		}
+		g.Wait(p)
+		// ...and consumers read them back with compute, no merge needed.
+		var g2 pario.Group
+		for wk := 0; wk < procs; wk++ {
+			wid := wk
+			g2.Spawn(p.Engine(), fmt.Sprintf("r-%d", wid), func(c *pario.Proc) {
+				r, err := pario.OpenPartReader(f, wid, pario.DefaultOptions())
+				if err != nil {
+					log.Fatal(err)
+				}
+				for {
+					if _, _, err := r.ReadRecord(c); err != nil {
+						break
+					}
+					c.Sleep(computePer)
+				}
+				_ = r.Close(c)
+			})
+		}
+		g2.Wait(p)
+	})
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return 1, m.Engine.Now()
+}
+
+func main() {
+	femFiles, prePost, femTotal := filePerProcess()
+	psFiles, psTotal := parallelFile()
+	fmt.Printf("workload: %d records, %d processes, %v compute/record\n\n", records, procs, computePer)
+	fmt.Printf("file-per-process (FEM): %3d fs objects, pre+post %v, total %v\n", femFiles, prePost, femTotal)
+	fmt.Printf("one PS parallel file:   %3d fs object,  pre+post 0s, total %v\n", psFiles, psTotal)
+	fmt.Printf("\nparallel file advantage: %.2fx end-to-end, %d fewer objects to manage\n",
+		float64(femTotal)/float64(psTotal), femFiles-psFiles)
+}

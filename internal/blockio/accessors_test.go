@@ -1,0 +1,99 @@
+package blockio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestLayoutNames(t *testing.T) {
+	s := NewStriped(4, 2)
+	if !strings.Contains(s.Name(), "striped") || !strings.Contains(s.Name(), "d=4") {
+		t.Fatalf("striped name %q", s.Name())
+	}
+	p, err := NewPartitioned(2, []int64{4, 4}, 1, PackContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Name(), "partitioned") || !strings.Contains(p.Name(), "contiguous") {
+		t.Fatalf("partitioned name %q", p.Name())
+	}
+	il, err := NewInterleaved(2, 4, 1, 16, PackInterleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(il.Name(), "interleaved") {
+		t.Fatalf("interleaved name %q", il.Name())
+	}
+}
+
+func TestDirectAccessors(t *testing.T) {
+	disks := smallDisks(3)
+	d, err := NewDirect(disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Blocks() != disks[0].Geometry().Blocks() {
+		t.Fatalf("Blocks = %d", d.Blocks())
+	}
+	if d.Disk(1) != disks[1] {
+		t.Fatal("Disk accessor wrong")
+	}
+}
+
+func TestSetAccessors(t *testing.T) {
+	store, err := NewDirect(smallDisks(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := NewStriped(2, 1)
+	set, err := NewSet(store, layout, []int64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Store() != Store(store) {
+		t.Fatal("Store accessor wrong")
+	}
+	if set.Layout() != Layout(layout) {
+		t.Fatal("Layout accessor wrong")
+	}
+	bases := set.Bases()
+	if len(bases) != 2 || bases[0] != 3 || bases[1] != 5 {
+		t.Fatalf("Bases = %v", bases)
+	}
+	bases[0] = 99 // must be a copy
+	if b2 := set.Bases(); b2[0] != 3 {
+		t.Fatal("Bases leaked internal slice")
+	}
+	dev, pb := set.Locate(1) // logical 1 -> dev 1, pblock 0 + base 5
+	if dev != 1 || pb != 5 {
+		t.Fatalf("Locate = (%d,%d)", dev, pb)
+	}
+}
+
+func TestInterleavedProcsOnDev(t *testing.T) {
+	il, err := NewInterleaved(3, 7, 1, 21, PackInterleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// procs 0..6 on 3 devices: dev0 gets {0,3,6}=3, dev1 {1,4}=2, dev2 {2,5}=2.
+	if il.procsOnDev(0) != 3 || il.procsOnDev(1) != 2 || il.procsOnDev(2) != 2 {
+		t.Fatalf("procsOnDev = %d,%d,%d", il.procsOnDev(0), il.procsOnDev(1), il.procsOnDev(2))
+	}
+	// More devices than procs: high devices host nobody.
+	il2, err := NewInterleaved(8, 2, 1, 4, PackInterleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if il2.procsOnDev(5) != 0 {
+		t.Fatalf("empty device hosts %d", il2.procsOnDev(5))
+	}
+}
+
+func TestGeometryOfDisk(t *testing.T) {
+	d := device.New(device.Config{})
+	if d.Geometry().BlockSize != device.DefaultGeometry1989().BlockSize {
+		t.Fatal("default geometry mismatch")
+	}
+}

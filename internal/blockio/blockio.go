@@ -1,0 +1,399 @@
+// Package blockio provides the logical-block layer between parallel files
+// and storage devices.
+//
+// A file sees a flat array of logical blocks; a Layout maps each logical
+// block to a (device, physical block) pair. The three layout families
+// implement the placement strategies of the paper's §4:
+//
+//   - Striped: logical blocks round-robin across all devices in stripe
+//     units ("disk striping" for S and SS files, and — with a unit smaller
+//     than the file's block — Livny-style declustering for direct access).
+//   - Partitioned: each partition's contiguous logical range lives on one
+//     device (one device per process when devices ≥ partitions), the PS
+//     strategy; with fewer devices, partitions share devices under a
+//     configurable on-device packing policy.
+//   - Interleaved: logical block groups belong to processes cyclically
+//     (wrapped storage) and each process's stream lives on its device,
+//     the IS strategy.
+//
+// A Store abstracts the device array so reliability wrappers (parity,
+// shadowing — package stripe) can interpose transparently.
+package blockio
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Store is a block-addressed array of devices. Implementations: Direct
+// (plain disks), stripe.Parity, stripe.Mirror.
+type Store interface {
+	// Devices reports how many (data) devices are visible.
+	Devices() int
+	// BlockSize reports the block size in bytes, identical on all devices.
+	BlockSize() int
+	// Blocks reports the per-device capacity in blocks.
+	Blocks() int64
+	// ReadBlock reads physical block pblock of device dev into dst.
+	ReadBlock(ctx sim.Context, dev int, pblock int64, dst []byte) error
+	// WriteBlock writes src to physical block pblock of device dev.
+	WriteBlock(ctx sim.Context, dev int, pblock int64, src []byte) error
+}
+
+// Direct is a Store over plain disks with no redundancy.
+type Direct struct {
+	disks []*device.Disk
+}
+
+// NewDirect wraps disks as a Store. All disks must share one geometry.
+func NewDirect(disks []*device.Disk) (*Direct, error) {
+	if len(disks) == 0 {
+		return nil, fmt.Errorf("blockio: empty device set")
+	}
+	g := disks[0].Geometry()
+	for _, d := range disks[1:] {
+		if d.Geometry() != g {
+			return nil, fmt.Errorf("blockio: mixed geometries in device set")
+		}
+	}
+	return &Direct{disks: disks}, nil
+}
+
+// Devices implements Store.
+func (d *Direct) Devices() int { return len(d.disks) }
+
+// BlockSize implements Store.
+func (d *Direct) BlockSize() int { return d.disks[0].Geometry().BlockSize }
+
+// Blocks implements Store.
+func (d *Direct) Blocks() int64 { return d.disks[0].Geometry().Blocks() }
+
+// Disk exposes the underlying disk (for stats and failure injection).
+func (d *Direct) Disk(i int) *device.Disk { return d.disks[i] }
+
+// ReadBlock implements Store.
+func (d *Direct) ReadBlock(ctx sim.Context, dev int, pblock int64, dst []byte) error {
+	return d.disks[dev].ReadBlock(ctx, pblock, dst)
+}
+
+// WriteBlock implements Store.
+func (d *Direct) WriteBlock(ctx sim.Context, dev int, pblock int64, src []byte) error {
+	return d.disks[dev].WriteBlock(ctx, pblock, src)
+}
+
+// Layout maps a file's logical blocks onto a device set. Physical block
+// numbers are relative to the file's per-device extent (the volume adds
+// the extent base).
+type Layout interface {
+	// Name identifies the layout for diagnostics and metadata.
+	Name() string
+	// Devices reports how many devices the layout spreads over.
+	Devices() int
+	// Map locates logical block b.
+	Map(b int64) (dev int, pblock int64)
+}
+
+// PerDevice computes how many physical blocks a layout needs on each
+// device to hold total logical blocks (the per-device extent sizes).
+func PerDevice(l Layout, total int64) []int64 {
+	need := make([]int64, l.Devices())
+	for b := int64(0); b < total; b++ {
+		dev, pb := l.Map(b)
+		if pb+1 > need[dev] {
+			need[dev] = pb + 1
+		}
+	}
+	return need
+}
+
+// Pack selects how streams that share a device are packed on it.
+type Pack int
+
+const (
+	// PackContiguous stores each stream in one contiguous run; runs
+	// follow one another. Sequential within a stream, but streams
+	// progressing together cause long seeks between runs.
+	PackContiguous Pack = iota
+	// PackInterleaved interleaves the streams' units round-robin, so
+	// streams progressing together stay within a short seek distance.
+	PackInterleaved
+)
+
+// String implements fmt.Stringer.
+func (p Pack) String() string {
+	switch p {
+	case PackContiguous:
+		return "contiguous"
+	case PackInterleaved:
+		return "interleaved"
+	default:
+		return fmt.Sprintf("Pack(%d)", int(p))
+	}
+}
+
+// Striped spreads logical blocks round-robin across devices in units of
+// Unit blocks: the implementation for S and SS files (§4) and, with Unit
+// smaller than the file block, for declustered direct access files.
+type Striped struct {
+	D    int
+	Unit int64
+}
+
+// NewStriped returns a striped layout over d devices with the given
+// stripe unit in blocks (minimum 1).
+func NewStriped(d int, unit int64) *Striped {
+	if unit < 1 {
+		unit = 1
+	}
+	return &Striped{D: d, Unit: unit}
+}
+
+// Name implements Layout.
+func (s *Striped) Name() string { return fmt.Sprintf("striped(d=%d,unit=%d)", s.D, s.Unit) }
+
+// Devices implements Layout.
+func (s *Striped) Devices() int { return s.D }
+
+// Map implements Layout.
+func (s *Striped) Map(b int64) (int, int64) {
+	stripe := b / s.Unit
+	dev := int(stripe % int64(s.D))
+	pblock := (stripe/int64(s.D))*s.Unit + b%s.Unit
+	return dev, pblock
+}
+
+// Partitioned is the PS placement: partition p (a contiguous logical
+// range) lives on device p mod D. With fewer devices than partitions,
+// cohabiting partitions are packed per the policy, in units of Unit
+// blocks (the file's block, so paper-blocks stay physically contiguous
+// under PackInterleaved).
+type Partitioned struct {
+	D      int
+	Unit   int64
+	Policy Pack
+
+	starts []int64 // logical start of each partition; len = parts+1
+	base   []int64 // PackContiguous: physical base of each partition on its device
+	shareK []int   // per partition: number of partitions sharing its device
+	rank   []int   // per partition: rank among partitions on its device
+}
+
+// NewPartitioned builds a PS layout. partBlocks gives each partition's
+// size in logical blocks; unit is the file block size in logical blocks
+// (≥1) used as the interleaving granule under PackInterleaved.
+func NewPartitioned(d int, partBlocks []int64, unit int64, policy Pack) (*Partitioned, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("blockio: partitioned layout needs devices > 0")
+	}
+	if len(partBlocks) == 0 {
+		return nil, fmt.Errorf("blockio: partitioned layout needs partitions")
+	}
+	if unit < 1 {
+		unit = 1
+	}
+	p := &Partitioned{D: d, Unit: unit, Policy: policy}
+	p.starts = make([]int64, len(partBlocks)+1)
+	for i, n := range partBlocks {
+		if n < 0 {
+			return nil, fmt.Errorf("blockio: negative partition size")
+		}
+		p.starts[i+1] = p.starts[i] + n
+	}
+	p.base = make([]int64, len(partBlocks))
+	p.shareK = make([]int, len(partBlocks))
+	p.rank = make([]int, len(partBlocks))
+	for i := range partBlocks {
+		dev := i % d
+		k, rk := 0, 0
+		var base int64
+		for j := range partBlocks {
+			if j%d != dev {
+				continue
+			}
+			if j < i {
+				rk++
+				base += partBlocks[j]
+			}
+			k++
+		}
+		p.base[i] = base
+		p.shareK[i] = k
+		p.rank[i] = rk
+	}
+	return p, nil
+}
+
+// Name implements Layout.
+func (p *Partitioned) Name() string {
+	return fmt.Sprintf("partitioned(d=%d,parts=%d,%s)", p.D, len(p.starts)-1, p.Policy)
+}
+
+// Devices implements Layout.
+func (p *Partitioned) Devices() int { return p.D }
+
+// Parts reports the number of partitions.
+func (p *Partitioned) Parts() int { return len(p.starts) - 1 }
+
+// PartRange reports the logical block range [start, end) of partition i.
+func (p *Partitioned) PartRange(i int) (start, end int64) {
+	return p.starts[i], p.starts[i+1]
+}
+
+// PartOf reports which partition holds logical block b.
+func (p *Partitioned) PartOf(b int64) int {
+	return sort.Search(len(p.starts)-1, func(i int) bool { return p.starts[i+1] > b })
+}
+
+// Map implements Layout.
+func (p *Partitioned) Map(b int64) (int, int64) {
+	part := p.PartOf(b)
+	within := b - p.starts[part]
+	dev := part % p.D
+	switch p.Policy {
+	case PackInterleaved:
+		k := int64(p.shareK[part])
+		unitIdx := within / p.Unit
+		pblock := (unitIdx*k+int64(p.rank[part]))*p.Unit + within%p.Unit
+		return dev, pblock
+	default: // PackContiguous
+		return dev, p.base[part] + within
+	}
+}
+
+// Interleaved is the IS placement: logical block group g (of Unit blocks)
+// belongs to process g mod P; process p's stream lives on device p mod D.
+// Streams sharing a device are packed per the policy.
+type Interleaved struct {
+	D      int
+	P      int
+	Unit   int64
+	Policy Pack
+	total  int64 // total logical blocks (needed for contiguous packing)
+}
+
+// NewInterleaved builds an IS layout for procs processes over d devices
+// with file blocks of unit logical blocks and total logical blocks
+// overall (total bounds stream lengths under PackContiguous; the final
+// partial group is allocated a full unit).
+func NewInterleaved(d, procs int, unit, total int64, policy Pack) (*Interleaved, error) {
+	if d <= 0 || procs <= 0 {
+		return nil, fmt.Errorf("blockio: interleaved layout needs devices > 0 and procs > 0")
+	}
+	if unit < 1 {
+		unit = 1
+	}
+	return &Interleaved{D: d, P: procs, Unit: unit, Policy: policy, total: total}, nil
+}
+
+// groups reports the total number of unit-sized groups in the file.
+func (il *Interleaved) groups() int64 {
+	return (il.total + il.Unit - 1) / il.Unit
+}
+
+// streamGroups reports how many groups process q owns.
+func (il *Interleaved) streamGroups(q int) int64 {
+	g := il.groups()
+	if int64(q) >= g {
+		return 0
+	}
+	return (g-int64(q)-1)/int64(il.P) + 1
+}
+
+// Name implements Layout.
+func (il *Interleaved) Name() string {
+	return fmt.Sprintf("interleaved(d=%d,p=%d,unit=%d)", il.D, il.P, il.Unit)
+}
+
+// Devices implements Layout.
+func (il *Interleaved) Devices() int { return il.D }
+
+// procsOnDev reports how many processes share device dev.
+func (il *Interleaved) procsOnDev(dev int) int {
+	if dev >= il.P {
+		return 0
+	}
+	return (il.P-1-dev)/il.D + 1
+}
+
+// Map implements Layout.
+func (il *Interleaved) Map(b int64) (int, int64) {
+	group := b / il.Unit
+	proc := int(group % int64(il.P))
+	round := group / int64(il.P)
+	dev := proc % il.D
+	if il.Policy == PackContiguous {
+		var base int64
+		for q := dev; q < proc; q += il.D {
+			base += il.streamGroups(q) * il.Unit
+		}
+		return dev, base + round*il.Unit + b%il.Unit
+	}
+	k := int64(il.procsOnDev(dev))
+	procRank := int64(proc / il.D)
+	pblock := (round*k+procRank)*il.Unit + b%il.Unit
+	return dev, pblock
+}
+
+var (
+	_ Layout = (*Striped)(nil)
+	_ Layout = (*Partitioned)(nil)
+	_ Layout = (*Interleaved)(nil)
+	_ Store  = (*Direct)(nil)
+)
+
+// Set binds a Store, a Layout and per-device extent bases into the
+// file-facing interface: logical-block reads and writes.
+type Set struct {
+	store  Store
+	layout Layout
+	base   []int64
+}
+
+// NewSet builds a Set. base gives the first physical block of the file's
+// extent on each device (len must equal layout.Devices()).
+func NewSet(store Store, layout Layout, base []int64) (*Set, error) {
+	if layout.Devices() > store.Devices() {
+		return nil, fmt.Errorf("blockio: layout wants %d devices, store has %d", layout.Devices(), store.Devices())
+	}
+	if len(base) != layout.Devices() {
+		return nil, fmt.Errorf("blockio: %d extent bases for %d devices", len(base), layout.Devices())
+	}
+	return &Set{store: store, layout: layout, base: base}, nil
+}
+
+// Store exposes the underlying store.
+func (s *Set) Store() Store { return s.store }
+
+// Bases returns a copy of the per-device extent bases (for persistence).
+func (s *Set) Bases() []int64 {
+	out := make([]int64, len(s.base))
+	copy(out, s.base)
+	return out
+}
+
+// Layout exposes the layout.
+func (s *Set) Layout() Layout { return s.layout }
+
+// BlockSize reports the store block size.
+func (s *Set) BlockSize() int { return s.store.BlockSize() }
+
+// Locate reports the physical location of logical block b (for tracing).
+func (s *Set) Locate(b int64) (dev int, pblock int64) {
+	dev, pb := s.layout.Map(b)
+	return dev, s.base[dev] + pb
+}
+
+// ReadBlock reads logical block b into dst.
+func (s *Set) ReadBlock(ctx sim.Context, b int64, dst []byte) error {
+	dev, pb := s.layout.Map(b)
+	return s.store.ReadBlock(ctx, dev, s.base[dev]+pb, dst)
+}
+
+// WriteBlock writes src to logical block b.
+func (s *Set) WriteBlock(ctx sim.Context, b int64, src []byte) error {
+	dev, pb := s.layout.Map(b)
+	return s.store.WriteBlock(ctx, dev, s.base[dev]+pb, src)
+}

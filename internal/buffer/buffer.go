@@ -1,0 +1,497 @@
+// Package buffer implements the paper's §4 buffering techniques:
+//
+//   - SeqReader: multiple buffering with read-ahead for sequential
+//     streams ("since the order of accesses is predictable, reading ahead
+//     ... can be used to overlap I/O operations with computation").
+//     Prefetching is performed by dedicated I/O processes, the paper's
+//     "dedicated I/O processors".
+//   - SeqWriter: deferred (behind) writing for sequential output streams.
+//   - Cache: an LRU block cache "helpful when there is some locality of
+//     reference, as in the PDA organization".
+//
+// All three are engine-aware: under a sim.Engine they overlap transfers
+// with the caller's computation in virtual time; without one they degrade
+// to synchronous operation (single-goroutine use only).
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Fetch reads stream block idx into buf (len(buf) = block size).
+type Fetch func(ctx sim.Context, idx int64, buf []byte) error
+
+// FlushFn writes stream block idx from buf.
+type FlushFn func(ctx sim.Context, idx int64, buf []byte) error
+
+// SeqReader streams blocks 0..total-1 in order through a fixed pool of
+// buffers, prefetching ahead of the consumer. Multiple consumers may call
+// Next concurrently under an engine (each receives a distinct block, in
+// claim order) — this is the substrate for shared self-scheduled reads.
+type SeqReader struct {
+	fetch     Fetch
+	blockSize int
+	total     int64
+	nbufs     int
+	readers   int // prefetch processes; 0 = synchronous on Next
+
+	started   bool
+	closed    bool
+	free      [][]byte
+	filled    map[int64][]byte
+	errs      map[int64]error
+	nextFetch int64
+	nextServe int64
+	freeWq    sim.WaitQueue
+	fillWq    sim.WaitQueue
+}
+
+// NewSeqReader builds a reader of total blocks of blockSize bytes using
+// nbufs buffers and `readers` prefetch processes. With readers == 0 (or
+// when used without an engine) each Next performs its fetch
+// synchronously — the paper's unbuffered baseline.
+func NewSeqReader(fetch Fetch, blockSize int, total int64, nbufs, readers int) (*SeqReader, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("buffer: block size %d", blockSize)
+	}
+	if nbufs < 1 {
+		return nil, fmt.Errorf("buffer: need at least 1 buffer, got %d", nbufs)
+	}
+	if readers < 0 {
+		return nil, fmt.Errorf("buffer: negative reader count")
+	}
+	if readers > nbufs {
+		readers = nbufs
+	}
+	r := &SeqReader{
+		fetch:     fetch,
+		blockSize: blockSize,
+		total:     total,
+		nbufs:     nbufs,
+		readers:   readers,
+		filled:    make(map[int64][]byte),
+		errs:      make(map[int64]error),
+	}
+	for i := 0; i < nbufs; i++ {
+		r.free = append(r.free, make([]byte, blockSize))
+	}
+	return r, nil
+}
+
+// startPrefetch launches the dedicated I/O processes (engine mode only).
+func (r *SeqReader) startPrefetch(p *sim.Proc) {
+	r.started = true
+	for i := 0; i < r.readers; i++ {
+		p.Engine().Go("prefetch", func(io *sim.Proc) {
+			for {
+				for len(r.free) == 0 && !r.closed && r.nextFetch < r.total {
+					r.freeWq.Wait(io)
+				}
+				if r.closed || r.nextFetch >= r.total {
+					return
+				}
+				buf := r.free[len(r.free)-1]
+				r.free = r.free[:len(r.free)-1]
+				idx := r.nextFetch
+				r.nextFetch++
+				err := r.fetch(io, idx, buf)
+				if r.closed {
+					return // consumer gone; drop the block
+				}
+				if err != nil {
+					r.errs[idx] = err
+					r.free = append(r.free, buf)
+					r.freeWq.WakeOne(io.Engine())
+				} else {
+					r.filled[idx] = buf
+				}
+				r.fillWq.WakeAll(io.Engine())
+			}
+		})
+	}
+}
+
+// Next claims and returns the next block in stream order along with its
+// index. The caller must Release the buffer when done. At end of stream
+// it returns io.EOF.
+func (r *SeqReader) Next(ctx sim.Context) ([]byte, int64, error) {
+	if r.closed {
+		return nil, 0, fmt.Errorf("buffer: reader closed")
+	}
+	if r.nextServe >= r.total {
+		return nil, 0, io.EOF
+	}
+	p, engine := ctx.(*sim.Proc)
+	if !engine || r.readers == 0 {
+		// Synchronous path: fetch directly into a free buffer.
+		idx := r.nextServe
+		r.nextServe++
+		if len(r.free) == 0 {
+			return nil, idx, fmt.Errorf("buffer: no free buffer (missing Release?)")
+		}
+		buf := r.free[len(r.free)-1]
+		r.free = r.free[:len(r.free)-1]
+		if err := r.fetch(ctx, idx, buf); err != nil {
+			r.free = append(r.free, buf)
+			return nil, idx, err
+		}
+		return buf, idx, nil
+	}
+	if !r.started {
+		r.startPrefetch(p)
+	}
+	idx := r.nextServe
+	r.nextServe++
+	for r.filled[idx] == nil && r.errs[idx] == nil {
+		r.fillWq.Wait(p)
+	}
+	if err := r.errs[idx]; err != nil {
+		delete(r.errs, idx)
+		return nil, idx, err
+	}
+	buf := r.filled[idx]
+	delete(r.filled, idx)
+	return buf, idx, nil
+}
+
+// Release returns a buffer obtained from Next to the pool.
+func (r *SeqReader) Release(ctx sim.Context, buf []byte) {
+	r.free = append(r.free, buf)
+	if p, ok := ctx.(*sim.Proc); ok {
+		r.freeWq.WakeOne(p.Engine())
+	}
+}
+
+// Close shuts the reader down; outstanding prefetches complete and are
+// discarded, parked prefetchers are released.
+func (r *SeqReader) Close(ctx sim.Context) {
+	r.closed = true
+	if p, ok := ctx.(*sim.Proc); ok {
+		r.freeWq.WakeAll(p.Engine())
+		r.fillWq.WakeAll(p.Engine())
+	}
+}
+
+// flushItem is a block queued for deferred writing.
+type flushItem struct {
+	idx int64
+	buf []byte
+}
+
+// SeqWriter implements deferred writing: the producer fills buffers and
+// Submit returns immediately while dedicated writer processes perform the
+// transfers. Close drains everything and reports the first errors.
+type SeqWriter struct {
+	flush     FlushFn
+	blockSize int
+	nbufs     int
+	writers   int
+
+	started  bool
+	closed   bool
+	free     [][]byte
+	queue    []flushItem
+	inflight int
+	errs     []error
+	freeWq   sim.WaitQueue
+	queueWq  sim.WaitQueue
+	idleWq   sim.WaitQueue
+}
+
+// NewSeqWriter builds a deferred writer with nbufs buffers and `writers`
+// flush processes (0 = synchronous Submit).
+func NewSeqWriter(flush FlushFn, blockSize, nbufs, writers int) (*SeqWriter, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("buffer: block size %d", blockSize)
+	}
+	if nbufs < 1 {
+		return nil, fmt.Errorf("buffer: need at least 1 buffer, got %d", nbufs)
+	}
+	if writers < 0 {
+		return nil, fmt.Errorf("buffer: negative writer count")
+	}
+	if writers > nbufs {
+		writers = nbufs
+	}
+	w := &SeqWriter{flush: flush, blockSize: blockSize, nbufs: nbufs, writers: writers}
+	for i := 0; i < nbufs; i++ {
+		w.free = append(w.free, make([]byte, blockSize))
+	}
+	return w, nil
+}
+
+// startWriters launches the flush processes (engine mode only).
+func (w *SeqWriter) startWriters(p *sim.Proc) {
+	w.started = true
+	for i := 0; i < w.writers; i++ {
+		p.Engine().Go("write-behind", func(io *sim.Proc) {
+			for {
+				for len(w.queue) == 0 && !w.closed {
+					w.queueWq.Wait(io)
+				}
+				if len(w.queue) == 0 && w.closed {
+					return
+				}
+				item := w.queue[0]
+				w.queue = w.queue[1:]
+				w.inflight++
+				if err := w.flush(io, item.idx, item.buf); err != nil {
+					w.errs = append(w.errs, fmt.Errorf("buffer: flush block %d: %w", item.idx, err))
+				}
+				w.inflight--
+				w.free = append(w.free, item.buf)
+				w.freeWq.WakeOne(io.Engine())
+				if len(w.queue) == 0 && w.inflight == 0 {
+					w.idleWq.WakeAll(io.Engine())
+				}
+			}
+		})
+	}
+}
+
+// Acquire obtains an empty buffer to fill (waiting for one under an
+// engine; erroring if exhausted without one).
+func (w *SeqWriter) Acquire(ctx sim.Context) ([]byte, error) {
+	if w.closed {
+		return nil, fmt.Errorf("buffer: writer closed")
+	}
+	p, engine := ctx.(*sim.Proc)
+	if engine && w.writers > 0 {
+		for len(w.free) == 0 {
+			w.freeWq.Wait(p)
+		}
+	} else if len(w.free) == 0 {
+		return nil, fmt.Errorf("buffer: no free buffer (synchronous writer leak?)")
+	}
+	buf := w.free[len(w.free)-1]
+	w.free = w.free[:len(w.free)-1]
+	return buf, nil
+}
+
+// Submit hands a filled buffer over for (deferred) writing as stream
+// block idx. Under an engine with writer processes it returns before the
+// transfer; otherwise it flushes synchronously.
+func (w *SeqWriter) Submit(ctx sim.Context, idx int64, buf []byte) error {
+	if w.closed {
+		return fmt.Errorf("buffer: writer closed")
+	}
+	p, engine := ctx.(*sim.Proc)
+	if !engine || w.writers == 0 {
+		err := w.flush(ctx, idx, buf)
+		w.free = append(w.free, buf)
+		return err
+	}
+	if !w.started {
+		w.startWriters(p)
+	}
+	w.queue = append(w.queue, flushItem{idx: idx, buf: buf})
+	w.queueWq.WakeOne(p.Engine())
+	return nil
+}
+
+// Close drains pending writes, stops the writer processes and returns
+// any accumulated flush errors.
+func (w *SeqWriter) Close(ctx sim.Context) error {
+	if w.closed {
+		return nil
+	}
+	if p, ok := ctx.(*sim.Proc); ok && w.started {
+		for len(w.queue) > 0 || w.inflight > 0 {
+			w.idleWq.Wait(p)
+		}
+		w.closed = true
+		w.queueWq.WakeAll(p.Engine())
+	} else {
+		w.closed = true
+	}
+	return errors.Join(w.errs...)
+}
+
+// CacheStats counts cache outcomes.
+type CacheStats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	WriteBacks int64
+}
+
+// HitRate reports hits / (hits+misses), zero when empty.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// entry is a resident cache block.
+type entry struct {
+	idx   int64
+	buf   []byte
+	dirty bool
+	elem  *list.Element
+}
+
+// Cache is a write-back LRU block cache keyed by block index. Under an
+// engine concurrent readers coalesce misses per block; without one it
+// must be used from a single goroutine.
+type Cache struct {
+	fetch     Fetch
+	flush     FlushFn
+	blockSize int
+	capacity  int
+
+	entries map[int64]*entry
+	lru     *list.List // front = most recent
+	busy    map[int64]*sim.WaitQueue
+	stats   CacheStats
+}
+
+// NewCache builds a cache of capacity blocks.
+func NewCache(fetch Fetch, flush FlushFn, blockSize, capacity int) (*Cache, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("buffer: block size %d", blockSize)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffer: cache capacity %d", capacity)
+	}
+	return &Cache{
+		fetch:     fetch,
+		flush:     flush,
+		blockSize: blockSize,
+		capacity:  capacity,
+		entries:   make(map[int64]*entry),
+		lru:       list.New(),
+		busy:      make(map[int64]*sim.WaitQueue),
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// waitNotBusy parks until no fetch/write-back is in flight for idx.
+func (c *Cache) waitNotBusy(ctx sim.Context, idx int64) {
+	p, ok := ctx.(*sim.Proc)
+	if !ok {
+		return
+	}
+	for {
+		wq := c.busy[idx]
+		if wq == nil {
+			return
+		}
+		wq.Wait(p)
+	}
+}
+
+// setBusy marks idx in flight.
+func (c *Cache) setBusy(idx int64) {
+	c.busy[idx] = &sim.WaitQueue{}
+}
+
+// clearBusy releases waiters for idx.
+func (c *Cache) clearBusy(ctx sim.Context, idx int64) {
+	wq := c.busy[idx]
+	delete(c.busy, idx)
+	if p, ok := ctx.(*sim.Proc); ok && wq != nil {
+		wq.WakeAll(p.Engine())
+	}
+}
+
+// evictOne writes back and drops the least-recently-used entry.
+func (c *Cache) evictOne(ctx sim.Context) error {
+	back := c.lru.Back()
+	if back == nil {
+		return fmt.Errorf("buffer: cache eviction with empty LRU")
+	}
+	victim := back.Value.(*entry)
+	c.lru.Remove(back)
+	delete(c.entries, victim.idx)
+	c.stats.Evictions++
+	if victim.dirty {
+		c.stats.WriteBacks++
+		c.setBusy(victim.idx)
+		err := c.flush(ctx, victim.idx, victim.buf)
+		c.clearBusy(ctx, victim.idx)
+		if err != nil {
+			return fmt.Errorf("buffer: write back block %d: %w", victim.idx, err)
+		}
+	}
+	return nil
+}
+
+// With runs fn on the cached contents of block idx, faulting it in if
+// needed; dirty marks the block modified (write-back on eviction or
+// Flush). fn must not block: it runs while the cache entry is unpinned.
+func (c *Cache) With(ctx sim.Context, idx int64, dirty bool, fn func(buf []byte) error) error {
+	for {
+		c.waitNotBusy(ctx, idx)
+		if e, ok := c.entries[idx]; ok {
+			c.stats.Hits++
+			c.lru.MoveToFront(e.elem)
+			e.dirty = e.dirty || dirty
+			return fn(e.buf)
+		}
+		// Miss: make room, then fetch. Both park, so re-check residency
+		// afterwards (another process may have raced us to it).
+		c.stats.Misses++
+		for len(c.entries)+len(c.busy) >= c.capacity && c.lru.Len() > 0 {
+			if err := c.evictOne(ctx); err != nil {
+				return err
+			}
+		}
+		if _, ok := c.entries[idx]; ok || c.busy[idx] != nil {
+			c.stats.Misses-- // someone else brought it in; recount as hit
+			continue
+		}
+		buf := make([]byte, c.blockSize)
+		c.setBusy(idx)
+		err := c.fetch(ctx, idx, buf)
+		c.clearBusy(ctx, idx)
+		if err != nil {
+			return fmt.Errorf("buffer: fetch block %d: %w", idx, err)
+		}
+		e := &entry{idx: idx, buf: buf, dirty: dirty}
+		e.elem = c.lru.PushFront(e)
+		c.entries[idx] = e
+		return fn(e.buf)
+	}
+}
+
+// Flush writes back all dirty entries (they stay resident, clean).
+// Entries are flushed in ascending block order so virtual-time runs are
+// deterministic.
+func (c *Cache) Flush(ctx sim.Context) error {
+	idxs := make([]int64, 0, len(c.entries))
+	for idx, e := range c.entries {
+		if e.dirty {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	var errs []error
+	for _, idx := range idxs {
+		e, ok := c.entries[idx]
+		if !ok || !e.dirty {
+			continue // evicted or cleaned while we flushed earlier blocks
+		}
+		c.stats.WriteBacks++
+		c.setBusy(idx)
+		err := c.flush(ctx, idx, e.buf)
+		c.clearBusy(ctx, idx)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("buffer: flush block %d: %w", idx, err))
+			continue
+		}
+		e.dirty = false
+	}
+	return errors.Join(errs...)
+}
+
+// Resident reports how many blocks are cached.
+func (c *Cache) Resident() int { return len(c.entries) }

@@ -1,0 +1,603 @@
+package buffer
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// memFetch serves blocks whose first byte is the block index, charging
+// cost of virtual time per fetch.
+func memFetch(cost time.Duration) Fetch {
+	return func(ctx sim.Context, idx int64, buf []byte) error {
+		ctx.Sleep(cost)
+		for i := range buf {
+			buf[i] = byte(idx)
+		}
+		return nil
+	}
+}
+
+func TestSeqReaderValidation(t *testing.T) {
+	f := memFetch(0)
+	if _, err := NewSeqReader(f, 0, 1, 1, 1); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	if _, err := NewSeqReader(f, 8, 1, 0, 1); err == nil {
+		t.Fatal("zero buffers accepted")
+	}
+	if _, err := NewSeqReader(f, 8, 1, 1, -1); err == nil {
+		t.Fatal("negative readers accepted")
+	}
+}
+
+func TestSeqReaderSynchronousOrder(t *testing.T) {
+	r, err := NewSeqReader(memFetch(0), 8, 5, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewWall()
+	for want := int64(0); want < 5; want++ {
+		buf, idx, err := r.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != want || buf[0] != byte(want) {
+			t.Fatalf("got block %d (first byte %d), want %d", idx, buf[0], want)
+		}
+		r.Release(ctx, buf)
+	}
+	if _, _, err := r.Next(ctx); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestSeqReaderEngineOrderAndData(t *testing.T) {
+	e := sim.NewEngine()
+	r, err := NewSeqReader(memFetch(time.Millisecond), 8, 20, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	e.Go("consumer", func(p *sim.Proc) {
+		defer r.Close(p)
+		for {
+			buf, idx, err := r.Next(p)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if buf[0] != byte(idx) {
+				t.Errorf("block %d has byte %d", idx, buf[0])
+			}
+			got = append(got, idx)
+			r.Release(p, buf)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("consumed %d blocks", len(got))
+	}
+	for i, idx := range got {
+		if idx != int64(i) {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+}
+
+func TestSeqReaderOverlapsComputeWithIO(t *testing.T) {
+	// With 1 buffer, fetch (1ms) and compute (1ms) serialize: ~2ms/block.
+	// With 2+ buffers and a prefetcher, they overlap: ~1ms/block.
+	run := func(nbufs, readers int) time.Duration {
+		e := sim.NewEngine()
+		r, err := NewSeqReader(memFetch(time.Millisecond), 8, 10, nbufs, readers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var end time.Duration
+		e.Go("consumer", func(p *sim.Proc) {
+			defer r.Close(p)
+			for {
+				buf, _, err := r.Next(p)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Error(err)
+					break
+				}
+				p.Sleep(time.Millisecond) // compute on the block
+				r.Release(p, buf)
+			}
+			end = p.Now()
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	single := run(1, 1)
+	double := run(2, 1)
+	if single < 19*time.Millisecond {
+		t.Fatalf("single buffering finished too fast: %v", single)
+	}
+	if double >= single {
+		t.Fatalf("double buffering %v not faster than single %v", double, single)
+	}
+	if double > 12*time.Millisecond {
+		t.Fatalf("double buffering failed to overlap: %v", double)
+	}
+}
+
+func TestSeqReaderMultipleConsumers(t *testing.T) {
+	// Two consumers share the stream; every block is delivered exactly once.
+	e := sim.NewEngine()
+	r, err := NewSeqReader(memFetch(time.Millisecond), 8, 30, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]int)
+	var done sim.Group
+	consume := func(p *sim.Proc) {
+		for {
+			buf, idx, err := r.Next(p)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			seen[idx]++
+			p.Sleep(time.Millisecond)
+			r.Release(p, buf)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		done.Spawn(e, "consumer", consume)
+	}
+	e.Go("closer", func(p *sim.Proc) {
+		done.Wait(p)
+		r.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 30 {
+		t.Fatalf("delivered %d distinct blocks, want 30", len(seen))
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("block %d delivered %d times", idx, n)
+		}
+	}
+}
+
+func TestSeqReaderFetchError(t *testing.T) {
+	boom := errors.New("boom")
+	f := func(ctx sim.Context, idx int64, buf []byte) error {
+		if idx == 3 {
+			return boom
+		}
+		return nil
+	}
+	e := sim.NewEngine()
+	r, err := NewSeqReader(f, 8, 5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	e.Go("consumer", func(p *sim.Proc) {
+		defer r.Close(p)
+		for {
+			buf, _, err := r.Next(p)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				sawErr = err
+				return
+			}
+			r.Release(p, buf)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(sawErr, boom) {
+		t.Fatalf("want boom, got %v", sawErr)
+	}
+}
+
+func TestSeqReaderCloseUnblocksPrefetchers(t *testing.T) {
+	// Consumer abandons the stream early; Run must not deadlock.
+	e := sim.NewEngine()
+	r, err := NewSeqReader(memFetch(time.Millisecond), 8, 100, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Go("consumer", func(p *sim.Proc) {
+		buf, _, err := r.Next(p)
+		if err != nil {
+			t.Error(err)
+		}
+		r.Release(p, buf)
+		r.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqWriterSynchronous(t *testing.T) {
+	var wrote []int64
+	flush := func(ctx sim.Context, idx int64, buf []byte) error {
+		wrote = append(wrote, idx)
+		return nil
+	}
+	w, err := NewSeqWriter(flush, 8, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewWall()
+	for i := int64(0); i < 5; i++ {
+		buf, err := w.Acquire(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Submit(ctx, i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(wrote) != 5 {
+		t.Fatalf("wrote %d blocks", len(wrote))
+	}
+}
+
+func TestSeqWriterDeferredOverlap(t *testing.T) {
+	// Producer computes 1ms then submits; flush costs 1ms. Deferred
+	// writing should overlap them (~n ms), synchronous doubles (~2n ms).
+	run := func(writers int) time.Duration {
+		e := sim.NewEngine()
+		flush := func(ctx sim.Context, idx int64, buf []byte) error {
+			ctx.Sleep(time.Millisecond)
+			return nil
+		}
+		w, err := NewSeqWriter(flush, 8, 2, writers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var end time.Duration
+		e.Go("producer", func(p *sim.Proc) {
+			for i := int64(0); i < 10; i++ {
+				p.Sleep(time.Millisecond) // compute
+				buf, err := w.Acquire(p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := w.Submit(p, i, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := w.Close(p); err != nil {
+				t.Error(err)
+			}
+			end = p.Now()
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	sync := run(0)
+	deferred := run(1)
+	if deferred >= sync {
+		t.Fatalf("deferred %v not faster than synchronous %v", deferred, sync)
+	}
+	if deferred > 12*time.Millisecond {
+		t.Fatalf("deferred writing failed to overlap: %v", deferred)
+	}
+}
+
+func TestSeqWriterCollectsErrors(t *testing.T) {
+	boom := errors.New("boom")
+	flush := func(ctx sim.Context, idx int64, buf []byte) error {
+		if idx == 2 {
+			return boom
+		}
+		return nil
+	}
+	e := sim.NewEngine()
+	w, err := NewSeqWriter(flush, 8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closeErr error
+	e.Go("producer", func(p *sim.Proc) {
+		for i := int64(0); i < 4; i++ {
+			buf, err := w.Acquire(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := w.Submit(p, i, buf); err != nil {
+				t.Error(err)
+			}
+		}
+		closeErr = w.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(closeErr, boom) {
+		t.Fatalf("Close error = %v, want boom", closeErr)
+	}
+}
+
+func TestSeqWriterDoubleCloseOK(t *testing.T) {
+	w, err := NewSeqWriter(func(sim.Context, int64, []byte) error { return nil }, 8, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewWall()
+	if err := w.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Acquire(ctx); err == nil {
+		t.Fatal("Acquire after Close accepted")
+	}
+}
+
+// cacheBacking is a trivial block store for cache tests.
+type cacheBacking struct {
+	blocks  map[int64][]byte
+	fetches int
+	flushes int
+}
+
+func newCacheBacking() *cacheBacking { return &cacheBacking{blocks: map[int64][]byte{}} }
+
+func (b *cacheBacking) fetch(ctx sim.Context, idx int64, buf []byte) error {
+	b.fetches++
+	if src, ok := b.blocks[idx]; ok {
+		copy(buf, src)
+	} else {
+		clear(buf)
+	}
+	return nil
+}
+
+func (b *cacheBacking) flush(ctx sim.Context, idx int64, buf []byte) error {
+	b.flushes++
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	b.blocks[idx] = cp
+	return nil
+}
+
+func TestCacheValidation(t *testing.T) {
+	b := newCacheBacking()
+	if _, err := NewCache(b.fetch, b.flush, 0, 1); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	if _, err := NewCache(b.fetch, b.flush, 8, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestCacheHitMissAndLRU(t *testing.T) {
+	b := newCacheBacking()
+	c, err := NewCache(b.fetch, b.flush, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewWall()
+	touch := func(idx int64) {
+		if err := c.With(ctx, idx, false, func(buf []byte) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	touch(1) // miss
+	touch(2) // miss
+	touch(1) // hit
+	touch(3) // miss, evicts 2 (LRU)
+	touch(1) // hit (still resident)
+	touch(2) // miss again
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	if b.flushes != 0 {
+		t.Fatal("clean evictions should not write back")
+	}
+	if c.Resident() != 2 {
+		t.Fatalf("resident = %d", c.Resident())
+	}
+}
+
+func TestCacheWriteBackOnEvictionAndFlush(t *testing.T) {
+	b := newCacheBacking()
+	c, err := NewCache(b.fetch, b.flush, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewWall()
+	if err := c.With(ctx, 1, true, func(buf []byte) error { buf[0] = 0xaa; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.With(ctx, 2, true, func(buf []byte) error { buf[0] = 0xbb; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Evict 1 by touching 3.
+	if err := c.With(ctx, 3, false, func(buf []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if b.blocks[1] == nil || b.blocks[1][0] != 0xaa {
+		t.Fatal("dirty eviction did not write back")
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if b.blocks[2] == nil || b.blocks[2][0] != 0xbb {
+		t.Fatal("Flush did not write dirty block")
+	}
+	// Flushing again writes nothing new.
+	n := b.flushes
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if b.flushes != n {
+		t.Fatal("second Flush rewrote clean blocks")
+	}
+}
+
+func TestCacheReadAfterWriteThroughEviction(t *testing.T) {
+	b := newCacheBacking()
+	c, err := NewCache(b.fetch, b.flush, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewWall()
+	if err := c.With(ctx, 5, true, func(buf []byte) error { buf[0] = 42; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.With(ctx, 6, false, func(buf []byte) error { return nil }); err != nil {
+		t.Fatal(err) // evicts 5
+	}
+	var got byte
+	if err := c.With(ctx, 5, false, func(buf []byte) error { got = buf[0]; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("reread after eviction = %d, want 42", got)
+	}
+}
+
+func TestCacheCoalescesConcurrentMisses(t *testing.T) {
+	// Two processes miss the same block; only one fetch must occur.
+	e := sim.NewEngine()
+	fetches := 0
+	fetch := func(ctx sim.Context, idx int64, buf []byte) error {
+		fetches++
+		ctx.Sleep(time.Millisecond)
+		return nil
+	}
+	c, err := NewCache(fetch, func(sim.Context, int64, []byte) error { return nil }, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		e.Go("reader", func(p *sim.Proc) {
+			if err := c.With(p, 7, false, func(buf []byte) error { return nil }); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fetches != 1 {
+		t.Fatalf("fetches = %d, want 1 (coalesced)", fetches)
+	}
+}
+
+func TestCacheZipfLocalityBeatsUniform(t *testing.T) {
+	// Sanity: with a skewed access pattern a small cache achieves a much
+	// better hit rate than under uniform access.
+	run := func(skew float64) float64 {
+		b := newCacheBacking()
+		c, err := NewCache(b.fetch, b.flush, 8, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := sim.NewWall()
+		rng := sim.NewRNG(1)
+		z := sim.NewZipf(rng, 256, skew)
+		for i := 0; i < 4000; i++ {
+			if err := c.With(ctx, int64(z.Next()), false, func([]byte) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats().HitRate()
+	}
+	uniform, skewed := run(0), run(1.2)
+	if skewed <= uniform+0.2 {
+		t.Fatalf("zipf hit rate %.2f should greatly exceed uniform %.2f", skewed, uniform)
+	}
+}
+
+func TestCacheFetchErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	c, err := NewCache(
+		func(sim.Context, int64, []byte) error { return boom },
+		func(sim.Context, int64, []byte) error { return nil }, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.With(sim.NewWall(), 0, false, func([]byte) error { return nil }); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestCacheHitRateZeroWhenEmpty(t *testing.T) {
+	var s CacheStats
+	if s.HitRate() != 0 {
+		t.Fatal("empty HitRate should be 0")
+	}
+}
+
+func TestSeqReaderManyBuffersStress(t *testing.T) {
+	for _, nbufs := range []int{1, 2, 3, 8} {
+		for _, readers := range []int{1, 2, 4} {
+			e := sim.NewEngine()
+			r, err := NewSeqReader(memFetch(100*time.Microsecond), 4, 50, nbufs, readers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := 0
+			e.Go("consumer", func(p *sim.Proc) {
+				defer r.Close(p)
+				for {
+					buf, idx, err := r.Next(p)
+					if err == io.EOF {
+						return
+					}
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if buf[0] != byte(idx) {
+						t.Errorf("nbufs=%d readers=%d: block %d byte %d", nbufs, readers, idx, buf[0])
+					}
+					count++
+					r.Release(p, buf)
+				}
+			})
+			if err := e.Run(); err != nil {
+				t.Fatalf("nbufs=%d readers=%d: %v", nbufs, readers, err)
+			}
+			if count != 50 {
+				t.Fatalf("nbufs=%d readers=%d: consumed %d", nbufs, readers, count)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package convert
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/blockio"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func testVolume(t *testing.T, devs int) *pfs.Volume {
+	t.Helper()
+	disks := make([]*device.Disk, devs)
+	for i := range disks {
+		disks[i] = device.New(device.Config{
+			Geometry: device.Geometry{BlockSize: 256, BlocksPerCyl: 8, Cylinders: 256},
+		})
+	}
+	store, err := blockio.NewDirect(disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pfs.NewVolume(store)
+}
+
+// fill writes workload records through the S view.
+func fill(t *testing.T, f *pfs.File, ctx sim.Context, seed uint64) {
+	t.Helper()
+	w, err := core.OpenWriter(f, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, f.Mapper().RecordSize())
+	for r := int64(0); r < f.Mapper().NumRecords(); r++ {
+		workload.Record(buf, seed, r)
+		if _, err := w.WriteRecord(ctx, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// drain reads a stream to EOF verifying workload records, returning ids.
+func drain(t *testing.T, r *core.StreamReader, ctx sim.Context, seed uint64) []int64 {
+	t.Helper()
+	var ids []int64
+	for {
+		data, rec, err := r.ReadRecord(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.CheckRecord(data, seed, rec); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, rec)
+	}
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func TestAlternateViewISOverPS(t *testing.T) {
+	v := testVolume(t, 4)
+	ctx := sim.NewWall()
+	ps, err := v.Create(pfs.Spec{
+		Name: "ps", Org: pfs.OrgPartitioned, RecordSize: 64,
+		BlockRecords: 2, NumRecords: 48, Parts: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, ps, ctx, 5)
+	// Read the PS file with an IS view of stride 3.
+	var all []int64
+	for part := 0; part < 3; part++ {
+		r, err := OpenView(ps, View{Org: pfs.OrgInterleaved, Part: part, Stride: 3}, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := drain(t, r, ctx, 5)
+		// Every record of this stride class: blocks ≡ part mod 3.
+		for _, rec := range ids {
+			if (rec/2)%3 != int64(part) {
+				t.Fatalf("part %d got record %d", part, rec)
+			}
+		}
+		all = append(all, ids...)
+	}
+	if len(all) != 48 {
+		t.Fatalf("alternate views delivered %d records", len(all))
+	}
+}
+
+func TestAlternateViewPSOverIS(t *testing.T) {
+	v := testVolume(t, 4)
+	ctx := sim.NewWall()
+	is, err := v.Create(pfs.Spec{
+		Name: "is", Org: pfs.OrgInterleaved, RecordSize: 64,
+		BlockRecords: 2, NumRecords: 48, Parts: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, is, ctx, 6)
+	// PS view with 2 partitions over the IS file (re-partition).
+	var total int
+	for part := 0; part < 2; part++ {
+		r, err := OpenView(is, View{Org: pfs.OrgPartitioned, Part: part, Stride: 2}, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := drain(t, r, ctx, 6)
+		total += len(ids)
+		// Contiguous halves: part0 records 0..23, part1 24..47.
+		for _, rec := range ids {
+			if part == 0 && rec >= 24 || part == 1 && rec < 24 {
+				t.Fatalf("part %d got record %d", part, rec)
+			}
+		}
+	}
+	if total != 48 {
+		t.Fatalf("PS alternate view delivered %d", total)
+	}
+}
+
+func TestGlobalFallback(t *testing.T) {
+	v := testVolume(t, 2)
+	ctx := sim.NewWall()
+	ps, err := v.Create(pfs.Spec{
+		Name: "ps", Org: pfs.OrgPartitioned, RecordSize: 64,
+		BlockRecords: 2, NumRecords: 20, Parts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, ps, ctx, 7)
+	r, err := core.OpenReader(ps, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := drain(t, r, ctx, 7)
+	for i, rec := range ids {
+		if rec != int64(i) {
+			t.Fatalf("global fallback out of order at %d: %d", i, rec)
+		}
+	}
+}
+
+func TestCopyConvert(t *testing.T) {
+	v := testVolume(t, 4)
+	ctx := sim.NewWall()
+	ps, err := v.Create(pfs.Spec{
+		Name: "ps", Org: pfs.OrgPartitioned, RecordSize: 64,
+		BlockRecords: 2, NumRecords: 40, Parts: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, ps, ctx, 8)
+	is, err := ToOrganization(ctx, v, ps, "is-copy", pfs.OrgInterleaved, 4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if is.Spec().Org != pfs.OrgInterleaved || is.Spec().Placement != pfs.PlaceInterleaved {
+		t.Fatalf("converted spec = %+v", is.Spec())
+	}
+	// Converted file carries identical records.
+	r, err := core.OpenReader(is, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := drain(t, r, ctx, 8)
+	if len(ids) != 40 {
+		t.Fatalf("converted file has %d records", len(ids))
+	}
+	// The native IS view now works with natural placement.
+	ir, err := core.OpenInterleavedReader(is, 1, 4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, ir, ctx, 8)
+}
+
+func TestCopyValidation(t *testing.T) {
+	v := testVolume(t, 2)
+	ctx := sim.NewWall()
+	a, err := v.Create(pfs.Spec{Name: "a", RecordSize: 64, NumRecords: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := v.Create(pfs.Spec{Name: "b", RecordSize: 32, NumRecords: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Copy(ctx, a, b, core.Options{}); err == nil {
+		t.Fatal("mismatched record sizes accepted")
+	}
+	c, err := v.Create(pfs.Spec{Name: "c", RecordSize: 64, NumRecords: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Copy(ctx, a, c, core.Options{}); err == nil {
+		t.Fatal("mismatched record counts accepted")
+	}
+}
+
+func TestOpenViewValidation(t *testing.T) {
+	v := testVolume(t, 2)
+	f, err := v.Create(pfs.Spec{Name: "f", RecordSize: 64, NumRecords: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenView(f, View{Org: pfs.OrgSelfScheduled}, core.Options{}); err == nil {
+		t.Fatal("SS view accepted")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if AlternateView.String() != "alternate-view" || GlobalFallback.String() != "global-fallback" ||
+		CopyConvert.String() != "copy-convert" || Strategy(9).String() == "" {
+		t.Fatal("strategy strings")
+	}
+}

@@ -1,0 +1,116 @@
+// Package core implements the paper's contribution: access methods for
+// the six standard parallel file organizations (§3) over the pfs
+// substrate.
+//
+//	S    StreamReader / StreamWriter over the whole file
+//	PS   OpenPartReader / OpenPartWriter — one contiguous partition
+//	IS   OpenInterleavedReader / OpenInterleavedWriter — strided blocks
+//	SS   SelfSched — shared handle; every request claims the next record
+//	GDA  Direct — random record access through a block cache
+//	PDA  DirectPart — random access within owned blocks
+//
+// Organizations are access methods, deliberately decoupled from the
+// file's physical placement: opening a PS-placed file with an
+// interleaved view is legal (it is the paper's §5 "alternate view with
+// degraded performance"), and package convert builds on exactly that.
+//
+// Concurrent use of shared handles (SelfSched, Direct) requires running
+// under a sim.Engine; see package sim.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pfs"
+	"repro/internal/trace"
+)
+
+// Options tune an access method. The zero value means: synchronous,
+// unbuffered I/O. Use DefaultOptions for the paper's recommended
+// configuration (double buffering, read-ahead, deferred write).
+type Options struct {
+	// NBufs is the number of block buffers for stream handles
+	// (minimum 1; DefaultOptions sets 2 — double buffering).
+	NBufs int
+	// IOProcs is the number of dedicated I/O processes performing
+	// read-ahead / write-behind. 0 disables overlap (synchronous).
+	IOProcs int
+	// EarlyRelease enables the §4 self-scheduling optimization: the
+	// shared file pointer advances and buffer space is reserved before
+	// the data transfer completes. Disabling it serializes every SS
+	// request through its full device transfer.
+	EarlyRelease bool
+	// CacheBlocks is the block-cache capacity for direct access
+	// handles (minimum 1; DefaultOptions sets 8).
+	CacheBlocks int
+	// SeqWithinBlocks enforces the restricted PDA variant of §3.2:
+	// records inside each owned block must be accessed sequentially.
+	SeqWithinBlocks bool
+	// Trace, when non-nil, records every record access (for Figure 1).
+	Trace *trace.Recorder
+	// Proc identifies the calling process in traces.
+	Proc int
+}
+
+// DefaultOptions is the paper-recommended configuration: double
+// buffering with one dedicated I/O process, early release, and a small
+// block cache.
+func DefaultOptions() Options {
+	return Options{
+		NBufs:        2,
+		IOProcs:      1,
+		EarlyRelease: true,
+		CacheBlocks:  8,
+	}
+}
+
+// norm clamps an Options value into a usable state.
+func (o Options) norm() Options {
+	if o.NBufs < 1 {
+		o.NBufs = 1
+	}
+	if o.IOProcs < 0 {
+		o.IOProcs = 0
+	}
+	if o.CacheBlocks < 1 {
+		o.CacheBlocks = 1
+	}
+	return o
+}
+
+// blockSeq enumerates the paper-blocks of a stream view: n blocks, the
+// j-th being pb(j) in file coordinates.
+type blockSeq struct {
+	n  int64
+	pb func(j int64) int64
+}
+
+// wholeFileSeq is the S (and global sequential) view.
+func wholeFileSeq(f *pfs.File) blockSeq {
+	return blockSeq{n: f.Mapper().NumBlocks(), pb: func(j int64) int64 { return j }}
+}
+
+// partSeq is the PS view of partition p.
+func partSeq(f *pfs.File, p int) (blockSeq, error) {
+	if p < 0 || p >= f.Parts() {
+		return blockSeq{}, fmt.Errorf("core: partition %d of %d", p, f.Parts())
+	}
+	first, end := f.PartBlockRange(p)
+	return blockSeq{n: end - first, pb: func(j int64) int64 { return first + j }}, nil
+}
+
+// interleavedSeq is the IS view: blocks ≡ part (mod stride).
+func interleavedSeq(f *pfs.File, part, stride int) (blockSeq, error) {
+	if stride <= 0 {
+		return blockSeq{}, fmt.Errorf("core: interleave stride %d", stride)
+	}
+	if part < 0 || part >= stride {
+		return blockSeq{}, fmt.Errorf("core: interleave part %d of stride %d", part, stride)
+	}
+	total := f.Mapper().NumBlocks()
+	var n int64
+	if int64(part) < total {
+		n = (total-int64(part)-1)/int64(stride) + 1
+	}
+	return blockSeq{n: n, pb: func(j int64) int64 { return int64(part) + j*int64(stride) }}, nil
+}

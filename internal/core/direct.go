@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Direct is the type-GDA handle: any process may read or write any
+// record in any order. Accesses go through a shared write-back block
+// cache ("buffer caching techniques would be helpful when there is some
+// locality of reference"). One Direct handle may be shared by all
+// processes under an engine.
+type Direct struct {
+	f      *pfs.File
+	opts   Options
+	cache  *buffer.Cache
+	closed bool
+}
+
+// OpenDirect opens the GDA view of f.
+func OpenDirect(f *pfs.File, opts Options) (*Direct, error) {
+	opts = opts.norm()
+	m := f.Mapper()
+	fetch := func(ctx sim.Context, k int64, buf []byte) error {
+		return f.Set().ReadBlock(ctx, k, buf)
+	}
+	flush := func(ctx sim.Context, k int64, buf []byte) error {
+		return f.Set().WriteBlock(ctx, k, buf)
+	}
+	cache, err := buffer.NewCache(fetch, flush, m.FSBlockSize(), opts.CacheBlocks)
+	if err != nil {
+		return nil, err
+	}
+	return &Direct{f: f, opts: opts, cache: cache}, nil
+}
+
+// CacheStats reports the handle's cache counters.
+func (d *Direct) CacheStats() buffer.CacheStats { return d.cache.Stats() }
+
+// ReadRecordAt reads record rec into dst (len = record size).
+func (d *Direct) ReadRecordAt(ctx sim.Context, rec int64, dst []byte) error {
+	return d.access(ctx, rec, dst, false)
+}
+
+// WriteRecordAt writes src (len = record size) as record rec.
+func (d *Direct) WriteRecordAt(ctx sim.Context, rec int64, src []byte) error {
+	return d.access(ctx, rec, src, true)
+}
+
+// access moves one record between the caller's buffer and the cache.
+func (d *Direct) access(ctx sim.Context, rec int64, data []byte, write bool) error {
+	if d.closed {
+		return fmt.Errorf("core: handle closed")
+	}
+	m := d.f.Mapper()
+	if err := m.Check(rec); err != nil {
+		return err
+	}
+	if len(data) != m.RecordSize() {
+		return fmt.Errorf("core: buffer is %d bytes, records are %d", len(data), m.RecordSize())
+	}
+	pos := 0
+	for _, sp := range m.Spans(rec) {
+		sp := sp
+		p0 := pos
+		err := d.cache.With(ctx, sp.FSBlock, write, func(buf []byte) error {
+			if write {
+				copy(buf[sp.Off:sp.Off+sp.Len], data[p0:])
+			} else {
+				copy(data[p0:], buf[sp.Off:sp.Off+sp.Len])
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		pos += sp.Len
+	}
+	op := trace.Read
+	if write {
+		op = trace.Write
+	}
+	d.opts.Trace.Add(trace.Event{
+		Time: ctx.Now(), Proc: d.opts.Proc, Op: op, Record: rec, Block: m.BlockOf(rec),
+	})
+	return nil
+}
+
+// Flush writes back dirty cached blocks.
+func (d *Direct) Flush(ctx sim.Context) error { return d.cache.Flush(ctx) }
+
+// Close flushes and invalidates the handle.
+func (d *Direct) Close(ctx sim.Context) error {
+	if d.closed {
+		return nil
+	}
+	if err := d.cache.Flush(ctx); err != nil {
+		return err
+	}
+	d.closed = true
+	return nil
+}
+
+// DirectPart is the type-PDA handle: a process accesses records randomly
+// but only within the paper-blocks assigned to it ("blocks can be thought
+// of as pages of virtual memory"). Each process opens its own handle, so
+// the block cache is private — the locality the paper expects.
+//
+// With Options.SeqWithinBlocks the §3.2 restricted variant is enforced:
+// records inside each block must be accessed in ascending order (block
+// order stays free).
+type DirectPart struct {
+	f      *pfs.File
+	part   int
+	opts   Options
+	cache  *buffer.Cache
+	seqPos map[int64]int // restricted mode: next record index per block
+	closed bool
+}
+
+// OpenDirectPart opens the PDA view of partition part.
+func OpenDirectPart(f *pfs.File, part int, opts Options) (*DirectPart, error) {
+	opts = opts.norm()
+	if part < 0 || part >= f.Parts() {
+		return nil, fmt.Errorf("core: partition %d of %d", part, f.Parts())
+	}
+	m := f.Mapper()
+	fetch := func(ctx sim.Context, k int64, buf []byte) error {
+		return f.Set().ReadBlock(ctx, k, buf)
+	}
+	flush := func(ctx sim.Context, k int64, buf []byte) error {
+		return f.Set().WriteBlock(ctx, k, buf)
+	}
+	cache, err := buffer.NewCache(fetch, flush, m.FSBlockSize(), opts.CacheBlocks)
+	if err != nil {
+		return nil, err
+	}
+	dp := &DirectPart{f: f, part: part, opts: opts, cache: cache}
+	if opts.SeqWithinBlocks {
+		dp.seqPos = make(map[int64]int)
+	}
+	return dp, nil
+}
+
+// CacheStats reports the handle's private cache counters.
+func (d *DirectPart) CacheStats() buffer.CacheStats { return d.cache.Stats() }
+
+// check validates ownership and (in restricted mode) intra-block order.
+func (d *DirectPart) check(rec int64) error {
+	m := d.f.Mapper()
+	if err := m.Check(rec); err != nil {
+		return err
+	}
+	b := m.BlockOf(rec)
+	if owner := d.f.BlockOwner(b); owner != d.part {
+		return fmt.Errorf("core: PDA violation: record %d is in block %d owned by partition %d, not %d",
+			rec, b, owner, d.part)
+	}
+	if d.seqPos != nil {
+		idx := m.IndexInBlock(rec)
+		if want := d.seqPos[b]; idx != want {
+			return fmt.Errorf("core: restricted PDA: block %d expects record index %d next, got %d", b, want, idx)
+		}
+		d.seqPos[b] = idx + 1
+		if d.seqPos[b] >= m.RecordsInBlock(b) {
+			d.seqPos[b] = 0 // block completed; a new pass may begin
+		}
+	}
+	return nil
+}
+
+// ReadRecordAt reads record rec (must lie in an owned block) into dst.
+func (d *DirectPart) ReadRecordAt(ctx sim.Context, rec int64, dst []byte) error {
+	if d.closed {
+		return fmt.Errorf("core: handle closed")
+	}
+	if err := d.check(rec); err != nil {
+		return err
+	}
+	return d.move(ctx, rec, dst, false)
+}
+
+// WriteRecordAt writes record rec (must lie in an owned block).
+func (d *DirectPart) WriteRecordAt(ctx sim.Context, rec int64, src []byte) error {
+	if d.closed {
+		return fmt.Errorf("core: handle closed")
+	}
+	if err := d.check(rec); err != nil {
+		return err
+	}
+	return d.move(ctx, rec, src, true)
+}
+
+// move copies one record through the private cache.
+func (d *DirectPart) move(ctx sim.Context, rec int64, data []byte, write bool) error {
+	m := d.f.Mapper()
+	if len(data) != m.RecordSize() {
+		return fmt.Errorf("core: buffer is %d bytes, records are %d", len(data), m.RecordSize())
+	}
+	pos := 0
+	for _, sp := range m.Spans(rec) {
+		sp := sp
+		p0 := pos
+		err := d.cache.With(ctx, sp.FSBlock, write, func(buf []byte) error {
+			if write {
+				copy(buf[sp.Off:sp.Off+sp.Len], data[p0:])
+			} else {
+				copy(data[p0:], buf[sp.Off:sp.Off+sp.Len])
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		pos += sp.Len
+	}
+	op := trace.Read
+	if write {
+		op = trace.Write
+	}
+	d.opts.Trace.Add(trace.Event{
+		Time: ctx.Now(), Proc: d.opts.Proc, Op: op, Record: rec, Block: m.BlockOf(rec),
+	})
+	return nil
+}
+
+// Flush writes back dirty cached blocks.
+func (d *DirectPart) Flush(ctx sim.Context) error { return d.cache.Flush(ctx) }
+
+// Close flushes and invalidates the handle.
+func (d *DirectPart) Close(ctx sim.Context) error {
+	if d.closed {
+		return nil
+	}
+	if err := d.cache.Flush(ctx); err != nil {
+		return err
+	}
+	d.closed = true
+	return nil
+}

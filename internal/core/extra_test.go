@@ -1,0 +1,343 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestDirectFlushPersistsWithoutClose(t *testing.T) {
+	v := testVolume(t, 2, nil)
+	f, err := v.Create(pfs.Spec{Name: "g", Org: pfs.OrgGlobalDirect, RecordSize: 64, NumRecords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewWall()
+	d, err := OpenDirect(f, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteRecordAt(ctx, 3, rec64(77)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// A second, independent handle must see the flushed record even
+	// though the first handle is still open.
+	d2, err := OpenDirect(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 64)
+	if err := d2.ReadRecordAt(ctx, 3, dst); err != nil || recVal(dst) != 77 {
+		t.Fatalf("after Flush: %v %d", err, recVal(dst))
+	}
+	if st := d.CacheStats(); st.WriteBacks == 0 {
+		t.Fatalf("no write-backs recorded: %+v", st)
+	}
+	_ = d.Close(ctx)
+	if err := d.Close(ctx); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestDirectPartFlushAndStats(t *testing.T) {
+	v := testVolume(t, 2, nil)
+	f, err := v.Create(pfs.Spec{
+		Name: "pda", Org: pfs.OrgPartitionedDirect, RecordSize: 64,
+		BlockRecords: 2, NumRecords: 16, Parts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewWall()
+	d, err := OpenDirectPart(f, 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteRecordAt(ctx, 1, rec64(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if d.CacheStats().Misses == 0 {
+		t.Fatal("no misses recorded")
+	}
+	if err := d.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteRecordAt(ctx, 1, rec64(9)); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := d.ReadRecordAt(ctx, 1, make([]byte, 64)); err == nil {
+		t.Fatal("read after close accepted")
+	}
+}
+
+func TestOpenBlockRangeReader(t *testing.T) {
+	v := testVolume(t, 2, nil)
+	f, err := v.Create(pfs.Spec{Name: "s", RecordSize: 64, BlockRecords: 2, NumRecords: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewWall()
+	fillSeq(t, f, ctx)
+	r, err := OpenBlockRangeReader(f, 2, 5, Options{}) // blocks 2,3,4 -> records 4..9
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for {
+		_, rec, err := r.ReadRecord(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec)
+	}
+	want := []int64{4, 5, 6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range read %v, want %v", got, want)
+		}
+	}
+	_ = r.Close(ctx)
+	// Validation.
+	if _, err := OpenBlockRangeReader(f, -1, 2, Options{}); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if _, err := OpenBlockRangeReader(f, 3, 2, Options{}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := OpenBlockRangeReader(f, 0, 99, Options{}); err == nil {
+		t.Fatal("overlong range accepted")
+	}
+}
+
+func TestSelfSchedBlockModeWrite(t *testing.T) {
+	e := sim.NewEngine()
+	v := testVolume(t, 2, e)
+	f, err := v.Create(pfs.Spec{
+		Name: "ssb", Org: pfs.OrgSelfScheduled, RecordSize: 64,
+		BlockRecords: 4, NumRecords: 22, // last block short: 2 records
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Go("main", func(p *sim.Proc) {
+		ss, err := OpenSelfSched(f, SSWrite, DefaultOptions())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var g sim.Group
+		for w := 0; w < 2; w++ {
+			g.Spawn(p.Engine(), "w", func(c *sim.Proc) {
+				for {
+					// Claim, then build the payload for the claimed block.
+					m := f.Mapper()
+					// Probe the next block's record count via a dry run:
+					// WriteNextBlock validates length, so construct for
+					// the worst case and retry shorter on the final block.
+					payload := make([]byte, 4*64)
+					b, err := ss.WriteNextBlock(c, payload)
+					if err != nil {
+						if errors.Is(err, io.ErrShortWrite) {
+							return
+						}
+						// Final short block: retry with its real size.
+						short := make([]byte, m.RecordsInBlock(m.NumBlocks()-1)*64)
+						if _, err2 := ss.WriteNextBlock(c, short); err2 != nil {
+							if errors.Is(err2, io.ErrShortWrite) {
+								return
+							}
+							t.Error(err2)
+							return
+						}
+						continue
+					}
+					_ = b
+					c.Sleep(time.Millisecond)
+				}
+			})
+		}
+		g.Wait(p)
+		if err := ss.Close(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSchedSerializedWritePath(t *testing.T) {
+	// EarlyRelease=false exercises the synchronous write-under-lock path.
+	e := sim.NewEngine()
+	v := testVolume(t, 2, e)
+	f, err := v.Create(pfs.Spec{Name: "ss", Org: pfs.OrgSelfScheduled, RecordSize: 64, NumRecords: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Go("main", func(p *sim.Proc) {
+		opts := Options{NBufs: 2, IOProcs: 1, EarlyRelease: false}
+		ss, err := OpenSelfSched(f, SSWrite, opts)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var g sim.Group
+		for w := 0; w < 3; w++ {
+			g.Spawn(p.Engine(), "w", func(c *sim.Proc) {
+				for {
+					if _, err := ss.WriteNext(c, rec64(1)); err != nil {
+						return
+					}
+				}
+			})
+		}
+		g.Wait(p)
+		if err := ss.Close(p); err != nil {
+			t.Error(err)
+		}
+		// All records must be non-zero after close.
+		r, err := OpenReader(f, Options{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		n := 0
+		for {
+			data, _, err := r.ReadRecord(p)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if recVal(data) != 1 {
+				t.Errorf("record value %d", recVal(data))
+			}
+			n++
+		}
+		_ = r.Close(p)
+		if n != 24 {
+			t.Errorf("read %d records", n)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSchedRegisterProcTracing(t *testing.T) {
+	e := sim.NewEngine()
+	v := testVolume(t, 2, e)
+	f, err := v.Create(pfs.Spec{Name: "ss", Org: pfs.OrgSelfScheduled, RecordSize: 64, NumRecords: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &trace.Recorder{}
+	e.Go("main", func(p *sim.Proc) {
+		fillSeq(t, f, p)
+		opts := DefaultOptions()
+		opts.Trace = rec
+		opts.Proc = 99 // fallback id for unregistered procs
+		ss, err := OpenSelfSched(f, SSRead, opts)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var g sim.Group
+		for w := 0; w < 2; w++ {
+			wid := w
+			g.Spawn(p.Engine(), "w", func(c *sim.Proc) {
+				ss.RegisterProc(c, wid)
+				dst := make([]byte, 64)
+				for {
+					if _, err := ss.ReadNext(c, dst); err != nil {
+						return
+					}
+					c.Sleep(time.Millisecond)
+				}
+			})
+		}
+		g.Wait(p)
+		_ = ss.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	procs := map[int]bool{}
+	for _, ev := range rec.Events() {
+		procs[ev.Proc] = true
+	}
+	if procs[99] {
+		t.Fatal("registered procs traced under fallback id")
+	}
+	if !procs[0] || !procs[1] {
+		t.Fatalf("traced procs: %v", procs)
+	}
+}
+
+func TestGlobalWriterRejectsOverflow(t *testing.T) {
+	v := testVolume(t, 2, nil)
+	f, err := v.Create(pfs.Spec{Name: "g", RecordSize: 64, NumRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewWall()
+	gw, err := OpenGlobalWriter(f, ctx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Write(make([]byte, 3*64)); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	_ = gw.Close()
+	if _, err := gw.Write([]byte{1}); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestStreamReaderCloseIdempotentAndReadAfterClose(t *testing.T) {
+	v := testVolume(t, 2, nil)
+	f, err := v.Create(pfs.Spec{Name: "s", RecordSize: 64, NumRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewWall()
+	fillSeq(t, f, ctx)
+	r, err := OpenReader(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadRecord(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadRecord(ctx); err == nil {
+		t.Fatal("read after close accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/buffer"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// GlobalReader presents the paper's global view of any parallel file: a
+// standard sequential byte stream of the record payload in canonical
+// order, with block padding invisible. It implements io.ReadSeeker, so
+// conventional sequential software (editors, print spoolers, checksum
+// tools — anything taking an io.Reader) can consume parallel files.
+//
+// GlobalReader favours generality over bandwidth: it reads through a
+// small block cache with no read-ahead. Performance-sensitive sequential
+// scans should use StreamReader (OpenReader), which prefetches.
+type GlobalReader struct {
+	f     *pfs.File
+	ctx   sim.Context
+	cache *buffer.Cache
+	pos   int64 // byte position in payload space
+	size  int64
+}
+
+// OpenGlobalReader opens the global view of f. The supplied context is
+// used for all subsequent Read/Seek calls (io interfaces leave no
+// parameter room).
+func OpenGlobalReader(f *pfs.File, ctx sim.Context) (*GlobalReader, error) {
+	m := f.Mapper()
+	fetch := func(c sim.Context, k int64, buf []byte) error {
+		return f.Set().ReadBlock(c, k, buf)
+	}
+	flush := func(c sim.Context, k int64, buf []byte) error {
+		return f.Set().WriteBlock(c, k, buf)
+	}
+	cache, err := buffer.NewCache(fetch, flush, m.FSBlockSize(), 2)
+	if err != nil {
+		return nil, err
+	}
+	return &GlobalReader{
+		f:     f,
+		ctx:   ctx,
+		cache: cache,
+		size:  m.NumRecords() * int64(m.RecordSize()),
+	}, nil
+}
+
+// Size reports the payload length in bytes.
+func (g *GlobalReader) Size() int64 { return g.size }
+
+// Read implements io.Reader over the canonical record stream.
+func (g *GlobalReader) Read(p []byte) (int, error) {
+	if g.pos >= g.size {
+		return 0, io.EOF
+	}
+	m := g.f.Mapper()
+	rs := int64(m.RecordSize())
+	total := 0
+	for len(p) > 0 && g.pos < g.size {
+		rec := g.pos / rs
+		within := int(g.pos % rs)
+		// Walk the record's spans to the current offset.
+		skipped := 0
+		for _, sp := range m.Spans(rec) {
+			if skipped+sp.Len <= within {
+				skipped += sp.Len
+				continue
+			}
+			inSpan := within - skipped
+			n := sp.Len - inSpan
+			if n > len(p) {
+				n = len(p)
+			}
+			sp := sp
+			err := g.cache.With(g.ctx, sp.FSBlock, false, func(buf []byte) error {
+				copy(p[:n], buf[sp.Off+inSpan:sp.Off+inSpan+n])
+				return nil
+			})
+			if err != nil {
+				return total, err
+			}
+			p = p[n:]
+			g.pos += int64(n)
+			total += n
+			within += n
+			skipped += sp.Len
+			if len(p) == 0 {
+				break
+			}
+		}
+	}
+	return total, nil
+}
+
+// Seek implements io.Seeker over payload bytes.
+func (g *GlobalReader) Seek(offset int64, whence int) (int64, error) {
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = g.pos + offset
+	case io.SeekEnd:
+		abs = g.size + offset
+	default:
+		return 0, fmt.Errorf("core: bad whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("core: negative seek %d", abs)
+	}
+	g.pos = abs
+	return abs, nil
+}
+
+var _ io.ReadSeeker = (*GlobalReader)(nil)
+
+// GlobalWriter fills a parallel file through the global view: a plain
+// io.Writer whose byte stream lands in canonical record order. Partial
+// trailing records are zero-padded at Close.
+type GlobalWriter struct {
+	f      *pfs.File
+	ctx    sim.Context
+	w      *StreamWriter
+	rec    []byte
+	fill   int
+	closed bool
+}
+
+// OpenGlobalWriter opens the global write view of f using ctx for all
+// subsequent calls.
+func OpenGlobalWriter(f *pfs.File, ctx sim.Context, opts Options) (*GlobalWriter, error) {
+	w, err := OpenWriter(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &GlobalWriter{
+		f:   f,
+		ctx: ctx,
+		w:   w,
+		rec: make([]byte, f.Mapper().RecordSize()),
+	}, nil
+}
+
+// Write implements io.Writer; bytes beyond the file's capacity are
+// rejected with io.ErrShortWrite.
+func (g *GlobalWriter) Write(p []byte) (int, error) {
+	if g.closed {
+		return 0, fmt.Errorf("core: writer closed")
+	}
+	written := 0
+	for len(p) > 0 {
+		n := copy(g.rec[g.fill:], p)
+		g.fill += n
+		p = p[n:]
+		written += n
+		if g.fill == len(g.rec) {
+			if _, err := g.w.WriteRecord(g.ctx, g.rec); err != nil {
+				return written, err
+			}
+			g.fill = 0
+		}
+	}
+	return written, nil
+}
+
+// Close pads and flushes the final record and drains deferred writes.
+func (g *GlobalWriter) Close() error {
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	if g.fill > 0 {
+		for i := g.fill; i < len(g.rec); i++ {
+			g.rec[i] = 0
+		}
+		if _, err := g.w.WriteRecord(g.ctx, g.rec); err != nil {
+			return err
+		}
+	}
+	return g.w.Close(g.ctx)
+}
+
+var _ io.WriteCloser = (*GlobalWriter)(nil)

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// TestQuickGlobalReaderMatchesReference writes a byte pattern through
+// the global writer and checks that arbitrary Seek/Read sequences on the
+// global reader agree with a plain in-memory reference buffer — the
+// "appears conventional to the system" property (§2) as an executable
+// specification.
+func TestQuickGlobalReaderMatchesReference(t *testing.T) {
+	check := func(rs16 uint16, n8 uint8, ops []uint16) bool {
+		recordSize := int(rs16%300) + 1
+		numRecords := int64(n8%50) + 1
+		size := numRecords * int64(recordSize)
+
+		v := testVolume(t, 3, nil)
+		f, err := v.Create(pfs.Spec{
+			Name: "g", RecordSize: recordSize, NumRecords: numRecords,
+		})
+		if err != nil {
+			return false
+		}
+		ctx := sim.NewWall()
+		// Reference payload.
+		ref := make([]byte, size)
+		for i := range ref {
+			ref[i] = byte(i*7 + 3)
+		}
+		gw, err := OpenGlobalWriter(f, ctx, Options{})
+		if err != nil {
+			return false
+		}
+		if _, err := gw.Write(ref); err != nil {
+			return false
+		}
+		if err := gw.Close(); err != nil {
+			return false
+		}
+		gr, err := OpenGlobalReader(f, ctx)
+		if err != nil {
+			return false
+		}
+		if gr.Size() != size {
+			return false
+		}
+		refRd := bytes.NewReader(ref)
+		// Interpret ops as alternating seek/read instructions.
+		for i := 0; i+1 < len(ops) && i < 20; i += 2 {
+			off := int64(ops[i]) % (size + 1)
+			n := int(ops[i+1])%97 + 1
+			if _, err := gr.Seek(off, io.SeekStart); err != nil {
+				return false
+			}
+			if _, err := refRd.Seek(off, io.SeekStart); err != nil {
+				return false
+			}
+			a := make([]byte, n)
+			b := make([]byte, n)
+			na, errA := io.ReadFull(gr, a)
+			nb, errB := io.ReadFull(refRd, b)
+			if na != nb {
+				t.Logf("rs=%d n=%d off=%d want %d read %d (err %v vs %v)",
+					recordSize, numRecords, off, nb, na, errA, errB)
+				return false
+			}
+			if !bytes.Equal(a[:na], b[:nb]) {
+				t.Logf("rs=%d n=%d off=%d: data mismatch", recordSize, numRecords, off)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

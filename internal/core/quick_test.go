@@ -1,0 +1,288 @@
+package core
+
+import (
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/blockio"
+	"repro/internal/device"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestQuickRoundTripAllFramings is the package's central property test:
+// for arbitrary record sizes, block groupings, file lengths, device
+// counts and organizations, writing every record through the
+// organization's own view and reading back through both the same view
+// and the global sequential view must reproduce the data exactly.
+func TestQuickRoundTripAllFramings(t *testing.T) {
+	check := func(rs16, n16 uint16, br8, devs8, parts8, org8 uint8) bool {
+		recordSize := int(rs16%500) + 1
+		numRecords := int64(n16%300) + 1
+		blockRecords := int(br8%5) + 1
+		devs := int(devs8%4) + 1
+		parts := int(parts8%4) + 1
+		orgs := []pfs.Organization{
+			pfs.OrgSequential, pfs.OrgPartitioned, pfs.OrgInterleaved,
+			pfs.OrgGlobalDirect, pfs.OrgPartitionedDirect,
+		}
+		org := orgs[int(org8)%len(orgs)]
+
+		disks := make([]*device.Disk, devs)
+		for i := range disks {
+			disks[i] = device.New(device.Config{
+				Geometry: device.Geometry{BlockSize: 512, BlocksPerCyl: 16, Cylinders: 512},
+			})
+		}
+		store, err := blockio.NewDirect(disks)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		vol := pfs.NewVolume(store)
+		spec := pfs.Spec{
+			Name: "q", Org: org, RecordSize: recordSize,
+			BlockRecords: blockRecords, NumRecords: numRecords,
+		}
+		if org == pfs.OrgPartitioned || org == pfs.OrgInterleaved || org == pfs.OrgPartitionedDirect {
+			spec.Parts = parts
+		}
+		f, err := vol.Create(spec)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		ctx := sim.NewWall()
+		seed := uint64(rs16) ^ uint64(n16)<<16
+
+		buf := make([]byte, recordSize)
+
+		// Write through the organization's own view.
+		switch org {
+		case pfs.OrgSequential:
+			w, err := OpenWriter(f, Options{})
+			if err != nil {
+				return false
+			}
+			for r := int64(0); r < numRecords; r++ {
+				workload.Record(buf, seed, r)
+				if _, err := w.WriteRecord(ctx, buf); err != nil {
+					t.Log(err)
+					return false
+				}
+			}
+			if err := w.Close(ctx); err != nil {
+				return false
+			}
+		case pfs.OrgPartitioned:
+			for p := 0; p < parts; p++ {
+				w, err := OpenPartWriter(f, p, Options{})
+				if err != nil {
+					return false
+				}
+				first, end := f.PartRecordRange(p)
+				for r := first; r < end; r++ {
+					workload.Record(buf, seed, r)
+					if _, err := w.WriteRecord(ctx, buf); err != nil {
+						t.Log(err)
+						return false
+					}
+				}
+				if err := w.Close(ctx); err != nil {
+					return false
+				}
+			}
+		case pfs.OrgInterleaved:
+			for p := 0; p < parts; p++ {
+				w, err := OpenInterleavedWriter(f, p, parts, Options{})
+				if err != nil {
+					return false
+				}
+				m := f.Mapper()
+				for b := int64(p); b < m.NumBlocks(); b += int64(parts) {
+					for i := 0; i < m.RecordsInBlock(b); i++ {
+						r := b*int64(m.BlockRecords()) + int64(i)
+						workload.Record(buf, seed, r)
+						if _, err := w.WriteRecord(ctx, buf); err != nil {
+							t.Log(err)
+							return false
+						}
+					}
+				}
+				if err := w.Close(ctx); err != nil {
+					return false
+				}
+			}
+		case pfs.OrgGlobalDirect:
+			d, err := OpenDirect(f, Options{CacheBlocks: 3})
+			if err != nil {
+				return false
+			}
+			// Scrambled write order.
+			perm := sim.NewRNG(seed).Perm(int(numRecords))
+			for _, ri := range perm {
+				workload.Record(buf, seed, int64(ri))
+				if err := d.WriteRecordAt(ctx, int64(ri), buf); err != nil {
+					t.Log(err)
+					return false
+				}
+			}
+			if err := d.Close(ctx); err != nil {
+				return false
+			}
+		case pfs.OrgPartitionedDirect:
+			for p := 0; p < parts; p++ {
+				d, err := OpenDirectPart(f, p, Options{CacheBlocks: 3})
+				if err != nil {
+					return false
+				}
+				m := f.Mapper()
+				for b := int64(0); b < m.NumBlocks(); b++ {
+					if f.BlockOwner(b) != p {
+						continue
+					}
+					for i := 0; i < m.RecordsInBlock(b); i++ {
+						r := b*int64(m.BlockRecords()) + int64(i)
+						workload.Record(buf, seed, r)
+						if err := d.WriteRecordAt(ctx, r, buf); err != nil {
+							t.Log(err)
+							return false
+						}
+					}
+				}
+				if err := d.Close(ctx); err != nil {
+					return false
+				}
+			}
+		}
+
+		// Read back through the global sequential view.
+		rd, err := OpenReader(f, Options{})
+		if err != nil {
+			return false
+		}
+		defer rd.Close(ctx)
+		var count int64
+		for {
+			data, rec, err := rd.ReadRecord(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if rec != count {
+				t.Logf("out of order: %d at position %d", rec, count)
+				return false
+			}
+			if err := workload.CheckRecord(data, seed, rec); err != nil {
+				t.Logf("org=%v rs=%d br=%d n=%d devs=%d parts=%d: %v",
+					org, recordSize, blockRecords, numRecords, devs, parts, err)
+				return false
+			}
+			count++
+		}
+		return count == numRecords
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSelfSchedClaimsComplete checks the SS invariant under random
+// framing (no-straddle framings only): workers claim every record
+// exactly once, regardless of worker count and compute skew.
+func TestQuickSelfSchedClaimsComplete(t *testing.T) {
+	check := func(n16 uint16, workers8, br8 uint8) bool {
+		numRecords := int64(n16%200) + 1
+		workers := int(workers8%6) + 1
+		blockRecords := int(br8%4) + 1
+
+		e := sim.NewEngine()
+		disks := make([]*device.Disk, 2)
+		for i := range disks {
+			disks[i] = device.New(device.Config{
+				Geometry: device.Geometry{BlockSize: 512, BlocksPerCyl: 16, Cylinders: 512},
+				Engine:   e,
+			})
+		}
+		store, err := blockio.NewDirect(disks)
+		if err != nil {
+			return false
+		}
+		vol := pfs.NewVolume(store)
+		f, err := vol.Create(pfs.Spec{
+			Name: "ss", Org: pfs.OrgSelfScheduled, RecordSize: 128,
+			BlockRecords: blockRecords, NumRecords: numRecords,
+		})
+		if err != nil {
+			return false
+		}
+		ok := true
+		e.Go("driver", func(p *sim.Proc) {
+			w, err := OpenWriter(f, Options{})
+			if err != nil {
+				ok = false
+				return
+			}
+			buf := make([]byte, 128)
+			for r := int64(0); r < numRecords; r++ {
+				workload.Record(buf, 5, r)
+				if _, err := w.WriteRecord(p, buf); err != nil {
+					ok = false
+					return
+				}
+			}
+			if err := w.Close(p); err != nil {
+				ok = false
+				return
+			}
+			ss, err := OpenSelfSched(f, SSRead, DefaultOptions())
+			if err != nil {
+				ok = false
+				return
+			}
+			seen := make(map[int64]int)
+			var g sim.Group
+			for wk := 0; wk < workers; wk++ {
+				wid := wk
+				g.Spawn(p.Engine(), "w", func(c *sim.Proc) {
+					dst := make([]byte, 128)
+					for {
+						rec, err := ss.ReadNext(c, dst)
+						if err != nil {
+							return
+						}
+						if workload.CheckRecord(dst, 5, rec) != nil {
+							ok = false
+							return
+						}
+						seen[rec]++
+						c.Sleep(time.Duration(sim.NewRNG(uint64(wid)).Intn(3)*1000 + 1))
+					}
+				})
+			}
+			g.Wait(p)
+			_ = ss.Close(p)
+			if int64(len(seen)) != numRecords {
+				ok = false
+			}
+			for _, n := range seen {
+				if n != 1 {
+					ok = false
+				}
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/buffer"
+	"repro/internal/pfs"
+	"repro/internal/records"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// StreamReader reads the records of a stream view (S, one PS partition,
+// or one IS stride class) in order, with multiple buffering and
+// read-ahead when IOProcs > 0. It is a single-process handle.
+type StreamReader struct {
+	f    *pfs.File
+	seq  blockSeq
+	opts Options
+
+	rd    *buffer.SeqReader
+	cur   []byte // current fs block buffer
+	curFS int64  // stream fs index of cur; -1 when none
+	j     int64  // paper-block cursor within the stream
+	i     int    // record cursor within the paper-block
+
+	recBuf  []byte
+	spanBuf []records.Span
+	closed  bool
+}
+
+// newStreamReader wires a SeqReader over the stream's fs blocks.
+func newStreamReader(f *pfs.File, seq blockSeq, opts Options) (*StreamReader, error) {
+	opts = opts.norm()
+	m := f.Mapper()
+	fsPer := m.FSPerBlock()
+	totalFS := seq.n * fsPer
+	fetch := func(ctx sim.Context, k int64, buf []byte) error {
+		logical := seq.pb(k/fsPer)*fsPer + k%fsPer
+		return f.Set().ReadBlock(ctx, logical, buf)
+	}
+	rd, err := buffer.NewSeqReader(fetch, m.FSBlockSize(), totalFS, opts.NBufs, opts.IOProcs)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamReader{
+		f:      f,
+		seq:    seq,
+		opts:   opts,
+		rd:     rd,
+		curFS:  -1,
+		recBuf: make([]byte, m.RecordSize()),
+	}, nil
+}
+
+// OpenReader opens the type-S (whole file, sequential) read view.
+func OpenReader(f *pfs.File, opts Options) (*StreamReader, error) {
+	return newStreamReader(f, wholeFileSeq(f), opts)
+}
+
+// OpenPartReader opens the type-PS read view of partition part.
+func OpenPartReader(f *pfs.File, part int, opts Options) (*StreamReader, error) {
+	seq, err := partSeq(f, part)
+	if err != nil {
+		return nil, err
+	}
+	return newStreamReader(f, seq, opts)
+}
+
+// OpenInterleavedReader opens the type-IS read view: the blocks
+// ≡ part (mod stride). For an IS-organized file stride is normally
+// f.Parts(), but any stride is legal (alternate views).
+func OpenInterleavedReader(f *pfs.File, part, stride int, opts Options) (*StreamReader, error) {
+	seq, err := interleavedSeq(f, part, stride)
+	if err != nil {
+		return nil, err
+	}
+	return newStreamReader(f, seq, opts)
+}
+
+// OpenBlockRangeReader opens a sequential read view over the contiguous
+// paper-block range [first, end) — an ad-hoc PS-style partition
+// independent of the file's own partition table (used by alternate
+// views, §5).
+func OpenBlockRangeReader(f *pfs.File, first, end int64, opts Options) (*StreamReader, error) {
+	if first < 0 || end < first || end > f.Mapper().NumBlocks() {
+		return nil, fmt.Errorf("core: block range [%d,%d) of %d", first, end, f.Mapper().NumBlocks())
+	}
+	seq := blockSeq{n: end - first, pb: func(j int64) int64 { return first + j }}
+	return newStreamReader(f, seq, opts)
+}
+
+// advanceTo makes cur the stream fs block k (consuming the underlying
+// sequential stream; k must be ≥ curFS).
+func (r *StreamReader) advanceTo(ctx sim.Context, k int64) error {
+	for r.curFS < k {
+		if r.cur != nil {
+			r.rd.Release(ctx, r.cur)
+			r.cur = nil
+		}
+		buf, idx, err := r.rd.Next(ctx)
+		if err != nil {
+			return err
+		}
+		r.cur = buf
+		r.curFS = idx
+	}
+	if r.curFS != k {
+		return fmt.Errorf("core: stream reader skipped past fs block %d (at %d)", k, r.curFS)
+	}
+	return nil
+}
+
+// ReadRecord returns the next record of the stream and its global record
+// index. The returned slice is valid until the next call. At the end of
+// the stream it returns io.EOF.
+func (r *StreamReader) ReadRecord(ctx sim.Context) ([]byte, int64, error) {
+	if r.closed {
+		return nil, 0, fmt.Errorf("core: reader closed")
+	}
+	m := r.f.Mapper()
+	for r.j < r.seq.n && r.i >= m.RecordsInBlock(r.seq.pb(r.j)) {
+		r.j++
+		r.i = 0
+	}
+	if r.j >= r.seq.n {
+		return nil, 0, io.EOF
+	}
+	block := r.seq.pb(r.j)
+	rec := block*int64(m.BlockRecords()) + int64(r.i)
+	fsPer := m.FSPerBlock()
+	blockFirstFS := block * fsPer
+	streamFirstFS := r.j * fsPer
+
+	r.spanBuf = m.AppendSpans(r.spanBuf[:0], rec)
+	got := 0
+	for _, sp := range r.spanBuf {
+		k := streamFirstFS + (sp.FSBlock - blockFirstFS)
+		if err := r.advanceTo(ctx, k); err != nil {
+			return nil, rec, err
+		}
+		copy(r.recBuf[got:], r.cur[sp.Off:sp.Off+sp.Len])
+		got += sp.Len
+	}
+	r.i++
+	r.opts.Trace.Add(trace.Event{
+		Time: ctx.Now(), Proc: r.opts.Proc, Op: trace.Read, Record: rec, Block: block,
+	})
+	return r.recBuf[:got], rec, nil
+}
+
+// Records reports how many records the stream view contains.
+func (r *StreamReader) Records() int64 {
+	m := r.f.Mapper()
+	var n int64
+	for j := int64(0); j < r.seq.n; j++ {
+		n += int64(m.RecordsInBlock(r.seq.pb(j)))
+	}
+	return n
+}
+
+// Close releases buffers and stops read-ahead.
+func (r *StreamReader) Close(ctx sim.Context) error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.cur != nil {
+		r.rd.Release(ctx, r.cur)
+		r.cur = nil
+	}
+	r.rd.Close(ctx)
+	return nil
+}
+
+// StreamWriter writes the records of a stream view in order, with
+// deferred writing when IOProcs > 0. It is a single-process handle.
+type StreamWriter struct {
+	f    *pfs.File
+	seq  blockSeq
+	opts Options
+
+	sw    *buffer.SeqWriter
+	cur   []byte
+	curFS int64 // stream fs index of cur; -1 none
+	j     int64
+	i     int
+
+	spanBuf []records.Span
+	closed  bool
+}
+
+// newStreamWriter wires a SeqWriter over the stream's fs blocks.
+func newStreamWriter(f *pfs.File, seq blockSeq, opts Options) (*StreamWriter, error) {
+	opts = opts.norm()
+	m := f.Mapper()
+	fsPer := m.FSPerBlock()
+	flush := func(ctx sim.Context, k int64, buf []byte) error {
+		logical := seq.pb(k/fsPer)*fsPer + k%fsPer
+		return f.Set().WriteBlock(ctx, logical, buf)
+	}
+	sw, err := buffer.NewSeqWriter(flush, m.FSBlockSize(), opts.NBufs, opts.IOProcs)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamWriter{f: f, seq: seq, opts: opts, sw: sw, curFS: -1}, nil
+}
+
+// OpenWriter opens the type-S (whole file, sequential) write view.
+func OpenWriter(f *pfs.File, opts Options) (*StreamWriter, error) {
+	return newStreamWriter(f, wholeFileSeq(f), opts)
+}
+
+// OpenPartWriter opens the type-PS write view of partition part.
+func OpenPartWriter(f *pfs.File, part int, opts Options) (*StreamWriter, error) {
+	seq, err := partSeq(f, part)
+	if err != nil {
+		return nil, err
+	}
+	return newStreamWriter(f, seq, opts)
+}
+
+// OpenInterleavedWriter opens the type-IS write view.
+func OpenInterleavedWriter(f *pfs.File, part, stride int, opts Options) (*StreamWriter, error) {
+	seq, err := interleavedSeq(f, part, stride)
+	if err != nil {
+		return nil, err
+	}
+	return newStreamWriter(f, seq, opts)
+}
+
+// advanceTo makes cur the stream fs block k, submitting completed blocks.
+func (w *StreamWriter) advanceTo(ctx sim.Context, k int64) error {
+	if w.curFS == k {
+		return nil
+	}
+	if w.cur != nil {
+		if err := w.sw.Submit(ctx, w.curFS, w.cur); err != nil {
+			return err
+		}
+		w.cur = nil
+	}
+	buf, err := w.sw.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	clear(buf)
+	w.cur = buf
+	w.curFS = k
+	return nil
+}
+
+// WriteRecord appends data (len must equal the record size) as the next
+// record of the stream, returning its global record index.
+func (w *StreamWriter) WriteRecord(ctx sim.Context, data []byte) (int64, error) {
+	if w.closed {
+		return 0, fmt.Errorf("core: writer closed")
+	}
+	m := w.f.Mapper()
+	if len(data) != m.RecordSize() {
+		return 0, fmt.Errorf("core: record is %d bytes, file records are %d", len(data), m.RecordSize())
+	}
+	for w.j < w.seq.n && w.i >= m.RecordsInBlock(w.seq.pb(w.j)) {
+		w.j++
+		w.i = 0
+	}
+	if w.j >= w.seq.n {
+		return 0, fmt.Errorf("core: stream full: %w", io.ErrShortWrite)
+	}
+	block := w.seq.pb(w.j)
+	rec := block*int64(m.BlockRecords()) + int64(w.i)
+	fsPer := m.FSPerBlock()
+	blockFirstFS := block * fsPer
+	streamFirstFS := w.j * fsPer
+
+	w.spanBuf = m.AppendSpans(w.spanBuf[:0], rec)
+	put := 0
+	for _, sp := range w.spanBuf {
+		k := streamFirstFS + (sp.FSBlock - blockFirstFS)
+		if err := w.advanceTo(ctx, k); err != nil {
+			return rec, err
+		}
+		copy(w.cur[sp.Off:sp.Off+sp.Len], data[put:])
+		put += sp.Len
+	}
+	w.i++
+	w.opts.Trace.Add(trace.Event{
+		Time: ctx.Now(), Proc: w.opts.Proc, Op: trace.Write, Record: rec, Block: block,
+	})
+	return rec, nil
+}
+
+// Close flushes the partial block and drains deferred writes.
+func (w *StreamWriter) Close(ctx sim.Context) error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.cur != nil {
+		if err := w.sw.Submit(ctx, w.curFS, w.cur); err != nil {
+			return err
+		}
+		w.cur = nil
+	}
+	return w.sw.Close(ctx)
+}

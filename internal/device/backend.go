@@ -1,0 +1,169 @@
+package device
+
+import (
+	"fmt"
+	"os"
+)
+
+// Backend stores a disk's pages. The default is an in-memory sparse map;
+// FileBackend keeps pages in a host file so simulated volumes can exceed
+// RAM and persist across processes.
+type Backend interface {
+	// ReadPage copies block's page into dst, reporting false if the
+	// block was never written (dst contents are then unspecified).
+	ReadPage(block int64, dst []byte) (bool, error)
+	// WritePage stores src as block's page.
+	WritePage(block int64, src []byte) error
+	// Erase discards all pages.
+	Erase() error
+	// Snapshot deep-copies all written pages.
+	Snapshot() (map[int64][]byte, error)
+	// Restore replaces contents with the snapshot.
+	Restore(map[int64][]byte) error
+	// Close releases backend resources.
+	Close() error
+}
+
+// memBackend is the default sparse in-memory store.
+type memBackend struct {
+	pages map[int64][]byte
+	bs    int
+}
+
+// newMemBackend builds an empty in-memory backend.
+func newMemBackend(blockSize int) *memBackend {
+	return &memBackend{pages: make(map[int64][]byte), bs: blockSize}
+}
+
+// ReadPage implements Backend.
+func (m *memBackend) ReadPage(block int64, dst []byte) (bool, error) {
+	pg, ok := m.pages[block]
+	if !ok {
+		return false, nil
+	}
+	copy(dst, pg)
+	return true, nil
+}
+
+// WritePage implements Backend.
+func (m *memBackend) WritePage(block int64, src []byte) error {
+	pg := m.pages[block]
+	if pg == nil {
+		pg = make([]byte, m.bs)
+		m.pages[block] = pg
+	}
+	copy(pg, src)
+	return nil
+}
+
+// Erase implements Backend.
+func (m *memBackend) Erase() error {
+	m.pages = make(map[int64][]byte)
+	return nil
+}
+
+// Snapshot implements Backend.
+func (m *memBackend) Snapshot() (map[int64][]byte, error) {
+	out := make(map[int64][]byte, len(m.pages))
+	for b, pg := range m.pages {
+		cp := make([]byte, len(pg))
+		copy(cp, pg)
+		out[b] = cp
+	}
+	return out, nil
+}
+
+// Restore implements Backend.
+func (m *memBackend) Restore(snap map[int64][]byte) error {
+	m.pages = make(map[int64][]byte, len(snap))
+	for b, pg := range snap {
+		cp := make([]byte, len(pg))
+		copy(cp, pg)
+		m.pages[b] = cp
+	}
+	return nil
+}
+
+// Close implements Backend.
+func (m *memBackend) Close() error { return nil }
+
+// FileBackend stores pages in a host file at block-aligned offsets
+// (sparse where the OS supports it). Written blocks are tracked in
+// memory so unwritten blocks still read as "absent".
+type FileBackend struct {
+	f       *os.File
+	bs      int
+	written map[int64]bool
+}
+
+// NewFileBackend creates (or truncates) the backing file at path.
+func NewFileBackend(path string, blockSize int) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("device: file backend: %w", err)
+	}
+	return &FileBackend{f: f, bs: blockSize, written: make(map[int64]bool)}, nil
+}
+
+// ReadPage implements Backend.
+func (fb *FileBackend) ReadPage(block int64, dst []byte) (bool, error) {
+	if !fb.written[block] {
+		return false, nil
+	}
+	if _, err := fb.f.ReadAt(dst[:fb.bs], block*int64(fb.bs)); err != nil {
+		return true, fmt.Errorf("device: file backend read block %d: %w", block, err)
+	}
+	return true, nil
+}
+
+// WritePage implements Backend.
+func (fb *FileBackend) WritePage(block int64, src []byte) error {
+	if _, err := fb.f.WriteAt(src[:fb.bs], block*int64(fb.bs)); err != nil {
+		return fmt.Errorf("device: file backend write block %d: %w", block, err)
+	}
+	fb.written[block] = true
+	return nil
+}
+
+// Erase implements Backend.
+func (fb *FileBackend) Erase() error {
+	if err := fb.f.Truncate(0); err != nil {
+		return err
+	}
+	fb.written = make(map[int64]bool)
+	return nil
+}
+
+// Snapshot implements Backend.
+func (fb *FileBackend) Snapshot() (map[int64][]byte, error) {
+	out := make(map[int64][]byte, len(fb.written))
+	for b := range fb.written {
+		pg := make([]byte, fb.bs)
+		if _, err := fb.f.ReadAt(pg, b*int64(fb.bs)); err != nil {
+			return nil, err
+		}
+		out[b] = pg
+	}
+	return out, nil
+}
+
+// Restore implements Backend.
+func (fb *FileBackend) Restore(snap map[int64][]byte) error {
+	if err := fb.Erase(); err != nil {
+		return err
+	}
+	for b, pg := range snap {
+		if err := fb.WritePage(b, pg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Backend.
+func (fb *FileBackend) Close() error { return fb.f.Close() }
+
+var (
+	_ Backend = (*memBackend)(nil)
+	_ Backend = (*FileBackend)(nil)
+)

@@ -1,0 +1,531 @@
+// Package device models direct-access storage devices (disks) of the kind
+// the paper assumes: late-1980s Winchester drives with seek, rotational
+// and transfer delays, accessed through a per-device request queue.
+//
+// A Disk stores data through a pluggable Backend — sparse in-memory
+// pages by default, or a host file (FileBackend) for volumes larger than
+// RAM — and, when attached to a sim.Engine, charges virtual time for
+// every request using a parametric service-time model:
+//
+//	service = overhead + seek(|head - cylinder|) + rotational latency + bytes/rate
+//
+// Requests from concurrent processes queue at the device and are served
+// one at a time under a configurable discipline (FCFS or SCAN), which is
+// what makes the paper's seek-interference and bandwidth-aggregation
+// effects emerge naturally. Without an engine the same calls complete
+// immediately but still maintain all statistics, so the library is usable
+// as an ordinary in-memory block store.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Errors reported by device operations.
+var (
+	// ErrFailed is returned for any access to a failed device.
+	ErrFailed = errors.New("device: drive failed")
+	// ErrOutOfRange is returned when a request exceeds the device capacity.
+	ErrOutOfRange = errors.New("device: block out of range")
+)
+
+// Geometry fixes the data layout of a disk.
+type Geometry struct {
+	BlockSize    int // bytes per block
+	BlocksPerCyl int // blocks per cylinder
+	Cylinders    int
+}
+
+// Blocks reports the total number of blocks on the device.
+func (g Geometry) Blocks() int64 {
+	return int64(g.BlocksPerCyl) * int64(g.Cylinders)
+}
+
+// Capacity reports the device size in bytes.
+func (g Geometry) Capacity() int64 {
+	return g.Blocks() * int64(g.BlockSize)
+}
+
+// cylinderOf maps a block number to its cylinder.
+func (g Geometry) cylinderOf(block int64) int {
+	return int(block / int64(g.BlocksPerCyl))
+}
+
+// Timing fixes the service-time model of a disk.
+type Timing struct {
+	SeekMin        time.Duration // single-cylinder (minimum nonzero) seek
+	SeekMax        time.Duration // full-stroke seek
+	LinearSeek     bool          // if true seek grows linearly with distance; default √distance
+	RotationPeriod time.Duration // one revolution; average latency is half
+	TransferRate   float64       // bytes per second
+	Overhead       time.Duration // fixed controller overhead per request
+}
+
+// DefaultGeometry1989 is a plausible 1989 Winchester drive layout:
+// 4 KiB blocks, 64 blocks per cylinder, 900 cylinders (~225 MB).
+func DefaultGeometry1989() Geometry {
+	return Geometry{BlockSize: 4096, BlocksPerCyl: 64, Cylinders: 900}
+}
+
+// DefaultTiming1989 models the drives the paper cites (≈16 ms average
+// seek, 3600 RPM, ~1.5 MB/s transfer).
+func DefaultTiming1989() Timing {
+	return Timing{
+		SeekMin:        3 * time.Millisecond,
+		SeekMax:        30 * time.Millisecond,
+		RotationPeriod: 16667 * time.Microsecond, // 3600 RPM
+		TransferRate:   1.5e6,
+		Overhead:       500 * time.Microsecond,
+	}
+}
+
+// Sched selects the request-scheduling discipline for a disk queue.
+type Sched int
+
+const (
+	// FCFS serves requests in arrival order.
+	FCFS Sched = iota
+	// SCAN serves requests in elevator order (nearest in the current
+	// head direction, reversing at the extremes).
+	SCAN
+)
+
+// String implements fmt.Stringer.
+func (s Sched) String() string {
+	switch s {
+	case FCFS:
+		return "FCFS"
+	case SCAN:
+		return "SCAN"
+	default:
+		return fmt.Sprintf("Sched(%d)", int(s))
+	}
+}
+
+// Stats accumulates per-device counters. All times are virtual when the
+// disk is attached to an engine.
+type Stats struct {
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+	Seeks        int64         // requests that moved the head
+	SeekCyls     int64         // total cylinders traveled
+	BusyTime     time.Duration // time the device spent servicing requests
+	LatencySum   time.Duration // queue wait + service, summed over requests
+	LatencyMax   time.Duration
+	QueuePeak    int // deepest queue observed (including in-service request)
+}
+
+// Requests reports the total number of completed requests.
+func (s Stats) Requests() int64 { return s.Reads + s.Writes }
+
+// Bytes reports total bytes transferred.
+func (s Stats) Bytes() int64 { return s.BytesRead + s.BytesWritten }
+
+// request is a queued disk operation.
+type request struct {
+	proc  *sim.Proc
+	cyl   int
+	bytes int
+	enq   time.Duration
+	done  time.Duration // completion time, set at dispatch
+}
+
+// Disk is a simulated direct-access storage device. Disk methods are not
+// safe for use from ordinary concurrent goroutines; under an engine,
+// strict alternation makes them safe from any managed process, which is
+// the intended use.
+type Disk struct {
+	name   string
+	geom   Geometry
+	timing Timing
+	sched  Sched
+	eng    *sim.Engine // nil: untimed
+
+	backend Backend // page storage (in-memory by default)
+	scratch []byte  // one-block scratch page for partial transfers
+	head    int     // current cylinder
+	scanUp  bool    // SCAN direction
+	busy    bool
+	queue   []*request
+	failed  bool
+
+	stats Stats
+}
+
+// Config carries the constructor parameters for a Disk.
+type Config struct {
+	Name     string
+	Geometry Geometry
+	Timing   Timing
+	Sched    Sched
+	Engine   *sim.Engine // nil for untimed operation
+	// Backend optionally overrides the page store (e.g. a FileBackend);
+	// nil selects the in-memory sparse store.
+	Backend Backend
+}
+
+// New creates a disk. Zero-valued geometry or timing fields are filled
+// from the 1989 defaults.
+func New(cfg Config) *Disk {
+	if cfg.Geometry == (Geometry{}) {
+		cfg.Geometry = DefaultGeometry1989()
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = DefaultTiming1989()
+	}
+	if cfg.Name == "" {
+		cfg.Name = "disk"
+	}
+	backend := cfg.Backend
+	if backend == nil {
+		backend = newMemBackend(cfg.Geometry.BlockSize)
+	}
+	return &Disk{
+		name:    cfg.Name,
+		geom:    cfg.Geometry,
+		timing:  cfg.Timing,
+		sched:   cfg.Sched,
+		eng:     cfg.Engine,
+		backend: backend,
+		scratch: make([]byte, cfg.Geometry.BlockSize),
+		scanUp:  true,
+	}
+}
+
+// Close releases the page backend (required for file-backed disks).
+func (d *Disk) Close() error { return d.backend.Close() }
+
+// Name reports the device name.
+func (d *Disk) Name() string { return d.name }
+
+// Geometry reports the device geometry.
+func (d *Disk) Geometry() Geometry { return d.geom }
+
+// Stats returns a snapshot of the device counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the counters (the head position is kept).
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// Failed reports whether the device is in the failed state.
+func (d *Disk) Failed() bool { return d.failed }
+
+// Fail marks the device failed: queued and future requests return
+// ErrFailed (after their modeled service completes, as a real timeout
+// would).
+func (d *Disk) Fail() { d.failed = true }
+
+// Repair clears the failed state. The stored data is retained; restoring
+// consistent contents is the caller's (reliability layer's) job.
+func (d *Disk) Repair() { d.failed = false }
+
+// Erase discards all stored data, as a replacement drive would arrive
+// blank.
+func (d *Disk) Erase() error { return d.backend.Erase() }
+
+// Snapshot deep-copies the stored data — a point-in-time backup of this
+// drive (used by the reliability experiments to demonstrate the §5
+// rollback-consistency problem).
+func (d *Disk) Snapshot() (map[int64][]byte, error) { return d.backend.Snapshot() }
+
+// Restore replaces the stored data with a snapshot (rolling the drive
+// back to that point in time).
+func (d *Disk) Restore(snap map[int64][]byte) error { return d.backend.Restore(snap) }
+
+// seekTime models head movement across dist cylinders.
+func (d *Disk) seekTime(dist int) time.Duration {
+	if dist <= 0 {
+		return 0
+	}
+	maxDist := d.geom.Cylinders - 1
+	if maxDist < 1 {
+		maxDist = 1
+	}
+	span := d.timing.SeekMax - d.timing.SeekMin
+	var frac float64
+	if d.timing.LinearSeek {
+		frac = float64(dist) / float64(maxDist)
+	} else {
+		frac = math.Sqrt(float64(dist) / float64(maxDist))
+	}
+	return d.timing.SeekMin + time.Duration(float64(span)*frac)
+}
+
+// serviceTime models one request: overhead + seek + rotation + transfer.
+func (d *Disk) serviceTime(fromCyl, toCyl, bytes int) time.Duration {
+	t := d.timing.Overhead
+	if dist := toCyl - fromCyl; dist != 0 {
+		if dist < 0 {
+			dist = -dist
+		}
+		t += d.seekTime(dist)
+	}
+	t += d.timing.RotationPeriod / 2
+	if d.timing.TransferRate > 0 {
+		t += time.Duration(float64(bytes) / d.timing.TransferRate * float64(time.Second))
+	}
+	return t
+}
+
+// selectNext removes and returns the next request per the discipline.
+func (d *Disk) selectNext() *request {
+	best := 0
+	switch d.sched {
+	case SCAN:
+		// Nearest request at or beyond the head in the travel
+		// direction; if none, reverse.
+		for pass := 0; pass < 2; pass++ {
+			bestDist := math.MaxInt
+			bestIdx := -1
+			for i, r := range d.queue {
+				var dist int
+				if d.scanUp {
+					dist = r.cyl - d.head
+				} else {
+					dist = d.head - r.cyl
+				}
+				if dist >= 0 && dist < bestDist {
+					bestDist, bestIdx = dist, i
+				}
+			}
+			if bestIdx >= 0 {
+				best = bestIdx
+				break
+			}
+			d.scanUp = !d.scanUp
+		}
+	default: // FCFS
+		best = 0
+	}
+	r := d.queue[best]
+	d.queue = append(d.queue[:best], d.queue[best+1:]...)
+	return r
+}
+
+// startService moves the head to the request and charges its service
+// time, recording the completion instant in r.done.
+func (d *Disk) startService(r *request, now time.Duration) {
+	svc := d.serviceTime(d.head, r.cyl, r.bytes)
+	if r.cyl != d.head {
+		d.stats.Seeks++
+		dist := r.cyl - d.head
+		if dist < 0 {
+			dist = -dist
+		}
+		d.stats.SeekCyls += int64(dist)
+	}
+	d.head = r.cyl
+	d.stats.BusyTime += svc
+	r.done = now + svc
+}
+
+// dispatch starts service of the next queued request at virtual time now,
+// waking its (parked) owner at the completion instant. Caller must have
+// checked the queue is non-empty.
+func (d *Disk) dispatch(now time.Duration) {
+	r := d.selectNext()
+	d.startService(r, now)
+	d.eng.WakeAt(r.proc, r.done)
+}
+
+// access performs the timing model around fn, which does the actual
+// data transfer. firstBlock fixes the target cylinder; bytes the
+// transfer size.
+func (d *Disk) access(ctx sim.Context, firstBlock int64, bytes int, fn func() error) error {
+	if firstBlock < 0 || firstBlock >= d.geom.Blocks() {
+		return fmt.Errorf("%w: block %d of %d on %s", ErrOutOfRange, firstBlock, d.geom.Blocks(), d.name)
+	}
+	p, timed := ctx.(*sim.Proc)
+	if !timed || d.eng == nil {
+		if d.failed {
+			return fmt.Errorf("%w: %s", ErrFailed, d.name)
+		}
+		cyl := d.geom.cylinderOf(firstBlock)
+		if cyl != d.head {
+			d.stats.Seeks++
+			dist := cyl - d.head
+			if dist < 0 {
+				dist = -dist
+			}
+			d.stats.SeekCyls += int64(dist)
+			d.head = cyl
+		}
+		return fn()
+	}
+
+	r := &request{proc: p, cyl: d.geom.cylinderOf(firstBlock), bytes: bytes, enq: p.Now()}
+	if d.busy {
+		// Queue behind the in-service request; a completing process
+		// will dispatch us and wake us at our completion time.
+		d.queue = append(d.queue, r)
+		if depth := len(d.queue) + 1; depth > d.stats.QueuePeak {
+			d.stats.QueuePeak = depth
+		}
+		p.Park()
+	} else {
+		// Idle disk: serve ourselves immediately.
+		d.busy = true
+		if d.stats.QueuePeak < 1 {
+			d.stats.QueuePeak = 1
+		}
+		d.startService(r, p.Now())
+		p.SleepUntil(r.done)
+	}
+
+	lat := p.Now() - r.enq
+	d.stats.LatencySum += lat
+	if lat > d.stats.LatencyMax {
+		d.stats.LatencyMax = lat
+	}
+
+	var err error
+	if d.failed {
+		err = fmt.Errorf("%w: %s", ErrFailed, d.name)
+	} else {
+		err = fn()
+	}
+	// Chain the next request, or go idle.
+	if len(d.queue) > 0 {
+		d.dispatch(p.Now())
+	} else {
+		d.busy = false
+	}
+	return err
+}
+
+// ReadBlock reads one whole block into dst (len(dst) must equal the block
+// size). Unwritten blocks read as zeros.
+func (d *Disk) ReadBlock(ctx sim.Context, block int64, dst []byte) error {
+	if len(dst) != d.geom.BlockSize {
+		return fmt.Errorf("device: ReadBlock dst len %d != block size %d", len(dst), d.geom.BlockSize)
+	}
+	return d.access(ctx, block, len(dst), func() error {
+		found, err := d.backend.ReadPage(block, dst)
+		if err != nil {
+			return err
+		}
+		if !found {
+			clear(dst)
+		}
+		d.stats.Reads++
+		d.stats.BytesRead += int64(len(dst))
+		return nil
+	})
+}
+
+// WriteBlock writes one whole block from src (len(src) must equal the
+// block size).
+func (d *Disk) WriteBlock(ctx sim.Context, block int64, src []byte) error {
+	if len(src) != d.geom.BlockSize {
+		return fmt.Errorf("device: WriteBlock src len %d != block size %d", len(src), d.geom.BlockSize)
+	}
+	return d.access(ctx, block, len(src), func() error {
+		if err := d.backend.WritePage(block, src); err != nil {
+			return err
+		}
+		d.stats.Writes++
+		d.stats.BytesWritten += int64(len(src))
+		return nil
+	})
+}
+
+// ReadAt reads len(dst) bytes starting at byte offset off, possibly
+// spanning blocks; it is modeled as a single request targeting the first
+// block's cylinder (contiguous blocks transfer at the streaming rate).
+func (d *Disk) ReadAt(ctx sim.Context, off int64, dst []byte) error {
+	if off < 0 || off+int64(len(dst)) > d.geom.Capacity() {
+		return fmt.Errorf("%w: [%d,%d) of %d bytes on %s", ErrOutOfRange, off, off+int64(len(dst)), d.geom.Capacity(), d.name)
+	}
+	first := off / int64(d.geom.BlockSize)
+	return d.access(ctx, first, len(dst), func() error {
+		if err := d.copyOut(off, dst); err != nil {
+			return err
+		}
+		d.stats.Reads++
+		d.stats.BytesRead += int64(len(dst))
+		return nil
+	})
+}
+
+// WriteAt writes len(src) bytes starting at byte offset off, modeled as a
+// single request like ReadAt.
+func (d *Disk) WriteAt(ctx sim.Context, off int64, src []byte) error {
+	if off < 0 || off+int64(len(src)) > d.geom.Capacity() {
+		return fmt.Errorf("%w: [%d,%d) of %d bytes on %s", ErrOutOfRange, off, off+int64(len(src)), d.geom.Capacity(), d.name)
+	}
+	first := off / int64(d.geom.BlockSize)
+	return d.access(ctx, first, len(src), func() error {
+		if err := d.copyIn(off, src); err != nil {
+			return err
+		}
+		d.stats.Writes++
+		d.stats.BytesWritten += int64(len(src))
+		return nil
+	})
+}
+
+// copyOut copies stored bytes [off, off+len(dst)) into dst.
+func (d *Disk) copyOut(off int64, dst []byte) error {
+	bs := int64(d.geom.BlockSize)
+	for len(dst) > 0 {
+		block := off / bs
+		in := off % bs
+		n := bs - in
+		if n > int64(len(dst)) {
+			n = int64(len(dst))
+		}
+		found, err := d.backend.ReadPage(block, d.scratch)
+		if err != nil {
+			return err
+		}
+		if found {
+			copy(dst[:n], d.scratch[in:in+n])
+		} else {
+			clear(dst[:n])
+		}
+		dst = dst[n:]
+		off += n
+	}
+	return nil
+}
+
+// copyIn copies src into stored bytes starting at off (read-modify-write
+// for partial pages).
+func (d *Disk) copyIn(off int64, src []byte) error {
+	bs := int64(d.geom.BlockSize)
+	for len(src) > 0 {
+		block := off / bs
+		in := off % bs
+		n := bs - in
+		if n > int64(len(src)) {
+			n = int64(len(src))
+		}
+		if in == 0 && n == bs {
+			if err := d.backend.WritePage(block, src[:n]); err != nil {
+				return err
+			}
+		} else {
+			found, err := d.backend.ReadPage(block, d.scratch)
+			if err != nil {
+				return err
+			}
+			if !found {
+				clear(d.scratch)
+			}
+			copy(d.scratch[in:in+n], src[:n])
+			if err := d.backend.WritePage(block, d.scratch); err != nil {
+				return err
+			}
+		}
+		src = src[n:]
+		off += n
+	}
+	return nil
+}

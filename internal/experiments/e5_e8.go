@@ -1,0 +1,492 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pfs"
+	"repro/internal/reliability"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/stripe"
+	"repro/internal/workload"
+)
+
+// E5Decluster reproduces the Livny et al. comparison the paper cites:
+// "by splitting blocks across multiple drives rather than allocating
+// whole blocks to individual drives, contention problems caused by
+// non-uniform access patterns are reduced". Whole blocks live on single
+// drives (round-robin); declustered blocks are split into one chunk per
+// drive, accessed as a synchronized gang (Kim's interleaving).
+func E5Decluster() (*Result, error) {
+	const blockBytes = 65536 // one database block (transfer-dominated)
+	const nBlocks = 64
+	const accesses = 48 // per worker
+	const workers = 8
+	table := stats.NewTable("E5: direct-access database blocks (64 KiB), 8 workers, 48 accesses each",
+		"devices", "pattern", "placement", "elapsed", "blocks/s", "mean response", "max drive busy share")
+	table.Note = "whole = block on one drive; declustered = block split across all drives (synchronized gang read)"
+	metrics := map[string]float64{}
+
+	run := func(devs int, skew float64, declustered bool) (time.Duration, time.Duration, float64, error) {
+		e := sim.NewEngine()
+		disks := make([]*device.Disk, devs)
+		for i := range disks {
+			disks[i] = device.New(device.Config{
+				Name: fmt.Sprintf("d%d", i), Geometry: geom1989(), Engine: e,
+			})
+		}
+		var elapsed time.Duration
+		var respSum time.Duration
+		_, err := runMain(e, func(p *sim.Proc) error {
+			start := p.Now()
+			var g sim.Group
+			for w := 0; w < workers; w++ {
+				seed := uint64(1000 + w)
+				g.Spawn(p.Engine(), "w", func(c *sim.Proc) {
+					var pat *workload.AccessPattern
+					if skew > 0 {
+						pat = workload.NewZipfAccess(seed, nBlocks, skew)
+					} else {
+						pat = workload.NewUniformAccess(seed, nBlocks)
+					}
+					buf := make([]byte, blockBytes)
+					for i := 0; i < accesses; i++ {
+						b := pat.Next()
+						t0 := c.Now()
+						if declustered {
+							// Synchronized gang read: one chunk per drive.
+							chunk := blockBytes / devs
+							var ior sim.Group
+							for d := 1; d < devs; d++ {
+								d := d
+								ior.Spawn(c.Engine(), "gang", func(gc *sim.Proc) {
+									_ = disks[d].ReadAt(gc, b*int64(chunk), buf[d*chunk:(d+1)*chunk])
+								})
+							}
+							_ = disks[0].ReadAt(c, b*int64(chunk), buf[:chunk])
+							ior.Wait(c)
+						} else {
+							drive := int(b % int64(devs))
+							off := (b / int64(devs)) * int64(blockBytes)
+							_ = disks[drive].ReadAt(c, off, buf)
+						}
+						respSum += c.Now() - t0
+					}
+				})
+			}
+			g.Wait(p)
+			elapsed = p.Now() - start
+			return nil
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var total, max time.Duration
+		for _, d := range disks {
+			bt := d.Stats().BusyTime
+			total += bt
+			if bt > max {
+				max = bt
+			}
+		}
+		share := 0.0
+		if total > 0 {
+			share = float64(max) / float64(total) * float64(devs)
+		}
+		meanResp := respSum / time.Duration(workers*accesses)
+		return elapsed, meanResp, share, nil
+	}
+
+	for _, devs := range []int{4, 8} {
+		for _, pat := range []struct {
+			name string
+			skew float64
+		}{{"uniform", 0}, {"zipf(2.0)", 2.0}} {
+			for _, decl := range []bool{false, true} {
+				name := "whole"
+				if decl {
+					name = "declustered"
+				}
+				elapsed, resp, share, err := run(devs, pat.skew, decl)
+				if err != nil {
+					return nil, err
+				}
+				rate := float64(workers*accesses) / elapsed.Seconds()
+				table.AddRow(devs, pat.name, name, elapsed, rate, resp, share)
+				metrics[fmt.Sprintf("s_d%d_%s_%s", devs, pat.name, name)] = elapsed.Seconds()
+				metrics[fmt.Sprintf("resp_ms_d%d_%s_%s", devs, pat.name, name)] = float64(resp) / 1e6
+			}
+		}
+	}
+	return &Result{ID: "e5", Title: Title("e5"), Tables: []*stats.Table{table}, Metrics: metrics}, nil
+}
+
+// E6Buffering reproduces the §4 buffering claims: "buffering overheads
+// can be a significant factor in limiting speedups" and "reading ahead
+// and deferred writing can be used to overlap I/O operations with
+// computation".
+func E6Buffering() (*Result, error) {
+	const records = 256
+	const recordSize = 4096
+	const devs = 4
+	compute := 6 * time.Millisecond // comparable to one block service
+	table := stats.NewTable("E6: type-S scan with 6 ms compute per record, 4 striped devices",
+		"mode", "buffers", "I/O procs", "elapsed", "vs unbuffered")
+	table.Note = "unbuffered = synchronous fetch per record; multiple buffering overlaps transfers with compute"
+	metrics := map[string]float64{}
+
+	run := func(nbufs, ioprocs int, write bool) (time.Duration, error) {
+		e := sim.NewEngine()
+		_, vol, err := array(e, devs, device.FCFS)
+		if err != nil {
+			return 0, err
+		}
+		f, err := vol.Create(pfs.Spec{
+			Name: "s", Org: pfs.OrgSequential, RecordSize: recordSize,
+			BlockRecords: 1, NumRecords: records, StripeUnitFS: 1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		var elapsed time.Duration
+		_, err = runMain(e, func(p *sim.Proc) error {
+			buf := make([]byte, recordSize)
+			if !write {
+				// Pre-fill for the read scan.
+				w, err := core.OpenWriter(f, core.Options{NBufs: 4, IOProcs: 2})
+				if err != nil {
+					return err
+				}
+				for r := int64(0); r < records; r++ {
+					if _, err := w.WriteRecord(p, buf); err != nil {
+						return err
+					}
+				}
+				if err := w.Close(p); err != nil {
+					return err
+				}
+			}
+			start := p.Now()
+			opts := core.Options{NBufs: nbufs, IOProcs: ioprocs}
+			if write {
+				w, err := core.OpenWriter(f, opts)
+				if err != nil {
+					return err
+				}
+				for r := int64(0); r < records; r++ {
+					p.Sleep(compute)
+					if _, err := w.WriteRecord(p, buf); err != nil {
+						return err
+					}
+				}
+				if err := w.Close(p); err != nil {
+					return err
+				}
+			} else {
+				rd, err := core.OpenReader(f, opts)
+				if err != nil {
+					return err
+				}
+				for {
+					if _, _, err := rd.ReadRecord(p); err != nil {
+						if err == io.EOF {
+							break
+						}
+						return err
+					}
+					p.Sleep(compute)
+				}
+				if err := rd.Close(p); err != nil {
+					return err
+				}
+			}
+			elapsed = p.Now() - start
+			return nil
+		})
+		return elapsed, err
+	}
+
+	type cfg struct {
+		label   string
+		nbufs   int
+		ioprocs int
+		write   bool
+	}
+	cases := []cfg{
+		{"read, unbuffered", 1, 0, false},
+		{"read, single buffer", 1, 1, false},
+		{"read, double buffer", 2, 1, false},
+		{"read, 4 buffers", 4, 2, false},
+		{"read, 8 buffers", 8, 4, false},
+		{"write, synchronous", 1, 0, true},
+		{"write, deferred x2", 2, 1, true},
+		{"write, deferred x4", 4, 2, true},
+	}
+	var baseRead, baseWrite time.Duration
+	for _, c := range cases {
+		elapsed, err := run(c.nbufs, c.ioprocs, c.write)
+		if err != nil {
+			return nil, err
+		}
+		if c.label == "read, unbuffered" {
+			baseRead = elapsed
+		}
+		if c.label == "write, synchronous" {
+			baseWrite = elapsed
+		}
+		base := baseRead
+		if c.write {
+			base = baseWrite
+		}
+		table.AddRow(c.label, c.nbufs, c.ioprocs, elapsed, stats.Speedup(base, elapsed))
+		metrics[c.label] = elapsed.Seconds()
+	}
+	return &Result{ID: "e6", Title: Title("e6"), Tables: []*stats.Table{table}, Metrics: metrics}, nil
+}
+
+// E7GlobalView measures the §4 warnings about reading parallel files
+// through the global (sequential) view: striped S files parallelize,
+// PS files are serial ("all of the data would have to be read from the
+// first disk, followed by ... the second"), and IS files degrade when
+// the block size approaches the buffer space.
+func E7GlobalView() (*Result, error) {
+	const recordSize = 4096
+	const totalRecords = 512
+	const devs = 4
+	table := stats.NewTable("E7: single-process global-view scan of a 2 MiB file on 4 devices",
+		"written as", "paper-block (fs blocks)", "buffers", "elapsed", "MB/s")
+	table.Note = "scan uses 8 buffers / 4 I/O procs unless noted; striped-S sets the parallel ceiling"
+	metrics := map[string]float64{}
+
+	type cfg struct {
+		label   string
+		spec    pfs.Spec
+		nbufs   int
+		ioprocs int
+	}
+	cases := []cfg{
+		{
+			label: "S striped (unit 1)",
+			spec: pfs.Spec{Name: "s", Org: pfs.OrgSequential, RecordSize: recordSize,
+				BlockRecords: 1, NumRecords: totalRecords, StripeUnitFS: 1},
+			nbufs: 8, ioprocs: 4,
+		},
+		{
+			label: "PS (partition per device)",
+			spec: pfs.Spec{Name: "ps", Org: pfs.OrgPartitioned, RecordSize: recordSize,
+				BlockRecords: 1, NumRecords: totalRecords, Parts: devs},
+			nbufs: 8, ioprocs: 4,
+		},
+		{
+			label: "IS (1-block groups)",
+			spec: pfs.Spec{Name: "is", Org: pfs.OrgInterleaved, RecordSize: recordSize,
+				BlockRecords: 1, NumRecords: totalRecords, Parts: devs},
+			nbufs: 8, ioprocs: 4,
+		},
+		{
+			label: "IS (8-block groups, buffers >= group)",
+			spec: pfs.Spec{Name: "isbig", Org: pfs.OrgInterleaved, RecordSize: recordSize,
+				BlockRecords: 8, NumRecords: totalRecords, Parts: devs},
+			nbufs: 24, ioprocs: 24,
+		},
+		{
+			label: "IS (8-block groups, buffers < group)",
+			spec: pfs.Spec{Name: "issmall", Org: pfs.OrgInterleaved, RecordSize: recordSize,
+				BlockRecords: 8, NumRecords: totalRecords, Parts: devs},
+			nbufs: 4, ioprocs: 4,
+		},
+	}
+
+	for _, c := range cases {
+		e := sim.NewEngine()
+		_, vol, err := array(e, devs, device.FCFS)
+		if err != nil {
+			return nil, err
+		}
+		f, err := vol.Create(c.spec)
+		if err != nil {
+			return nil, err
+		}
+		var elapsed time.Duration
+		if _, err := runMain(e, func(p *sim.Proc) error {
+			w, err := core.OpenWriter(f, core.Options{NBufs: 8, IOProcs: 4})
+			if err != nil {
+				return err
+			}
+			buf := make([]byte, recordSize)
+			for r := int64(0); r < totalRecords; r++ {
+				if _, err := w.WriteRecord(p, buf); err != nil {
+					return err
+				}
+			}
+			if err := w.Close(p); err != nil {
+				return err
+			}
+			start := p.Now()
+			rd, err := core.OpenReader(f, core.Options{NBufs: c.nbufs, IOProcs: c.ioprocs})
+			if err != nil {
+				return err
+			}
+			for {
+				if _, _, err := rd.ReadRecord(p); err != nil {
+					if err == io.EOF {
+						break
+					}
+					return err
+				}
+			}
+			if err := rd.Close(p); err != nil {
+				return err
+			}
+			elapsed = p.Now() - start
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		bytes := int64(totalRecords) * recordSize
+		fsPer := f.Mapper().FSPerBlock()
+		table.AddRow(c.label, fsPer, c.nbufs, elapsed, stats.MBps(bytes, elapsed))
+		metrics[c.label] = stats.MBps(bytes, elapsed)
+	}
+	return &Result{ID: "e7", Title: Title("e7"), Tables: []*stats.Table{table}, Metrics: metrics}, nil
+}
+
+// E8Reliability reproduces the §5 analysis: the MTBF table (including
+// the paper's 10-device and 100-device numbers), Monte-Carlo loss rates
+// with and without redundancy, and measured inject/recover scenarios on
+// parity and shadowed stores.
+func E8Reliability() (*Result, error) {
+	mtbfTable := stats.NewTable("E8a: system MTBF, 30,000 h drives (§5 arithmetic)",
+		"devices", "system MTBF", "failures/year", "paper says")
+	paperNote := map[int]string{
+		10:  "fails every 3000 hours, about 3 times per year",
+		100: "more than one failure every two weeks",
+	}
+	metrics := map[string]float64{}
+	for _, n := range []int{1, 10, 50, 100} {
+		m := reliability.SystemMTBF(reliability.DeviceMTBF1989, n)
+		note := ""
+		if s, ok := paperNote[n]; ok {
+			note = s
+		}
+		mtbfTable.AddRow(n, m, reliability.FailuresPerYear(m), note)
+		metrics[fmt.Sprintf("mtbf_h_n%d", n)] = m.Hours()
+	}
+
+	campTable := stats.NewTable("E8b: Monte-Carlo data-loss probability, 3000 h mission, 24 h repair, 800 missions",
+		"devices", "organization", "drives used", "loss probability", "analytic MTTF (hours)")
+	mttr := 24 * reliability.Hours
+	mission := 3000 * reliability.Hours
+	for _, n := range []int{10, 100} {
+		plain := reliability.Campaign(sim.NewRNG(42), 800, n, 1, 0, reliability.DeviceMTBF1989, mttr, mission)
+		parity := reliability.Campaign(sim.NewRNG(42), 800, n+1, 1, 1, reliability.DeviceMTBF1989, mttr, mission)
+		shadow := reliability.Campaign(sim.NewRNG(42), 800, 2*n, n, 1, reliability.DeviceMTBF1989, mttr, mission)
+		campTable.AddRow(n, "plain", n, plain.LossRate(),
+			reliability.SystemMTBF(reliability.DeviceMTBF1989, n).Hours())
+		campTable.AddRow(n, "parity (striped only, §5)", n+1, parity.LossRate(),
+			reliability.MTTFSingleFaultHours(reliability.DeviceMTBF1989, mttr, n+1))
+		campTable.AddRow(n, "shadowed pairs (2x cost)", 2*n, shadow.LossRate(),
+			reliability.MTTFSingleFaultHours(reliability.DeviceMTBF1989, mttr, 2)/float64(n))
+		metrics[fmt.Sprintf("loss_plain_n%d", n)] = plain.LossRate()
+		metrics[fmt.Sprintf("loss_parity_n%d", n)] = parity.LossRate()
+		metrics[fmt.Sprintf("loss_shadow_n%d", n)] = shadow.LossRate()
+	}
+
+	// Measured inject/recover scenarios (virtual time).
+	scenTable := stats.NewTable("E8c: measured failure scenarios on a 96-block file",
+		"store", "scenario", "rebuild time", "data intact")
+	geom := device.Geometry{BlockSize: 4096, BlocksPerCyl: 16, Cylinders: 64}
+	{
+		e := sim.NewEngine()
+		disks := make([]*device.Disk, 5)
+		for i := range disks {
+			disks[i] = device.New(device.Config{Geometry: geom, Engine: e})
+		}
+		par, err := stripe.NewParity(disks, true)
+		if err != nil {
+			return nil, err
+		}
+		vol := pfs.NewVolume(par)
+		f, err := vol.Create(pfs.Spec{Name: "data", RecordSize: 4096, NumRecords: 96})
+		if err != nil {
+			return nil, err
+		}
+		var rebuild time.Duration
+		if _, err := runMain(e, func(p *sim.Proc) error {
+			var serr error
+			rebuild, serr = reliability.ParityScenario(p, par, f, 2, 0x1)
+			return serr
+		}); err != nil {
+			return nil, err
+		}
+		scenTable.AddRow("parity (4+1, rotated)", "fail drive, degraded reads, rebuild", rebuild, "yes")
+		metrics["parity_rebuild_s"] = rebuild.Seconds()
+	}
+	{
+		e := sim.NewEngine()
+		mk := func() []*device.Disk {
+			ds := make([]*device.Disk, 2)
+			for i := range ds {
+				ds[i] = device.New(device.Config{Geometry: geom, Engine: e})
+			}
+			return ds
+		}
+		mir, err := stripe.NewMirror(mk(), mk())
+		if err != nil {
+			return nil, err
+		}
+		vol := pfs.NewVolume(mir)
+		f, err := vol.Create(pfs.Spec{Name: "data", RecordSize: 4096, NumRecords: 96})
+		if err != nil {
+			return nil, err
+		}
+		var rebuild time.Duration
+		if _, err := runMain(e, func(p *sim.Proc) error {
+			var serr error
+			rebuild, serr = reliability.MirrorScenario(p, mir, f, 0, 0x2)
+			return serr
+		}); err != nil {
+			return nil, err
+		}
+		scenTable.AddRow("shadowed (2x2)", "fail primary, failover, rebuild from shadow", rebuild, "yes")
+		metrics["mirror_rebuild_s"] = rebuild.Seconds()
+	}
+	{
+		// Rollback consistency demo (§5): single-drive restore corrupts.
+		e := sim.NewEngine()
+		disks, vol, err := reliability.NewPlainArray(e, 4, geom)
+		if err != nil {
+			return nil, err
+		}
+		f, err := vol.Create(pfs.Spec{Name: "data", RecordSize: 4096, NumRecords: 96})
+		if err != nil {
+			return nil, err
+		}
+		var inconsistent, consistent bool
+		if _, err := runMain(e, func(p *sim.Proc) error {
+			var derr error
+			inconsistent, consistent, derr = reliability.RollbackDemo(p, disks, f, 1)
+			return derr
+		}); err != nil {
+			return nil, err
+		}
+		scenTable.AddRow("plain striped", "restore ONE drive from backup", time.Duration(0),
+			fmt.Sprintf("corrupted=%v (must roll back all drives: ok=%v)", inconsistent, consistent))
+		if inconsistent {
+			metrics["rollback_hazard"] = 1
+		}
+		if consistent {
+			metrics["rollback_fix"] = 1
+		}
+	}
+
+	return &Result{
+		ID: "e8", Title: Title("e8"),
+		Tables:  []*stats.Table{mtbfTable, campTable, scenTable},
+		Metrics: metrics,
+	}, nil
+}

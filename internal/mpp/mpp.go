@@ -1,0 +1,104 @@
+// Package mpp is a miniature MIMD runtime: it stands in for the
+// "general-purpose MIMD computer architecture" the paper assumes (§2).
+// A Run launches P processes (goroutines under the simulation engine),
+// giving each a rank and collective operations (barrier, reductions,
+// gather) in the style parallel programs of the era used.
+package mpp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Proc is one process of a parallel program: a sim.Proc plus its rank
+// and the group's collectives.
+type Proc struct {
+	*sim.Proc
+	rank  int
+	group *Group
+}
+
+// Rank reports this process's rank in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size reports the group size.
+func (p *Proc) Size() int { return p.group.size }
+
+// Barrier blocks until every process in the group has arrived.
+func (p *Proc) Barrier() { p.group.barrier.Wait(p.Proc) }
+
+// Compute models work for the given duration of virtual time.
+func (p *Proc) Compute(d time.Duration) { p.Sleep(d) }
+
+// Group is a set of processes executing one parallel program.
+type Group struct {
+	size    int
+	barrier *sim.Barrier
+	// reduction scratch
+	redVals  []float64
+	redCount int
+	gather   [][]byte
+}
+
+// Run launches fn on size processes under the engine and returns the
+// group (join with Engine.Run or a surrounding sim.Group).
+func Run(e *sim.Engine, size int, name string, fn func(p *Proc)) (*Group, *sim.Group) {
+	g := &Group{
+		size:    size,
+		barrier: sim.NewBarrier(size),
+		redVals: make([]float64, size),
+		gather:  make([][]byte, size),
+	}
+	var join sim.Group
+	for r := 0; r < size; r++ {
+		rank := r
+		join.Spawn(e, fmt.Sprintf("%s-%d", name, rank), func(sp *sim.Proc) {
+			fn(&Proc{Proc: sp, rank: rank, group: g})
+		})
+	}
+	return g, &join
+}
+
+// ReduceSum performs a barrier-synchronized sum reduction: every process
+// contributes v and all receive the total.
+func (p *Proc) ReduceSum(v float64) float64 {
+	g := p.group
+	g.redVals[p.rank] = v
+	p.Barrier()
+	var sum float64
+	for _, x := range g.redVals {
+		sum += x
+	}
+	p.Barrier() // don't let anyone overwrite redVals before all have read
+	return sum
+}
+
+// ReduceMax performs a barrier-synchronized max reduction.
+func (p *Proc) ReduceMax(v float64) float64 {
+	g := p.group
+	g.redVals[p.rank] = v
+	p.Barrier()
+	max := g.redVals[0]
+	for _, x := range g.redVals[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	p.Barrier()
+	return max
+}
+
+// Gather collects each process's payload; rank 0's slice of all payloads
+// is returned to every process (valid until the next collective).
+func (p *Proc) Gather(payload []byte) [][]byte {
+	g := p.group
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	g.gather[p.rank] = cp
+	p.Barrier()
+	out := g.gather
+	p.Barrier()
+	return out
+}

@@ -1,0 +1,107 @@
+package mpp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestRanksAndSize(t *testing.T) {
+	e := sim.NewEngine()
+	seen := make(map[int]bool)
+	_, join := Run(e, 4, "w", func(p *Proc) {
+		if p.Size() != 4 {
+			t.Errorf("Size = %d", p.Size())
+		}
+		seen[p.Rank()] = true
+	})
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("ranks seen: %v", seen)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	e := sim.NewEngine()
+	var after []time.Duration
+	_, join := Run(e, 3, "w", func(p *Proc) {
+		p.Compute(time.Duration(p.Rank()+1) * time.Millisecond)
+		p.Barrier()
+		after = append(after, p.Now())
+	})
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range after {
+		if ts != 3*time.Millisecond {
+			t.Fatalf("barrier released at %v, want 3ms", ts)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	e := sim.NewEngine()
+	_, join := Run(e, 4, "w", func(p *Proc) {
+		got := p.ReduceSum(float64(p.Rank() + 1))
+		if got != 10 {
+			t.Errorf("rank %d sum = %v", p.Rank(), got)
+		}
+		// A second reduction must not see stale values.
+		got2 := p.ReduceSum(1)
+		if got2 != 4 {
+			t.Errorf("rank %d second sum = %v", p.Rank(), got2)
+		}
+	})
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	e := sim.NewEngine()
+	_, join := Run(e, 5, "w", func(p *Proc) {
+		if got := p.ReduceMax(float64(p.Rank())); got != 4 {
+			t.Errorf("max = %v", got)
+		}
+	})
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	e := sim.NewEngine()
+	_, join := Run(e, 3, "w", func(p *Proc) {
+		all := p.Gather([]byte{byte(p.Rank() * 10)})
+		for r := 0; r < 3; r++ {
+			if len(all[r]) != 1 || all[r][0] != byte(r*10) {
+				t.Errorf("rank %d sees gather[%d] = %v", p.Rank(), r, all[r])
+			}
+		}
+	})
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	e := sim.NewEngine()
+	_, join := Run(e, 1, "w", func(p *Proc) {
+		p.Compute(7 * time.Millisecond)
+		if p.Now() != 7*time.Millisecond {
+			t.Errorf("Now = %v", p.Now())
+		}
+	})
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package sim provides a deterministic virtual-time execution engine for
+// simulated parallel programs.
+//
+// The paper's experiments concern timing phenomena on 1989-era hardware:
+// seek interference, bandwidth aggregation across drives, and overlap of
+// I/O with computation. To reproduce those shapes deterministically on
+// modern machines, the entire library is parameterized over a Context
+// that supplies the current time and the ability to wait. Two
+// implementations exist:
+//
+//   - Proc, a process managed by Engine, runs under virtual time. The
+//     Engine is a strict-alternation discrete-event scheduler: exactly one
+//     managed goroutine executes at any instant, and when all are parked
+//     the earliest pending event (ties broken by creation order) fires.
+//     Results are bit-for-bit reproducible.
+//
+//   - Wall, a trivial context for ordinary library use, where device
+//     models complete instantly and Sleep is a no-op unless a scale
+//     factor is configured.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Context supplies time to potentially blocking library operations. It
+// plays the role context.Context plays for cancellation, but for virtual
+// time: every operation that models a delay accepts a Context.
+type Context interface {
+	// Now reports the current time as an offset from the start of the
+	// run (virtual for Proc, wall-clock-derived for Wall).
+	Now() time.Duration
+	// Sleep pauses the caller for d. Under virtual time the engine
+	// advances; under Wall it sleeps scaled real time (or not at all).
+	Sleep(d time.Duration)
+}
+
+// event is a scheduled wakeup for a parked process. epoch pairs the event
+// with a particular park: events whose epoch no longer matches the
+// process's current park are stale and dropped, so a double wake or an
+// abandoned timer can never resume the wrong wait.
+type event struct {
+	at    time.Duration
+	seq   uint64 // tie-break: earlier-scheduled events fire first
+	epoch uint64
+	proc  *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler for virtual-time
+// processes. Create one with NewEngine, add processes with Go, then call
+// Run from the owning (unmanaged) goroutine.
+//
+// Engine enforces strict alternation: at most one managed goroutine runs
+// between scheduling decisions, so shared state touched only by managed
+// processes needs no locking, and every run of the same program is
+// identical. All engine and process methods must be called either from
+// the currently running managed process or (before Run) from the owner.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	procs   map[*Proc]bool // live processes
+	yield   chan struct{}  // process -> scheduler handoff
+	started bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{
+		procs: make(map[*Proc]bool),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now reports current virtual time. Valid from any managed process and,
+// between events, from the owner.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Proc is a virtual-time process. It implements Context. All Proc methods
+// must be called from the goroutine the engine created for it.
+type Proc struct {
+	e       *Engine
+	name    string
+	wake    chan struct{}
+	waiting bool
+	epoch   uint64
+}
+
+// Name reports the name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now reports current virtual time.
+func (p *Proc) Now() time.Duration { return p.e.now }
+
+// Go registers fn as a managed process. It may be called before Run or
+// from a running managed process; the new process begins executing at the
+// current virtual time, after the spawner next parks.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, wake: make(chan struct{})}
+	e.procs[p] = true
+	p.epoch = 1
+	p.waiting = true // the goroutine below starts blocked on its start event
+	e.schedule(e.now, p, p.epoch)
+	go func() {
+		<-p.wake // wait for start event
+		fn(p)
+		delete(e.procs, p)
+		e.yield <- struct{}{}
+	}()
+	return p
+}
+
+// schedule enqueues a wakeup for p at time at, bound to park epoch ep.
+func (e *Engine) schedule(at time.Duration, p *Proc, ep uint64) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, epoch: ep, proc: p})
+}
+
+// park hands control to the scheduler and blocks until resumed. The
+// caller must have set waiting and bumped epoch (via sleep/Park).
+func (p *Proc) park() {
+	p.e.yield <- struct{}{}
+	<-p.wake
+}
+
+// Sleep suspends the process for d of virtual time. Sleep(0) yields,
+// allowing other already-scheduled same-time events to run first.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.SleepUntil(p.e.now + d)
+}
+
+// SleepUntil suspends the process until the given virtual time (which is
+// clamped to now if already past).
+func (p *Proc) SleepUntil(t time.Duration) {
+	p.epoch++
+	p.waiting = true
+	p.e.schedule(t, p, p.epoch)
+	p.park()
+}
+
+// Park suspends the process indefinitely; it resumes when another process
+// calls Engine.Wake (or WakeAt) for it. Used to build synchronization
+// primitives and device queues. Each Park must be matched by exactly one
+// Wake; extra wakes for a superseded park are dropped harmlessly.
+func (p *Proc) Park() {
+	p.epoch++
+	p.waiting = true
+	p.park()
+}
+
+// Wake schedules the parked process p to resume at the current virtual
+// time. Under strict alternation the target is guaranteed to be parked
+// (or finished) whenever another process runs, so this is race-free.
+func (e *Engine) Wake(p *Proc) { e.WakeAt(p, e.now) }
+
+// WakeAt schedules the parked process p to resume at virtual time at.
+func (e *Engine) WakeAt(p *Proc, at time.Duration) {
+	e.schedule(at, p, p.epoch)
+}
+
+// Deadlock describes an engine run that stalled: processes remain but no
+// runnable events are pending.
+type Deadlock struct {
+	At    time.Duration
+	Procs []string // names of stuck processes
+}
+
+func (d *Deadlock) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) parked forever: %v", d.At, len(d.Procs), d.Procs)
+}
+
+// Run executes scheduled processes until none remain. It must be called
+// from the goroutine that owns the engine (not a managed process), and at
+// most once. It returns a *Deadlock error if processes remain parked with
+// no pending events; otherwise nil.
+func (e *Engine) Run() error {
+	if e.started {
+		return fmt.Errorf("sim: Run called twice")
+	}
+	e.started = true
+	for {
+		if len(e.procs) == 0 {
+			return nil
+		}
+		runnable := false
+		var ev event
+		for e.events.Len() > 0 {
+			ev = heap.Pop(&e.events).(event)
+			if e.procs[ev.proc] && ev.proc.waiting && ev.epoch == ev.proc.epoch {
+				runnable = true
+				break
+			}
+			// Stale: process finished, superseded park, or double wake.
+		}
+		if !runnable {
+			var names []string
+			for p := range e.procs {
+				names = append(names, p.name)
+			}
+			sort.Strings(names)
+			return &Deadlock{At: e.now, Procs: names}
+		}
+		e.now = ev.at
+		ev.proc.waiting = false
+		ev.proc.wake <- struct{}{}
+		<-e.yield // wait for the process to park or finish
+	}
+}
+
+// Wall is a Context for ordinary (non-simulated) execution. The zero
+// value never sleeps and reports time elapsed since the first call.
+type Wall struct {
+	start time.Time
+	// Scale multiplies modeled durations into real sleeps; zero means
+	// modeled delays are skipped entirely (functional mode).
+	Scale float64
+}
+
+// NewWall returns a wall-clock context that skips modeled delays.
+func NewWall() *Wall { return &Wall{start: time.Now()} }
+
+// Now reports wall time elapsed since the context was created.
+func (w *Wall) Now() time.Duration {
+	if w.start.IsZero() {
+		w.start = time.Now()
+	}
+	return time.Since(w.start)
+}
+
+// Sleep sleeps d scaled by w.Scale (not at all when Scale is zero).
+func (w *Wall) Sleep(d time.Duration) {
+	if w.Scale > 0 && d > 0 {
+		time.Sleep(time.Duration(float64(d) * w.Scale))
+	}
+}
+
+var (
+	_ Context = (*Proc)(nil)
+	_ Context = (*Wall)(nil)
+)

@@ -1,0 +1,433 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineEmptyRun(t *testing.T) {
+	e := NewEngine()
+	if err := e.Run(); err != nil {
+		t.Fatalf("empty Run: %v", err)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("time advanced with no events: %v", e.Now())
+	}
+}
+
+func TestEngineRunTwice(t *testing.T) {
+	e := NewEngine()
+	if err := e.Run(); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if err := e.Run(); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	e := NewEngine()
+	var got time.Duration
+	e.Go("a", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		p.Sleep(7 * time.Millisecond)
+		got = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 12*time.Millisecond {
+		t.Fatalf("Now after sleeps = %v, want 12ms", got)
+	}
+	if e.Now() != 12*time.Millisecond {
+		t.Fatalf("engine Now = %v, want 12ms", e.Now())
+	}
+}
+
+func TestSleepZeroYields(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := NewEngine()
+	e.Go("a", func(p *Proc) {
+		p.Sleep(-time.Second)
+		if p.Now() != 0 {
+			t.Errorf("negative sleep advanced time to %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSleepUntilPastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	e.Go("a", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		p.SleepUntil(2 * time.Millisecond) // already past
+		if p.Now() != 10*time.Millisecond {
+			t.Errorf("SleepUntil went backwards: %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var order []string
+		for _, n := range []string{"p0", "p1", "p2"} {
+			name := n
+			e.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					order = append(order, name)
+					p.Sleep(time.Millisecond)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	for trial := 0; trial < 10; trial++ {
+		again := run()
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("nondeterministic interleaving: run0=%v run%d=%v", first, trial, again)
+			}
+		}
+	}
+}
+
+func TestSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	for _, n := range []string{"x", "y", "z"} {
+		name := n
+		e.Go(name, func(p *Proc) {
+			p.Sleep(3 * time.Millisecond) // all wake at the same instant
+			order = append(order, name)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"x", "y", "z"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("same-time order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestParkWake(t *testing.T) {
+	e := NewEngine()
+	var woke time.Duration
+	var target *Proc
+	target = e.Go("sleeper", func(p *Proc) {
+		p.Park()
+		woke = p.Now()
+	})
+	e.Go("waker", func(p *Proc) {
+		p.Sleep(4 * time.Millisecond)
+		p.Engine().Wake(target)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 4*time.Millisecond {
+		t.Fatalf("woke at %v, want 4ms", woke)
+	}
+}
+
+func TestWakeAtFuture(t *testing.T) {
+	e := NewEngine()
+	var woke time.Duration
+	var target *Proc
+	target = e.Go("sleeper", func(p *Proc) {
+		p.Park()
+		woke = p.Now()
+	})
+	e.Go("waker", func(p *Proc) {
+		p.Engine().WakeAt(target, 9*time.Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 9*time.Millisecond {
+		t.Fatalf("woke at %v, want 9ms", woke)
+	}
+}
+
+func TestDoubleWakeIsDropped(t *testing.T) {
+	e := NewEngine()
+	wakes := 0
+	var target *Proc
+	target = e.Go("sleeper", func(p *Proc) {
+		p.Park()
+		wakes++
+		p.Sleep(20 * time.Millisecond) // if the stale wake fired, this would end early
+		wakes++
+	})
+	e.Go("waker", func(p *Proc) {
+		p.Engine().Wake(target)
+		p.Engine().Wake(target) // second wake for the same park: stale
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wakes != 2 {
+		t.Fatalf("wakes = %d, want 2", wakes)
+	}
+	if e.Now() != 20*time.Millisecond {
+		t.Fatalf("end time %v, want 20ms (stale wake must not cut the sleep short)", e.Now())
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	e.Go("stuck", func(p *Proc) {
+		p.Park() // never woken
+	})
+	err := e.Run()
+	d, ok := err.(*Deadlock)
+	if !ok {
+		t.Fatalf("expected *Deadlock, got %v", err)
+	}
+	if len(d.Procs) != 1 || d.Procs[0] != "stuck" {
+		t.Fatalf("deadlock procs = %v", d.Procs)
+	}
+	if d.Error() == "" {
+		t.Fatal("empty deadlock message")
+	}
+}
+
+func TestSpawnFromRunningProc(t *testing.T) {
+	e := NewEngine()
+	var childTime time.Duration
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		p.Engine().Go("child", func(c *Proc) {
+			childTime = c.Now()
+		})
+		p.Sleep(time.Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 2*time.Millisecond {
+		t.Fatalf("child started at %v, want 2ms", childTime)
+	}
+}
+
+func TestMutexExclusionAndFIFO(t *testing.T) {
+	e := NewEngine()
+	var m Mutex
+	var order []string
+	inside := 0
+	for _, n := range []string{"a", "b", "c"} {
+		name := n
+		e.Go(name, func(p *Proc) {
+			m.Lock(p)
+			inside++
+			if inside != 1 {
+				t.Errorf("mutex violated: %d inside", inside)
+			}
+			order = append(order, name)
+			p.Sleep(time.Millisecond)
+			inside--
+			m.Unlock(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("lock order = %v, want FIFO %v", order, want)
+		}
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	e := NewEngine()
+	var m Mutex
+	e.Go("a", func(p *Proc) {
+		if !m.TryLock() {
+			t.Error("TryLock on free mutex failed")
+		}
+		if m.TryLock() {
+			t.Error("TryLock on held mutex succeeded")
+		}
+		m.Unlock(p)
+		if !m.TryLock() {
+			t.Error("TryLock after Unlock failed")
+		}
+		m.Unlock(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReleasesTogetherAndReuses(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(3)
+	var phase1, phase2 []time.Duration
+	for i := 0; i < 3; i++ {
+		delay := time.Duration(i) * time.Millisecond
+		e.Go("w", func(p *Proc) {
+			p.Sleep(delay)
+			b.Wait(p)
+			phase1 = append(phase1, p.Now())
+			p.Sleep(delay)
+			b.Wait(p)
+			phase2 = append(phase2, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range phase1 {
+		if ts != 2*time.Millisecond {
+			t.Fatalf("phase1 release at %v, want 2ms (slowest arrival)", ts)
+		}
+	}
+	for _, ts := range phase2 {
+		if ts != 4*time.Millisecond {
+			t.Fatalf("phase2 release at %v, want 4ms", ts)
+		}
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(2)
+	inside, peak := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Go("w", func(p *Proc) {
+			s.Acquire(p)
+			inside++
+			if inside > peak {
+				peak = inside
+			}
+			p.Sleep(time.Millisecond)
+			inside--
+			s.Release(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if peak != 2 {
+		t.Fatalf("peak concurrency %d, want 2", peak)
+	}
+	// 6 unit jobs, 2 at a time -> 3ms.
+	if e.Now() != 3*time.Millisecond {
+		t.Fatalf("end time %v, want 3ms", e.Now())
+	}
+}
+
+func TestGroupJoin(t *testing.T) {
+	e := NewEngine()
+	var g Group
+	done := 0
+	e.Go("parent", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			d := time.Duration(i+1) * time.Millisecond
+			g.Spawn(p.Engine(), "child", func(c *Proc) {
+				c.Sleep(d)
+				done++
+			})
+		}
+		g.Wait(p)
+		if done != 4 {
+			t.Errorf("joined with %d children done, want 4", done)
+		}
+		if p.Now() != 4*time.Millisecond {
+			t.Errorf("join at %v, want 4ms", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupWaitWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	e.Go("parent", func(p *Proc) {
+		var g Group
+		g.Wait(p) // should not block
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitQueueWakeOrder(t *testing.T) {
+	e := NewEngine()
+	var wq WaitQueue
+	var order []string
+	for _, n := range []string{"first", "second", "third"} {
+		name := n
+		e.Go(name, func(p *Proc) {
+			wq.Wait(p)
+			order = append(order, name)
+		})
+	}
+	e.Go("waker", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		if wq.Len() != 3 {
+			t.Errorf("queue len = %d, want 3", wq.Len())
+		}
+		wq.WakeOne(p.Engine())
+		p.Sleep(time.Millisecond)
+		wq.WakeAll(p.Engine())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWallContext(t *testing.T) {
+	w := NewWall()
+	t0 := w.Now()
+	w.Sleep(50 * time.Millisecond) // Scale 0: returns immediately
+	if w.Now()-t0 > 40*time.Millisecond {
+		t.Fatal("Wall with Scale 0 actually slept")
+	}
+	var zero Wall
+	if zero.Now() < 0 {
+		t.Fatal("zero Wall Now negative")
+	}
+}

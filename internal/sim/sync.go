@@ -1,0 +1,156 @@
+package sim
+
+// Synchronization primitives for virtual-time processes.
+//
+// Because the engine enforces strict alternation, these types need no
+// real locks: a process mutates primitive state only while it is the sole
+// running goroutine, and the park/wake channel operations provide the
+// happens-before edges the memory model requires.
+
+// WaitQueue is a FIFO queue of parked processes — the building block for
+// the other primitives (condition-variable style).
+type WaitQueue struct {
+	q []*Proc
+}
+
+// Wait parks the calling process at the tail of the queue.
+func (w *WaitQueue) Wait(p *Proc) {
+	w.q = append(w.q, p)
+	p.Park()
+}
+
+// Len reports how many processes are parked on the queue.
+func (w *WaitQueue) Len() int { return len(w.q) }
+
+// WakeOne resumes the process at the head of the queue (at the current
+// virtual time) and reports whether one was waiting.
+func (w *WaitQueue) WakeOne(e *Engine) bool {
+	if len(w.q) == 0 {
+		return false
+	}
+	p := w.q[0]
+	w.q = w.q[1:]
+	e.Wake(p)
+	return true
+}
+
+// WakeAll resumes every parked process, in FIFO order, at the current
+// virtual time.
+func (w *WaitQueue) WakeAll(e *Engine) {
+	for _, p := range w.q {
+		e.Wake(p)
+	}
+	w.q = nil
+}
+
+// Mutex is a virtual-time mutual-exclusion lock with FIFO handoff. The
+// zero value is unlocked.
+type Mutex struct {
+	locked bool
+	wq     WaitQueue
+}
+
+// Lock acquires the mutex, parking the process until it is available.
+func (m *Mutex) Lock(p *Proc) {
+	for m.locked {
+		m.wq.Wait(p)
+	}
+	m.locked = true
+}
+
+// TryLock acquires the mutex if it is free and reports whether it did.
+func (m *Mutex) TryLock() bool {
+	if m.locked {
+		return false
+	}
+	m.locked = true
+	return true
+}
+
+// Unlock releases the mutex, waking the next waiter if any. The caller
+// supplies its Proc so the wake is scheduled deterministically.
+func (m *Mutex) Unlock(p *Proc) {
+	m.locked = false
+	m.wq.WakeOne(p.e)
+}
+
+// Barrier blocks processes until a fixed number have arrived, then
+// releases them all (reusable across phases).
+type Barrier struct {
+	n       int
+	arrived int
+	wq      WaitQueue
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+
+// Wait blocks until all n participants have called Wait; the final
+// arriver releases the others and the barrier resets.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.wq.WakeAll(p.e)
+		return
+	}
+	b.wq.Wait(p)
+}
+
+// Semaphore is a counting semaphore under virtual time.
+type Semaphore struct {
+	avail int
+	wq    WaitQueue
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n} }
+
+// Acquire takes one permit, parking until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.avail == 0 {
+		s.wq.Wait(p)
+	}
+	s.avail--
+}
+
+// Release returns one permit and wakes a waiter if any.
+func (s *Semaphore) Release(p *Proc) {
+	s.avail++
+	s.wq.WakeOne(p.e)
+}
+
+// Group tracks completion of a set of spawned processes so a parent can
+// join on them (WaitGroup analogue).
+type Group struct {
+	active  int
+	waiters WaitQueue
+}
+
+// Add records n processes joining the group.
+func (g *Group) Add(n int) { g.active += n }
+
+// Done records one process leaving the group, waking joiners when the
+// count reaches zero.
+func (g *Group) Done(p *Proc) {
+	g.active--
+	if g.active == 0 {
+		g.waiters.WakeAll(p.e)
+	}
+}
+
+// Wait parks until the group count reaches zero.
+func (g *Group) Wait(p *Proc) {
+	for g.active > 0 {
+		g.waiters.Wait(p)
+	}
+}
+
+// Spawn runs fn in a new managed process registered with the group.
+func (g *Group) Spawn(e *Engine, name string, fn func(p *Proc)) {
+	g.Add(1)
+	e.Go(name, func(p *Proc) {
+		defer g.Done(p)
+		fn(p)
+	})
+}

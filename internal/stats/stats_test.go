@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMBps(t *testing.T) {
+	if got := MBps(1e6, time.Second); got != 1 {
+		t.Fatalf("MBps = %v", got)
+	}
+	if got := MBps(100, 0); got != 0 {
+		t.Fatalf("zero duration MBps = %v", got)
+	}
+	if got := MBps(3e6, 2*time.Second); got != 1.5 {
+		t.Fatalf("MBps = %v", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(4*time.Second, 2*time.Second); got != 2 {
+		t.Fatalf("Speedup = %v", got)
+	}
+	if got := Speedup(time.Second, 0); got != 0 {
+		t.Fatalf("Speedup by zero = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T1: demo", "devices", "MB/s", "time")
+	tb.AddRow(1, 1.5, 1500*time.Millisecond)
+	tb.AddRow(16, 23.456789, 90*time.Millisecond)
+	tb.Note = "shape only"
+	s := tb.String()
+	for _, want := range []string{"T1: demo", "devices", "MB/s", "1.5", "23.5", "1.500s", "90.00ms", "note: shape only", "---"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table output missing %q:\n%s", want, s)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	if tb.Cell(0, 0) != "1" {
+		t.Fatalf("Cell(0,0) = %q", tb.Cell(0, 0))
+	}
+}
+
+func TestTableDurationFormats(t *testing.T) {
+	tb := NewTable("", "d")
+	tb.AddRow(2 * time.Hour)
+	tb.AddRow(90 * time.Microsecond)
+	s := tb.String()
+	if !strings.Contains(s, "2.0h") || !strings.Contains(s, "90µs") {
+		t.Fatalf("duration formats wrong:\n%s", s)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if w.Mean() != 5 {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	if math.Abs(w.Var()-32.0/7.0) > 1e-9 {
+		t.Fatalf("Var = %v", w.Var())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+	var empty Welford
+	if empty.Var() != 0 {
+		t.Fatal("empty variance")
+	}
+}

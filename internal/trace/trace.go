@@ -1,0 +1,224 @@
+// Package trace captures record/block access traces from parallel file
+// handles and renders or validates them against the access patterns of
+// the paper's Figure 1.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Op is the access direction.
+type Op byte
+
+const (
+	// Read marks a record read.
+	Read Op = 'R'
+	// Write marks a record write.
+	Write Op = 'W'
+)
+
+// Event is one record access by one process.
+type Event struct {
+	Time   time.Duration
+	Proc   int
+	Op     Op
+	Record int64
+	Block  int64 // paper-block holding the record
+}
+
+// Recorder accumulates events. The zero value is ready to use; a nil
+// *Recorder discards events, so handles may call Add unconditionally.
+type Recorder struct {
+	events []Event
+}
+
+// Add appends an event (no-op on a nil recorder).
+func (r *Recorder) Add(ev Event) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the accumulated events in insertion order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Len reports the event count.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Reset discards accumulated events.
+func (r *Recorder) Reset() {
+	if r != nil {
+		r.events = r.events[:0]
+	}
+}
+
+// BlockOwners derives, for each of nblocks paper-blocks, which process
+// accessed it (-1 if untouched, -2 if touched by several processes).
+func BlockOwners(events []Event, nblocks int64) []int {
+	owners := make([]int, nblocks)
+	for i := range owners {
+		owners[i] = -1
+	}
+	for _, ev := range events {
+		if ev.Block < 0 || ev.Block >= nblocks {
+			continue
+		}
+		switch owners[ev.Block] {
+		case -1:
+			owners[ev.Block] = ev.Proc
+		case ev.Proc:
+		default:
+			owners[ev.Block] = -2
+		}
+	}
+	return owners
+}
+
+// RenderBlocks draws a Figure-1 style strip: one cell per paper-block
+// labelled with the accessing process (P1, P2, ...), matching the
+// paper's diagrams (processes are 1-based there).
+func RenderBlocks(events []Event, nblocks int64) string {
+	owners := BlockOwners(events, nblocks)
+	var b strings.Builder
+	for _, o := range owners {
+		switch {
+		case o == -1:
+			b.WriteString("[--]")
+		case o == -2:
+			b.WriteString("[**]")
+		default:
+			fmt.Fprintf(&b, "[P%d]", o+1)
+		}
+	}
+	return b.String()
+}
+
+// ValidateSequential checks the type-S pattern: a single process touched
+// every record exactly once in ascending order.
+func ValidateSequential(events []Event, nrecords int64) error {
+	if int64(len(events)) != nrecords {
+		return fmt.Errorf("trace: S pattern: %d events for %d records", len(events), nrecords)
+	}
+	proc := -1
+	for i, ev := range events {
+		if proc == -1 {
+			proc = ev.Proc
+		}
+		if ev.Proc != proc {
+			return fmt.Errorf("trace: S pattern: process %d intruded (expected only %d)", ev.Proc, proc)
+		}
+		if ev.Record != int64(i) {
+			return fmt.Errorf("trace: S pattern: event %d accessed record %d", i, ev.Record)
+		}
+	}
+	return nil
+}
+
+// ValidatePartitioned checks the type-PS pattern: each process touched
+// exactly its contiguous record range [first[p], first[p+1]) in order.
+func ValidatePartitioned(events []Event, first []int64) error {
+	next := make([]int64, len(first)-1)
+	for p := range next {
+		next[p] = first[p]
+	}
+	for _, ev := range events {
+		p := ev.Proc
+		if p < 0 || p >= len(next) {
+			return fmt.Errorf("trace: PS pattern: unknown process %d", p)
+		}
+		if ev.Record != next[p] {
+			return fmt.Errorf("trace: PS pattern: process %d accessed record %d, expected %d", p, ev.Record, next[p])
+		}
+		next[p]++
+		if next[p] > first[p+1] {
+			return fmt.Errorf("trace: PS pattern: process %d overran its partition", p)
+		}
+	}
+	for p := range next {
+		if next[p] != first[p+1] {
+			return fmt.Errorf("trace: PS pattern: process %d stopped at %d of %d", p, next[p], first[p+1])
+		}
+	}
+	return nil
+}
+
+// ValidateInterleaved checks the type-IS pattern: process p touched
+// exactly the records of paper-blocks ≡ p (mod procs), in order.
+func ValidateInterleaved(events []Event, procs int, blockRecords int, nrecords int64) error {
+	// Expected per-process sequences.
+	expect := make([][]int64, procs)
+	for r := int64(0); r < nrecords; r++ {
+		b := r / int64(blockRecords)
+		p := int(b % int64(procs))
+		expect[p] = append(expect[p], r)
+	}
+	pos := make([]int, procs)
+	for _, ev := range events {
+		p := ev.Proc
+		if p < 0 || p >= procs {
+			return fmt.Errorf("trace: IS pattern: unknown process %d", p)
+		}
+		if pos[p] >= len(expect[p]) {
+			return fmt.Errorf("trace: IS pattern: process %d overran its stride", p)
+		}
+		if want := expect[p][pos[p]]; ev.Record != want {
+			return fmt.Errorf("trace: IS pattern: process %d accessed %d, expected %d", p, ev.Record, want)
+		}
+		pos[p]++
+	}
+	for p := range pos {
+		if pos[p] != len(expect[p]) {
+			return fmt.Errorf("trace: IS pattern: process %d completed %d of %d", p, pos[p], len(expect[p]))
+		}
+	}
+	return nil
+}
+
+// ValidateSelfScheduled checks the type-SS pattern: every record was
+// touched exactly once, and claim order (event order) is ascending — "each
+// request accesses a different record and no record gets skipped".
+func ValidateSelfScheduled(events []Event, nrecords int64) error {
+	if int64(len(events)) != nrecords {
+		return fmt.Errorf("trace: SS pattern: %d events for %d records", len(events), nrecords)
+	}
+	seen := make(map[int64]bool, nrecords)
+	for i, ev := range events {
+		if ev.Record != int64(i) {
+			return fmt.Errorf("trace: SS pattern: claim %d took record %d", i, ev.Record)
+		}
+		if seen[ev.Record] {
+			return fmt.Errorf("trace: SS pattern: record %d claimed twice", ev.Record)
+		}
+		seen[ev.Record] = true
+	}
+	procs := map[int]bool{}
+	for _, ev := range events {
+		procs[ev.Proc] = true
+	}
+	if len(procs) < 1 {
+		return fmt.Errorf("trace: SS pattern: no processes")
+	}
+	return nil
+}
+
+// ByTime returns a copy of events sorted by timestamp (stable).
+func ByTime(events []Event) []Event {
+	out := make([]Event, len(events))
+	copy(out, events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}

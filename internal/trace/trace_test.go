@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func ev(proc int, rec, block int64) Event {
+	return Event{Proc: proc, Op: Read, Record: rec, Block: block}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(ev(0, 0, 0)) // must not panic
+	if r.Events() != nil || r.Len() != 0 {
+		t.Fatal("nil recorder not empty")
+	}
+	r.Reset()
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	r := &Recorder{}
+	r.Add(ev(0, 0, 0))
+	r.Add(ev(1, 1, 1))
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestBlockOwners(t *testing.T) {
+	events := []Event{ev(0, 0, 0), ev(1, 1, 1), ev(0, 2, 1), ev(2, 9, 9)}
+	owners := BlockOwners(events, 4)
+	if owners[0] != 0 {
+		t.Fatalf("block 0 owner %d", owners[0])
+	}
+	if owners[1] != -2 {
+		t.Fatalf("contested block = %d, want -2", owners[1])
+	}
+	if owners[2] != -1 {
+		t.Fatalf("untouched block = %d, want -1", owners[2])
+	}
+}
+
+func TestRenderBlocks(t *testing.T) {
+	events := []Event{ev(0, 0, 0), ev(1, 1, 1), ev(0, 2, 2), ev(1, 3, 2)}
+	s := RenderBlocks(events, 4)
+	if !strings.Contains(s, "[P1]") || !strings.Contains(s, "[P2]") {
+		t.Fatalf("render = %q", s)
+	}
+	if !strings.Contains(s, "[**]") || !strings.Contains(s, "[--]") {
+		t.Fatalf("render = %q", s)
+	}
+}
+
+func TestValidateSequential(t *testing.T) {
+	good := []Event{ev(0, 0, 0), ev(0, 1, 1), ev(0, 2, 2)}
+	if err := ValidateSequential(good, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSequential(good, 4); err == nil {
+		t.Fatal("short trace accepted")
+	}
+	twoProcs := []Event{ev(0, 0, 0), ev(1, 1, 1)}
+	if err := ValidateSequential(twoProcs, 2); err == nil {
+		t.Fatal("multi-process S accepted")
+	}
+	skipped := []Event{ev(0, 0, 0), ev(0, 2, 2), ev(0, 1, 1)}
+	if err := ValidateSequential(skipped, 3); err == nil {
+		t.Fatal("out-of-order S accepted")
+	}
+}
+
+func TestValidatePartitioned(t *testing.T) {
+	first := []int64{0, 2, 4}
+	good := []Event{ev(0, 0, 0), ev(1, 2, 2), ev(0, 1, 1), ev(1, 3, 3)}
+	if err := ValidatePartitioned(good, first); err != nil {
+		t.Fatal(err)
+	}
+	cross := []Event{ev(0, 0, 0), ev(0, 1, 1), ev(0, 2, 2), ev(1, 3, 3)}
+	if err := ValidatePartitioned(cross, first); err == nil {
+		t.Fatal("partition crossing accepted")
+	}
+	incomplete := []Event{ev(0, 0, 0), ev(1, 2, 2), ev(1, 3, 3)}
+	if err := ValidatePartitioned(incomplete, first); err == nil {
+		t.Fatal("incomplete partition accepted")
+	}
+	unknown := []Event{ev(5, 0, 0)}
+	if err := ValidatePartitioned(unknown, first); err == nil {
+		t.Fatal("unknown proc accepted")
+	}
+}
+
+func TestValidateInterleaved(t *testing.T) {
+	// 2 procs, 1 record per block, 4 records: proc0 -> 0,2; proc1 -> 1,3.
+	good := []Event{ev(0, 0, 0), ev(1, 1, 1), ev(1, 3, 3), ev(0, 2, 2)}
+	if err := ValidateInterleaved(good, 2, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	wrong := []Event{ev(0, 1, 1), ev(0, 0, 0), ev(1, 2, 2), ev(1, 3, 3)}
+	if err := ValidateInterleaved(wrong, 2, 1, 4); err == nil {
+		t.Fatal("wrong stride class accepted")
+	}
+	short := []Event{ev(0, 0, 0)}
+	if err := ValidateInterleaved(short, 2, 1, 4); err == nil {
+		t.Fatal("incomplete interleave accepted")
+	}
+}
+
+func TestValidateSelfScheduled(t *testing.T) {
+	good := []Event{ev(0, 0, 0), ev(2, 1, 1), ev(1, 2, 2)}
+	if err := ValidateSelfScheduled(good, 3); err != nil {
+		t.Fatal(err)
+	}
+	skip := []Event{ev(0, 0, 0), ev(1, 2, 2), ev(2, 1, 1)}
+	if err := ValidateSelfScheduled(skip, 3); err == nil {
+		t.Fatal("skipped record accepted")
+	}
+	if err := ValidateSelfScheduled(good[:2], 3); err == nil {
+		t.Fatal("short SS trace accepted")
+	}
+}
+
+func TestByTime(t *testing.T) {
+	events := []Event{
+		{Time: 30, Proc: 0, Record: 2},
+		{Time: 10, Proc: 1, Record: 0},
+		{Time: 20, Proc: 2, Record: 1},
+	}
+	sorted := ByTime(events)
+	if sorted[0].Record != 0 || sorted[1].Record != 1 || sorted[2].Record != 2 {
+		t.Fatalf("sorted = %v", sorted)
+	}
+	// Original untouched.
+	if events[0].Record != 2 {
+		t.Fatal("ByTime mutated input")
+	}
+}

@@ -1,0 +1,130 @@
+// Package volio persists volumes to host directories and back — the
+// paper's §2 requirement that standard parallel files "appear
+// conventional to the system, or at least have transparent mechanisms to
+// transform them into a conventional appearance". A saved volume is a
+// set of ordinary host files (one metadata file plus one sparse image
+// per simulated device) that cmd/parioctl can inspect, convert and cat.
+package volio
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/blockio"
+	"repro/internal/device"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// imageFile is the persisted form of one parallel file.
+type imageFile struct {
+	Spec  pfs.Spec
+	Bases []int64
+}
+
+// imageMeta is the persisted volume header.
+type imageMeta struct {
+	Devices  int
+	Geometry device.Geometry
+	Files    []imageFile
+}
+
+const metaName = "volume.gob"
+
+// Save writes the volume (metadata plus every device's contents) to dir,
+// creating it if needed. The disks must be the volume's backing devices
+// in order.
+func Save(dir string, disks []*device.Disk, vol *pfs.Volume) error {
+	if len(disks) != vol.Devices() {
+		return fmt.Errorf("volio: %d disks for %d-device volume", len(disks), vol.Devices())
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta := imageMeta{Devices: len(disks), Geometry: disks[0].Geometry()}
+	for _, name := range vol.CreationOrder() {
+		f, err := vol.Lookup(name)
+		if err != nil {
+			return err
+		}
+		meta.Files = append(meta.Files, imageFile{Spec: f.Spec(), Bases: f.Set().Bases()})
+	}
+	mf, err := os.Create(filepath.Join(dir, metaName))
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(mf).Encode(meta); err != nil {
+		mf.Close()
+		return fmt.Errorf("volio: encode metadata: %w", err)
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	for i, d := range disks {
+		df, err := os.Create(filepath.Join(dir, fmt.Sprintf("dev%03d.gob", i)))
+		if err != nil {
+			return err
+		}
+		snap, err := d.Snapshot()
+		if err != nil {
+			df.Close()
+			return fmt.Errorf("volio: snapshot device %d: %w", i, err)
+		}
+		if err := gob.NewEncoder(df).Encode(snap); err != nil {
+			df.Close()
+			return fmt.Errorf("volio: encode device %d: %w", i, err)
+		}
+		if err := df.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a volume image from dir, recreating devices (attached to
+// the optional engine) and the directory with identical extents.
+func Load(dir string, e *sim.Engine) ([]*device.Disk, *pfs.Volume, error) {
+	mf, err := os.Open(filepath.Join(dir, metaName))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer mf.Close()
+	var meta imageMeta
+	if err := gob.NewDecoder(mf).Decode(&meta); err != nil {
+		return nil, nil, fmt.Errorf("volio: decode metadata: %w", err)
+	}
+	disks := make([]*device.Disk, meta.Devices)
+	for i := range disks {
+		disks[i] = device.New(device.Config{
+			Name:     fmt.Sprintf("d%d", i),
+			Geometry: meta.Geometry,
+			Engine:   e,
+		})
+		df, err := os.Open(filepath.Join(dir, fmt.Sprintf("dev%03d.gob", i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		var pages map[int64][]byte
+		if err := gob.NewDecoder(df).Decode(&pages); err != nil {
+			df.Close()
+			return nil, nil, fmt.Errorf("volio: decode device %d: %w", i, err)
+		}
+		df.Close()
+		if err := disks[i].Restore(pages); err != nil {
+			return nil, nil, fmt.Errorf("volio: restore device %d: %w", i, err)
+		}
+	}
+	store, err := blockio.NewDirect(disks)
+	if err != nil {
+		return nil, nil, err
+	}
+	vol := pfs.NewVolume(store)
+	for _, imf := range meta.Files {
+		if _, err := vol.Restore(imf.Spec, imf.Bases); err != nil {
+			return nil, nil, fmt.Errorf("volio: restore %q: %w", imf.Spec.Name, err)
+		}
+	}
+	return disks, vol, nil
+}

@@ -1,0 +1,186 @@
+// Package workload provides deterministic workload generators for the
+// experiment harness: the application patterns the paper's organizations
+// were designed for (wrapped matrices, multi-server task queues, skewed
+// database access, out-of-core sweeps).
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Record synthesizes the payload of record rec for stream seed: a
+// self-identifying pattern (seed, rec, then a byte fill) so experiments
+// can verify data integrity cheaply.
+func Record(buf []byte, seed uint64, rec int64) {
+	if len(buf) >= 16 {
+		binary.BigEndian.PutUint64(buf[0:8], seed)
+		binary.BigEndian.PutUint64(buf[8:16], uint64(rec))
+	}
+	fill := byte(seed) ^ byte(rec)
+	for i := 16; i < len(buf); i++ {
+		buf[i] = fill
+	}
+}
+
+// CheckRecord verifies a payload produced by Record.
+func CheckRecord(buf []byte, seed uint64, rec int64) error {
+	if len(buf) >= 16 {
+		if got := binary.BigEndian.Uint64(buf[0:8]); got != seed {
+			return fmt.Errorf("workload: record %d: seed %d, want %d", rec, got, seed)
+		}
+		if got := binary.BigEndian.Uint64(buf[8:16]); got != uint64(rec) {
+			return fmt.Errorf("workload: record %d: index %d", rec, got)
+		}
+	}
+	fill := byte(seed) ^ byte(rec)
+	for i := 16; i < len(buf); i++ {
+		if buf[i] != fill {
+			return fmt.Errorf("workload: record %d: fill byte %d = %#x, want %#x", rec, i, buf[i], fill)
+		}
+	}
+	return nil
+}
+
+// Matrix describes a dense matrix stored one row per record.
+type Matrix struct {
+	Rows, Cols int
+	ElemSize   int // bytes per element
+}
+
+// RecordSize reports the row record size in bytes.
+func (m Matrix) RecordSize() int { return m.Cols * m.ElemSize }
+
+// WrappedOwner reports which of p processes owns row r under wrapped
+// (cyclic) storage — the paper's example use of IS files.
+func (m Matrix) WrappedOwner(r, p int) int { return r % p }
+
+// BlockOwner reports which of p processes owns row r under block
+// (contiguous) partitioning — the PS analogue.
+func (m Matrix) BlockOwner(r, p int) int {
+	per := (m.Rows + p - 1) / p
+	return r / per
+}
+
+// Task is one unit of work drawn from a task queue.
+type Task struct {
+	ID      int64
+	Service time.Duration // compute time the worker must spend
+}
+
+// TaskQueue generates a deterministic sequence of tasks with variable
+// service times — the "queue with multiple servers" workload that
+// motivates self-scheduled files (§3.1).
+type TaskQueue struct {
+	rng      *sim.RNG
+	n        int64
+	next     int64
+	min, max time.Duration
+}
+
+// NewTaskQueue builds a queue of n tasks with service times uniform in
+// [min, max] drawn from seed.
+func NewTaskQueue(seed uint64, n int64, min, max time.Duration) *TaskQueue {
+	if max < min {
+		min, max = max, min
+	}
+	return &TaskQueue{rng: sim.NewRNG(seed), n: n, min: min, max: max}
+}
+
+// Len reports the total task count.
+func (q *TaskQueue) Len() int64 { return q.n }
+
+// ServiceOf deterministically computes task id's service time (the same
+// value Next would have produced), so tasks can be reconstructed from
+// records read back out of a file.
+func ServiceOf(seed uint64, id int64, min, max time.Duration) time.Duration {
+	r := sim.NewRNG(seed ^ uint64(id)*0x9e3779b97f4a7c15)
+	if max <= min {
+		return min
+	}
+	return min + time.Duration(r.Int63n(int64(max-min)))
+}
+
+// Next returns the next task, or false when exhausted.
+func (q *TaskQueue) Next() (Task, bool) {
+	if q.next >= q.n {
+		return Task{}, false
+	}
+	id := q.next
+	q.next++
+	return Task{ID: id, Service: ServiceOf(0, id, q.min, q.max)}, true
+}
+
+// AccessPattern generates record indices for direct-access experiments.
+type AccessPattern struct {
+	rng  *sim.RNG
+	zipf *sim.Zipf
+	n    int64
+}
+
+// NewUniformAccess draws records uniformly from [0, n).
+func NewUniformAccess(seed uint64, n int64) *AccessPattern {
+	return &AccessPattern{rng: sim.NewRNG(seed), n: n}
+}
+
+// NewZipfAccess draws records Zipf-distributed over [0, n) with skew s
+// (Livny et al.'s non-uniform database workload).
+func NewZipfAccess(seed uint64, n int64, s float64) *AccessPattern {
+	rng := sim.NewRNG(seed)
+	return &AccessPattern{rng: rng, zipf: sim.NewZipf(rng, int(n), s), n: n}
+}
+
+// Next draws the next record index.
+func (a *AccessPattern) Next() int64 {
+	if a.zipf != nil {
+		return int64(a.zipf.Next())
+	}
+	return a.rng.Int63n(a.n)
+}
+
+// Stencil1D describes an out-of-core 1-D stencil sweep: n points split
+// into p partitions, each needing halo neighbours per pass — the
+// workload behind the §5 boundary-data discussion and the PDA paging
+// model.
+type Stencil1D struct {
+	Points int64
+	Parts  int
+	Halo   int64
+}
+
+// BasePerPart reports the owned points per partition (last may be short).
+func (s Stencil1D) BasePerPart() int64 {
+	return (s.Points + int64(s.Parts) - 1) / int64(s.Parts)
+}
+
+// NeededRange reports the global point range [first, end) partition p
+// must read for one pass (own points plus halos, clipped).
+func (s Stencil1D) NeededRange(p int) (first, end int64) {
+	base := s.BasePerPart()
+	first = int64(p)*base - s.Halo
+	end = int64(p)*base + base + s.Halo
+	if first < 0 {
+		first = 0
+	}
+	if end > s.Points {
+		end = s.Points
+	}
+	return first, end
+}
+
+// OwnedRange reports the points partition p owns (no halo).
+func (s Stencil1D) OwnedRange(p int) (first, end int64) {
+	base := s.BasePerPart()
+	first = int64(p) * base
+	end = first + base
+	if first > s.Points {
+		first = s.Points
+	}
+	if end > s.Points {
+		end = s.Points
+	}
+	return first, end
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	buf := make([]byte, 64)
+	Record(buf, 42, 7)
+	if err := CheckRecord(buf, 42, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckRecord(buf, 42, 8); err == nil {
+		t.Fatal("wrong record accepted")
+	}
+	if err := CheckRecord(buf, 43, 7); err == nil {
+		t.Fatal("wrong seed accepted")
+	}
+	buf[40] ^= 1
+	if err := CheckRecord(buf, 42, 7); err == nil {
+		t.Fatal("corrupted fill accepted")
+	}
+}
+
+func TestRecordSmallBuffers(t *testing.T) {
+	// Buffers under 16 bytes carry only fill; must still round-trip.
+	buf := make([]byte, 8)
+	Record(buf, 1, 2)
+	if err := CheckRecord(buf, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordQuick(t *testing.T) {
+	if err := quick.Check(func(seed uint64, rec int64, size uint8) bool {
+		if rec < 0 {
+			rec = -rec
+		}
+		buf := make([]byte, int(size)+16)
+		Record(buf, seed, rec)
+		return CheckRecord(buf, seed, rec) == nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixOwners(t *testing.T) {
+	m := Matrix{Rows: 10, Cols: 4, ElemSize: 8}
+	if m.RecordSize() != 32 {
+		t.Fatalf("RecordSize = %d", m.RecordSize())
+	}
+	for r := 0; r < 10; r++ {
+		if m.WrappedOwner(r, 3) != r%3 {
+			t.Fatal("wrapped owner")
+		}
+	}
+	// Block partitioning of 10 rows over 3 procs: 4,4,2.
+	wantBlock := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}
+	for r, want := range wantBlock {
+		if got := m.BlockOwner(r, 3); got != want {
+			t.Fatalf("block owner(%d) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestTaskQueueDeterministic(t *testing.T) {
+	q1 := NewTaskQueue(9, 50, time.Millisecond, 5*time.Millisecond)
+	q2 := NewTaskQueue(9, 50, time.Millisecond, 5*time.Millisecond)
+	for {
+		t1, ok1 := q1.Next()
+		t2, ok2 := q2.Next()
+		if ok1 != ok2 {
+			t.Fatal("queues diverged in length")
+		}
+		if !ok1 {
+			break
+		}
+		if t1 != t2 {
+			t.Fatalf("tasks diverged: %+v %+v", t1, t2)
+		}
+		if t1.Service < time.Millisecond || t1.Service > 5*time.Millisecond {
+			t.Fatalf("service %v out of range", t1.Service)
+		}
+	}
+	if q1.Len() != 50 {
+		t.Fatalf("Len = %d", q1.Len())
+	}
+}
+
+func TestServiceOfMatchesQueue(t *testing.T) {
+	q := NewTaskQueue(0, 20, 2*time.Millisecond, 9*time.Millisecond)
+	for {
+		task, ok := q.Next()
+		if !ok {
+			break
+		}
+		if got := ServiceOf(0, task.ID, 2*time.Millisecond, 9*time.Millisecond); got != task.Service {
+			t.Fatalf("ServiceOf(%d) = %v, queue said %v", task.ID, got, task.Service)
+		}
+	}
+	if got := ServiceOf(0, 1, 5*time.Millisecond, 5*time.Millisecond); got != 5*time.Millisecond {
+		t.Fatalf("degenerate range = %v", got)
+	}
+}
+
+func TestAccessPatterns(t *testing.T) {
+	u := NewUniformAccess(3, 100)
+	counts := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		r := u.Next()
+		if r < 0 || r >= 100 {
+			t.Fatalf("uniform out of range: %d", r)
+		}
+		counts[r]++
+	}
+	z := NewZipfAccess(3, 100, 1.0)
+	zc := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		r := z.Next()
+		if r < 0 || r >= 100 {
+			t.Fatalf("zipf out of range: %d", r)
+		}
+		zc[r]++
+	}
+	if zc[0] <= counts[0]*3 {
+		t.Fatalf("zipf rank0 %d not clearly hotter than uniform %d", zc[0], counts[0])
+	}
+}
+
+func TestStencilRanges(t *testing.T) {
+	s := Stencil1D{Points: 100, Parts: 4, Halo: 2}
+	if s.BasePerPart() != 25 {
+		t.Fatalf("base = %d", s.BasePerPart())
+	}
+	f, e := s.NeededRange(0)
+	if f != 0 || e != 27 {
+		t.Fatalf("part0 needed [%d,%d)", f, e)
+	}
+	f, e = s.NeededRange(1)
+	if f != 23 || e != 52 {
+		t.Fatalf("part1 needed [%d,%d)", f, e)
+	}
+	f, e = s.NeededRange(3)
+	if f != 73 || e != 100 {
+		t.Fatalf("part3 needed [%d,%d)", f, e)
+	}
+	f, e = s.OwnedRange(3)
+	if f != 75 || e != 100 {
+		t.Fatalf("part3 owned [%d,%d)", f, e)
+	}
+	// Owned ranges tile the domain.
+	var covered int64
+	for p := 0; p < 4; p++ {
+		of, oe := s.OwnedRange(p)
+		covered += oe - of
+	}
+	if covered != 100 {
+		t.Fatalf("owned ranges cover %d points", covered)
+	}
+}

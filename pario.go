@@ -1,0 +1,241 @@
+// Package pario is a Go reproduction of the parallel file system design
+// from T. W. Crockett, "File Concepts for Parallel I/O" (ICASE Interim
+// Report 7 / NASA CR-181843, 1989).
+//
+// It provides parallel files — files designed for concurrent access by
+// the processes of a parallel program — over an array of simulated
+// direct-access storage devices, with the paper's six standard
+// organizations as access methods:
+//
+//	S    sequential            OpenReader / OpenWriter
+//	PS   partitioned           OpenPartReader / OpenPartWriter
+//	IS   interleaved (wrapped) OpenInterleavedReader / OpenInterleavedWriter
+//	SS   self-scheduled        OpenSelfSched (shared handle)
+//	GDA  global direct access  OpenDirect
+//	PDA  partitioned direct    OpenDirectPart
+//
+// Every file also presents the paper's global view — a conventional
+// sequential byte stream — through OpenGlobalReader/OpenGlobalWriter, so
+// ordinary sequential software can consume parallel files.
+//
+// # Execution model
+//
+// The library runs over a deterministic virtual-time engine (NewEngine):
+// simulated processes are goroutines that the engine schedules one at a
+// time, devices charge modeled seek/rotation/transfer delays, and
+// results are bit-for-bit reproducible. Concurrent use of shared handles
+// requires the engine. Single-goroutine use (tools, tests, format
+// conversion) can instead pass a Wall context, under which devices
+// complete instantly.
+//
+// # Quickstart
+//
+//	machine := pario.NewMachine(4) // 4 drives, one volume, virtual time
+//	f, _ := machine.Volume.Create(pario.Spec{
+//	        Name: "results", Org: pario.OrgPartitioned,
+//	        RecordSize: 4096, NumRecords: 1 << 14, Parts: 4,
+//	})
+//	machine.Go("writer-0", func(p *pario.Proc) {
+//	        w, _ := pario.OpenPartWriter(f, 0, pario.DefaultOptions())
+//	        // ... w.WriteRecord(p, rec) ...
+//	        w.Close(p)
+//	})
+//	machine.Run()
+//
+// See examples/ for complete programs and internal/experiments for the
+// paper's evaluation harness.
+package pario
+
+import (
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/volio"
+)
+
+// Re-exported fundamental types. The definitions (and detailed
+// documentation) live in the internal packages; these aliases are the
+// supported public surface.
+type (
+	// Context supplies time to blocking operations (virtual or wall).
+	Context = sim.Context
+	// Engine is the deterministic virtual-time scheduler.
+	Engine = sim.Engine
+	// Proc is a simulated process (implements Context).
+	Proc = sim.Proc
+	// Group joins spawned processes.
+	Group = sim.Group
+	// Wall is the no-simulation context for single-goroutine use.
+	Wall = sim.Wall
+
+	// Volume is a parallel file system over a device array.
+	Volume = pfs.Volume
+	// File is a parallel file's metadata handle.
+	File = pfs.File
+	// Spec holds file creation parameters.
+	Spec = pfs.Spec
+	// Organization is one of the paper's six file organizations.
+	Organization = pfs.Organization
+	// Placement selects the physical layout strategy.
+	Placement = pfs.Placement
+	// Category separates standard from specialized files.
+	Category = pfs.Category
+
+	// Options tunes an access method (buffering, read-ahead, tracing).
+	Options = core.Options
+	// StreamReader reads S/PS/IS views sequentially.
+	StreamReader = core.StreamReader
+	// StreamWriter writes S/PS/IS views sequentially.
+	StreamWriter = core.StreamWriter
+	// SelfSched is the shared SS handle.
+	SelfSched = core.SelfSched
+	// SelfSchedDirect is the §3.2 direct-access SS variant over GDA.
+	SelfSchedDirect = core.SelfSchedDirect
+	// Direct is the GDA handle.
+	Direct = core.Direct
+	// DirectPart is the PDA handle.
+	DirectPart = core.DirectPart
+	// GlobalReader is the conventional sequential read view (io.ReadSeeker).
+	GlobalReader = core.GlobalReader
+	// GlobalWriter is the conventional sequential write view (io.WriteCloser).
+	GlobalWriter = core.GlobalWriter
+
+	// Disk is one simulated direct-access storage device.
+	Disk = device.Disk
+	// DiskConfig parameterizes a Disk.
+	DiskConfig = device.Config
+	// Geometry is a disk's layout.
+	Geometry = device.Geometry
+	// Timing is a disk's service-time model.
+	Timing = device.Timing
+	// Backend is a disk's page store; FileBackend keeps pages in a host
+	// file so simulated volumes can exceed RAM.
+	Backend = device.Backend
+	// FileBackend stores disk pages in a host file.
+	FileBackend = device.FileBackend
+
+	// TraceRecorder captures per-record access events (Figure 1).
+	TraceRecorder = trace.Recorder
+)
+
+// Organization constants (paper §3).
+const (
+	OrgSequential        = pfs.OrgSequential
+	OrgPartitioned       = pfs.OrgPartitioned
+	OrgInterleaved       = pfs.OrgInterleaved
+	OrgSelfScheduled     = pfs.OrgSelfScheduled
+	OrgGlobalDirect      = pfs.OrgGlobalDirect
+	OrgPartitionedDirect = pfs.OrgPartitionedDirect
+)
+
+// Placement constants (paper §4).
+const (
+	PlaceAuto        = pfs.PlaceAuto
+	PlaceStriped     = pfs.PlaceStriped
+	PlacePartitioned = pfs.PlacePartitioned
+	PlaceInterleaved = pfs.PlaceInterleaved
+)
+
+// Category constants (paper §2).
+const (
+	Standard    = pfs.Standard
+	Specialized = pfs.Specialized
+)
+
+// Self-scheduled handle directions.
+const (
+	SSRead  = core.SSRead
+	SSWrite = core.SSWrite
+)
+
+// NewEngine returns a fresh virtual-time engine.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// NewWall returns a wall-clock context (no modeled delays).
+func NewWall() *Wall { return sim.NewWall() }
+
+// DefaultOptions is the paper-recommended access configuration: double
+// buffering, one dedicated I/O process, early release.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewDisk builds a simulated drive (zero-value config fields default to
+// the 1989 drive the paper assumes: ~16 ms average seek, 3600 RPM,
+// 1.5 MB/s, 4 KiB blocks).
+func NewDisk(cfg DiskConfig) *Disk { return device.New(cfg) }
+
+// NewFileBackend creates a host-file page store for a disk (pass it in
+// DiskConfig.Backend; remember to Close the disk).
+func NewFileBackend(path string, blockSize int) (*FileBackend, error) {
+	return device.NewFileBackend(path, blockSize)
+}
+
+// NewVolume formats a parallel file system over identical disks.
+func NewVolume(disks []*Disk) (*Volume, error) {
+	store, err := blockio.NewDirect(disks)
+	if err != nil {
+		return nil, err
+	}
+	return pfs.NewVolume(store), nil
+}
+
+// Access-method constructors (the paper's organizations, §3).
+var (
+	OpenReader            = core.OpenReader
+	OpenWriter            = core.OpenWriter
+	OpenPartReader        = core.OpenPartReader
+	OpenPartWriter        = core.OpenPartWriter
+	OpenInterleavedReader = core.OpenInterleavedReader
+	OpenInterleavedWriter = core.OpenInterleavedWriter
+	OpenBlockRangeReader  = core.OpenBlockRangeReader
+	OpenSelfSched         = core.OpenSelfSched
+	OpenSelfSchedDirect   = core.OpenSelfSchedDirect
+	OpenDirect            = core.OpenDirect
+	OpenDirectPart        = core.OpenDirectPart
+	OpenGlobalReader      = core.OpenGlobalReader
+	OpenGlobalWriter      = core.OpenGlobalWriter
+)
+
+// SaveVolume persists a volume and its devices to a host directory;
+// LoadVolume restores it (see cmd/parioctl).
+var (
+	SaveVolume = volio.Save
+	LoadVolume = volio.Load
+)
+
+// Machine bundles an engine, a homogeneous drive array and one volume —
+// the typical experiment/application setup.
+type Machine struct {
+	Engine *Engine
+	Disks  []*Disk
+	Volume *Volume
+}
+
+// NewMachine builds a virtual-time machine with n default 1989 drives.
+func NewMachine(n int) *Machine {
+	e := sim.NewEngine()
+	disks := make([]*Disk, n)
+	for i := range disks {
+		disks[i] = device.New(device.Config{
+			Name:   fmt.Sprintf("d%d", i),
+			Engine: e,
+		})
+	}
+	vol, err := NewVolume(disks)
+	if err != nil {
+		// Unreachable: identical fresh disks always form a valid store.
+		panic(err)
+	}
+	return &Machine{Engine: e, Disks: disks, Volume: vol}
+}
+
+// Go launches a simulated process.
+func (m *Machine) Go(name string, fn func(p *Proc)) { m.Engine.Go(name, fn) }
+
+// Run executes the simulation to completion and returns the engine error
+// (nil, or a deadlock report).
+func (m *Machine) Run() error { return m.Engine.Run() }

@@ -1,0 +1,222 @@
+package pario_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	pario "repro"
+)
+
+// TestPublicAPIEndToEnd exercises the full public surface the way a
+// downstream user would: create a machine, write partitions in parallel,
+// read back self-scheduled, and check the global view.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	m := pario.NewMachine(4)
+	const parts = 4
+	const records = 64
+	f, err := m.Volume.Create(pario.Spec{
+		Name: "results", Org: pario.OrgPartitioned,
+		RecordSize: 4096, NumRecords: records, Parts: parts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Go("main", func(p *pario.Proc) {
+		var g pario.Group
+		for w := 0; w < parts; w++ {
+			wid := w
+			g.Spawn(p.Engine(), "writer", func(c *pario.Proc) {
+				wr, err := pario.OpenPartWriter(f, wid, pario.DefaultOptions())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				rec := make([]byte, 4096)
+				first, end := f.PartRecordRange(wid)
+				for r := first; r < end; r++ {
+					rec[0] = byte(wid + 1)
+					if _, err := wr.WriteRecord(c, rec); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if err := wr.Close(c); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		g.Wait(p)
+
+		// Self-scheduled consumption by 3 workers.
+		ss, err := pario.OpenSelfSched(f, pario.SSRead, pario.DefaultOptions())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var seen int
+		var g2 pario.Group
+		for w := 0; w < 3; w++ {
+			g2.Spawn(p.Engine(), "reader", func(c *pario.Proc) {
+				dst := make([]byte, 4096)
+				for {
+					rec, err := ss.ReadNext(c, dst)
+					if err == io.EOF {
+						return
+					}
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					wantTag := byte(rec/16 + 1)
+					if dst[0] != wantTag {
+						t.Errorf("record %d tag %d, want %d", rec, dst[0], wantTag)
+					}
+					seen++
+					c.Sleep(time.Millisecond)
+				}
+			})
+		}
+		g2.Wait(p)
+		if err := ss.Close(p); err != nil {
+			t.Error(err)
+		}
+		if seen != records {
+			t.Errorf("self-scheduled saw %d records", seen)
+		}
+
+		// Global (conventional) view.
+		gr, err := pario.OpenGlobalReader(f, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		all, err := io.ReadAll(gr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(all) != records*4096 {
+			t.Errorf("global view size %d", len(all))
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Engine.Now() == 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestMachineDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		m := pario.NewMachine(2)
+		f, err := m.Volume.Create(pario.Spec{
+			Name: "f", Org: pario.OrgSequential, RecordSize: 4096, NumRecords: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Go("w", func(p *pario.Proc) {
+			w, err := pario.OpenWriter(f, pario.DefaultOptions())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rec := make([]byte, 4096)
+			for i := 0; i < 32; i++ {
+				if _, err := w.WriteRecord(p, rec); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			_ = w.Close(p)
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Engine.Now()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+	if a == 0 {
+		t.Fatal("no modeled time")
+	}
+}
+
+func TestWallContextUsage(t *testing.T) {
+	// Library is usable without the engine for sequential work.
+	disks := []*pario.Disk{pario.NewDisk(pario.DiskConfig{})}
+	vol, err := pario.NewVolume(disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := vol.Create(pario.Spec{Name: "f", RecordSize: 64, NumRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := pario.NewWall()
+	gw, err := pario.OpenGlobalWriter(f, ctx, pario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 8*64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if _, err := gw.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gr, err := pario.OpenGlobalReader(f, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := io.ReadAll(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if back[i] != payload[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+}
+
+func TestVolumePersistenceViaPublicAPI(t *testing.T) {
+	disks := []*pario.Disk{pario.NewDisk(pario.DiskConfig{}), pario.NewDisk(pario.DiskConfig{})}
+	vol, err := pario.NewVolume(disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := vol.Create(pario.Spec{Name: "keep", RecordSize: 64, NumRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := pario.NewWall()
+	gw, err := pario.OpenGlobalWriter(f, ctx, pario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Write(make([]byte, 8*64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := pario.SaveVolume(dir, disks, vol); err != nil {
+		t.Fatal(err)
+	}
+	_, vol2, err := pario.LoadVolume(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vol2.Lookup("keep"); err != nil {
+		t.Fatal(err)
+	}
+}
