@@ -41,6 +41,14 @@ type Store interface {
 	ReadBlock(ctx sim.Context, dev int, pblock int64, dst []byte) error
 	// WriteBlock writes src to physical block pblock of device dev.
 	WriteBlock(ctx sim.Context, dev int, pblock int64, src []byte) error
+	// ReadBlocks reads the n physically contiguous blocks starting at
+	// pblock of device dev into dst (len = n × block size), coalescing
+	// them into as few device requests as the store's redundancy
+	// geometry allows — one for plain disks.
+	ReadBlocks(ctx sim.Context, dev int, pblock int64, n int, dst []byte) error
+	// WriteBlocks writes the n physically contiguous blocks starting at
+	// pblock of device dev from src, the write counterpart of ReadBlocks.
+	WriteBlocks(ctx sim.Context, dev int, pblock int64, n int, src []byte) error
 }
 
 // Direct is a Store over plain disks with no redundancy.
@@ -84,6 +92,16 @@ func (d *Direct) WriteBlock(ctx sim.Context, dev int, pblock int64, src []byte) 
 	return d.disks[dev].WriteBlock(ctx, pblock, src)
 }
 
+// ReadBlocks implements Store as one device request.
+func (d *Direct) ReadBlocks(ctx sim.Context, dev int, pblock int64, n int, dst []byte) error {
+	return d.disks[dev].ReadBlocks(ctx, pblock, n, dst)
+}
+
+// WriteBlocks implements Store as one device request.
+func (d *Direct) WriteBlocks(ctx sim.Context, dev int, pblock int64, n int, src []byte) error {
+	return d.disks[dev].WriteBlocks(ctx, pblock, n, src)
+}
+
 // Layout maps a file's logical blocks onto a device set. Physical block
 // numbers are relative to the file's per-device extent (the volume adds
 // the extent base).
@@ -94,16 +112,36 @@ type Layout interface {
 	Devices() int
 	// Map locates logical block b.
 	Map(b int64) (dev int, pblock int64)
+	// MapRun appends to dst the maximal physically contiguous runs
+	// covering the logical range [b, b+n), in ascending logical order.
+	// It is the contiguity iterator behind extent (multi-block) I/O and
+	// never calls Map per block: each implementation walks its layout a
+	// granule (stripe unit, partition span, interleave group) at a time.
+	MapRun(dst []Run, b, n int64) []Run
 }
 
 // PerDevice computes how many physical blocks a layout needs on each
 // device to hold total logical blocks (the per-device extent sizes).
+// Known layouts are computed in closed form; unknown implementations
+// fall back to mapping every block.
 func PerDevice(l Layout, total int64) []int64 {
 	need := make([]int64, l.Devices())
-	for b := int64(0); b < total; b++ {
-		dev, pb := l.Map(b)
-		if pb+1 > need[dev] {
-			need[dev] = pb + 1
+	if total <= 0 {
+		return need
+	}
+	switch t := l.(type) {
+	case *Striped:
+		t.perDevice(need, total)
+	case *Partitioned:
+		t.perDevice(need, total)
+	case *Interleaved:
+		t.perDevice(need, total)
+	default:
+		for b := int64(0); b < total; b++ {
+			dev, pb := l.Map(b)
+			if pb+1 > need[dev] {
+				need[dev] = pb + 1
+			}
 		}
 	}
 	return need

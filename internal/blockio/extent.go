@@ -1,0 +1,236 @@
+// Extent (multi-block run) I/O: the contiguity iterator over layouts and
+// the ranged Set operations built on it.
+//
+// The device model charges every request a fixed overhead plus seek and
+// rotational latency, so a sequential scan issued block-at-a-time pays
+// those costs once per block. MapRun decomposes a logical block range
+// into maximal physically contiguous per-device runs in closed form;
+// ReadRange/WriteRange issue each run as a single coalesced store
+// request, in parallel across devices under a simulation engine. A run
+// of N contiguous blocks then costs one overhead + one seek + rotation +
+// N transfers instead of N of each.
+
+package blockio
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Run is a physically contiguous span of a layout: the N logical blocks
+// [B, B+N) map to the physical blocks [PBlock, PBlock+N) of device Dev.
+type Run struct {
+	Dev    int   // device index
+	PBlock int64 // first physical block (file-extent relative)
+	B      int64 // first logical block
+	N      int64 // length in blocks
+}
+
+// appendRun adds a span to dst, merging with the previous run when it is
+// both logically and physically adjacent (e.g. consecutive stripe units
+// on a single-device layout, or consecutive granules of an unshared
+// partition).
+func appendRun(dst []Run, dev int, pblock, b, n int64) []Run {
+	if n <= 0 {
+		return dst
+	}
+	if k := len(dst) - 1; k >= 0 {
+		if last := &dst[k]; last.Dev == dev && last.PBlock+last.N == pblock && last.B+last.N == b {
+			last.N += n
+			return dst
+		}
+	}
+	return append(dst, Run{Dev: dev, PBlock: pblock, B: b, N: n})
+}
+
+// MapRun implements Layout one stripe unit at a time: within a unit
+// blocks are physically contiguous, and adjacent units merge when the
+// layout has a single device.
+func (s *Striped) MapRun(dst []Run, b, n int64) []Run {
+	for n > 0 {
+		seg := s.Unit - b%s.Unit
+		if seg > n {
+			seg = n
+		}
+		dev, pb := s.Map(b)
+		dst = appendRun(dst, dev, pb, b, seg)
+		b += seg
+		n -= seg
+	}
+	return dst
+}
+
+// perDevice is the closed-form extent computation for PerDevice: device
+// dev holds stripe units dev, dev+D, …, each Unit blocks except a
+// possibly short final unit.
+func (s *Striped) perDevice(need []int64, total int64) {
+	nUnits := (total + s.Unit - 1) / s.Unit
+	lastLen := total - (nUnits-1)*s.Unit
+	for dev := int64(0); dev < int64(s.D) && dev < nUnits; dev++ {
+		c := (nUnits-1-dev)/int64(s.D) + 1 // units on this device
+		h := s.Unit
+		if dev+(c-1)*int64(s.D) == nUnits-1 {
+			h = lastLen
+		}
+		need[dev] = (c-1)*s.Unit + h
+	}
+}
+
+// MapRun implements Layout one partition span at a time; under
+// PackContiguous a whole within-partition span is one run, under
+// PackInterleaved runs are the partition's Unit-sized granules.
+func (p *Partitioned) MapRun(dst []Run, b, n int64) []Run {
+	for n > 0 {
+		part := p.PartOf(b)
+		within := b - p.starts[part]
+		seg := p.starts[part+1] - b
+		if seg > n {
+			seg = n
+		}
+		dev := part % p.D
+		if p.Policy != PackInterleaved {
+			dst = appendRun(dst, dev, p.base[part]+within, b, seg)
+			b += seg
+			n -= seg
+			continue
+		}
+		k, rk := int64(p.shareK[part]), int64(p.rank[part])
+		for seg > 0 {
+			g := p.Unit - within%p.Unit
+			if g > seg {
+				g = seg
+			}
+			pblock := ((within/p.Unit)*k+rk)*p.Unit + within%p.Unit
+			dst = appendRun(dst, dev, pblock, b, g)
+			b += g
+			within += g
+			seg -= g
+			n -= g
+		}
+	}
+	return dst
+}
+
+// perDevice is the closed-form extent computation for PerDevice: each
+// partition's topmost physical block follows directly from its size,
+// share count and rank.
+func (p *Partitioned) perDevice(need []int64, total int64) {
+	for i := 0; i < p.Parts(); i++ {
+		start, end := p.starts[i], p.starts[i+1]
+		if start >= total {
+			break
+		}
+		if end > total {
+			end = total
+		}
+		size := end - start
+		if size == 0 {
+			continue
+		}
+		dev := i % p.D
+		var top int64
+		if p.Policy == PackInterleaved {
+			k, rk := int64(p.shareK[i]), int64(p.rank[i])
+			lastIdx := (size - 1) / p.Unit
+			top = (lastIdx*k+rk)*p.Unit + (size - lastIdx*p.Unit)
+		} else {
+			top = p.base[i] + size
+		}
+		if top > need[dev] {
+			need[dev] = top
+		}
+	}
+}
+
+// MapRun implements Layout one interleave group at a time: a group's
+// Unit blocks are physically contiguous on its owner's device.
+func (il *Interleaved) MapRun(dst []Run, b, n int64) []Run {
+	for n > 0 {
+		seg := il.Unit - b%il.Unit
+		if seg > n {
+			seg = n
+		}
+		dev, pb := il.Map(b)
+		dst = appendRun(dst, dev, pb, b, seg)
+		b += seg
+		n -= seg
+	}
+	return dst
+}
+
+// perDevice is the closed-form extent computation for PerDevice: stream
+// q owns groups q, q+P, … below ceil(total/Unit); its topmost physical
+// block follows from its group count, the height of its final group and
+// its packing position on the device.
+func (il *Interleaved) perDevice(need []int64, total int64) {
+	unit := il.Unit
+	g := (total + unit - 1) / unit // groups covering [0, total)
+	hLast := total - (g-1)*unit
+	for q := int64(0); q < int64(il.P) && q < g; q++ {
+		c := (g-1-q)/int64(il.P) + 1 // groups owned by stream q
+		dev := int(q) % il.D
+		h := unit
+		if q+(c-1)*int64(il.P) == g-1 {
+			h = hLast
+		}
+		var top int64
+		if il.Policy == PackContiguous {
+			var base int64
+			for q2 := int64(dev); q2 < q; q2 += int64(il.D) {
+				base += il.streamGroups(int(q2)) * unit
+			}
+			top = base + (c-1)*unit + h
+		} else {
+			k := int64(il.procsOnDev(dev))
+			top = ((c-1)*k+q/int64(il.D))*unit + h
+		}
+		if top > need[dev] {
+			need[dev] = top
+		}
+	}
+}
+
+// ReadRange reads the n logical blocks [b, b+n) into dst (len must equal
+// n × block size). The range is decomposed into per-device physically
+// contiguous runs (Layout.MapRun); each run is issued as one coalesced
+// store request, and the runs proceed in parallel across devices under a
+// simulation engine.
+func (s *Set) ReadRange(ctx sim.Context, b, n int64, dst []byte) error {
+	return s.doRange(ctx, "ReadRange", b, n, dst, s.store.ReadBlocks)
+}
+
+// WriteRange writes the n logical blocks [b, b+n) from src, the write
+// counterpart of ReadRange.
+func (s *Set) WriteRange(ctx sim.Context, b, n int64, src []byte) error {
+	return s.doRange(ctx, "WriteRange", b, n, src, s.store.WriteBlocks)
+}
+
+// doRange implements ReadRange/WriteRange over a per-run transfer.
+func (s *Set) doRange(ctx sim.Context, op string, b, n int64, buf []byte,
+	xfer func(sim.Context, int, int64, int, []byte) error) error {
+	bs := int64(s.store.BlockSize())
+	if b < 0 || n < 0 {
+		return fmt.Errorf("blockio: %s of blocks [%d,%d)", op, b, b+n)
+	}
+	if int64(len(buf)) != n*bs {
+		return fmt.Errorf("blockio: %s buffer len %d != %d blocks of %d bytes", op, len(buf), n, bs)
+	}
+	if n == 0 {
+		return nil
+	}
+	runs := s.layout.MapRun(nil, b, n)
+	if len(runs) == 1 {
+		r := runs[0]
+		return xfer(ctx, r.Dev, s.base[r.Dev]+r.PBlock, int(r.N), buf)
+	}
+	fns := make([]func(sim.Context) error, len(runs))
+	for i, r := range runs {
+		r := r
+		sub := buf[(r.B-b)*bs : (r.B-b+r.N)*bs]
+		fns[i] = func(c sim.Context) error {
+			return xfer(c, r.Dev, s.base[r.Dev]+r.PBlock, int(r.N), sub)
+		}
+	}
+	return sim.Par(ctx, fns...)
+}

@@ -1,0 +1,264 @@
+package blockio
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// testLayouts enumerates layout instances covering all three families,
+// both pack policies, shared devices, uneven partitions and partial
+// trailing units. Each comes with the logical total it was sized for.
+func testLayouts(t *testing.T) []struct {
+	name   string
+	layout Layout
+	total  int64
+} {
+	t.Helper()
+	mk := func(name string, l Layout, err error, total int64) struct {
+		name   string
+		layout Layout
+		total  int64
+	} {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return struct {
+			name   string
+			layout Layout
+			total  int64
+		}{name, l, total}
+	}
+	p1, err1 := NewPartitioned(4, []int64{13, 7, 0, 22, 5}, 3, PackContiguous)
+	p2, err2 := NewPartitioned(4, []int64{13, 7, 0, 22, 5}, 3, PackInterleaved)
+	p3, err3 := NewPartitioned(2, []int64{9, 9, 9}, 1, PackInterleaved)
+	i1, err4 := NewInterleaved(4, 6, 3, 47, PackContiguous)
+	i2, err5 := NewInterleaved(4, 6, 3, 47, PackInterleaved)
+	i3, err6 := NewInterleaved(3, 3, 2, 17, PackContiguous)
+	return []struct {
+		name   string
+		layout Layout
+		total  int64
+	}{
+		{"striped-d4-u1", NewStriped(4, 1), 47},
+		{"striped-d4-u8", NewStriped(4, 8), 100},
+		{"striped-d1-u4", NewStriped(1, 4), 23},
+		{"striped-d3-u5", NewStriped(3, 5), 61},
+		mk("part-contig", p1, err1, 47),
+		mk("part-inter", p2, err2, 47),
+		mk("part-inter-shared", p3, err3, 27),
+		mk("inter-contig", i1, err4, 47),
+		mk("inter-inter", i2, err5, 47),
+		mk("inter-contig-d3", i3, err6, 17),
+	}
+}
+
+// bruteRuns builds the expected run decomposition by mapping every block
+// and merging physically and logically adjacent neighbours.
+func bruteRuns(l Layout, b, n int64) []Run {
+	var runs []Run
+	for i := int64(0); i < n; i++ {
+		dev, pb := l.Map(b + i)
+		runs = appendRun(runs, dev, pb, b+i, 1)
+	}
+	return runs
+}
+
+// TestMapRunMatchesMap asserts that every layout's MapRun decomposition
+// equals the per-block reference over every (start, length) window.
+func TestMapRunMatchesMap(t *testing.T) {
+	for _, tc := range testLayouts(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			for b := int64(0); b < tc.total; b++ {
+				for n := int64(0); b+n <= tc.total; n++ {
+					got := tc.layout.MapRun(nil, b, n)
+					want := bruteRuns(tc.layout, b, n)
+					if len(got) != len(want) {
+						t.Fatalf("MapRun(%d,%d): %d runs, want %d\n got %v\nwant %v",
+							b, n, len(got), len(want), got, want)
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("MapRun(%d,%d) run %d = %+v, want %+v", b, n, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPerDeviceClosedForm validates the closed-form per-device extent
+// computation against the exhaustive per-block loop for every prefix
+// total of every layout.
+func TestPerDeviceClosedForm(t *testing.T) {
+	for _, tc := range testLayouts(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			for total := int64(0); total <= tc.total; total++ {
+				got := PerDevice(tc.layout, total)
+				want := make([]int64, tc.layout.Devices())
+				for b := int64(0); b < total; b++ {
+					dev, pb := tc.layout.Map(b)
+					if pb+1 > want[dev] {
+						want[dev] = pb + 1
+					}
+				}
+				for dev := range want {
+					if got[dev] != want[dev] {
+						t.Fatalf("PerDevice(total=%d) dev %d = %d, want %d (full: got %v want %v)",
+							total, dev, got[dev], want[dev], got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// newTestSet builds a Set over fresh untimed disks for a layout.
+func newTestSet(t *testing.T, l Layout, total int64) (*Set, []*device.Disk) {
+	t.Helper()
+	disks := make([]*device.Disk, l.Devices())
+	for i := range disks {
+		disks[i] = device.New(device.Config{
+			Name:     fmt.Sprintf("d%d", i),
+			Geometry: device.Geometry{BlockSize: 64, BlocksPerCyl: 8, Cylinders: 64},
+		})
+	}
+	store, err := NewDirect(disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := NewSet(store, l, make([]int64, l.Devices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, disks
+}
+
+// TestRangeEquivalence asserts ReadRange/WriteRange are bit-for-bit
+// identical to block-at-a-time loops on every layout: data written by
+// WriteRange reads back block-by-block, and data written block-by-block
+// reads back via ReadRange.
+func TestRangeEquivalence(t *testing.T) {
+	ctx := sim.NewWall()
+	for _, tc := range testLayouts(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			bs := 64
+			set, _ := newTestSet(t, tc.layout, tc.total)
+			data := make([]byte, int(tc.total)*bs)
+			rng.Read(data)
+			// Write the whole space with WriteRange in irregular chunks.
+			for b := int64(0); b < tc.total; {
+				n := int64(rng.Intn(7) + 1)
+				if b+n > tc.total {
+					n = tc.total - b
+				}
+				if err := set.WriteRange(ctx, b, n, data[b*int64(bs):(b+n)*int64(bs)]); err != nil {
+					t.Fatalf("WriteRange(%d,%d): %v", b, n, err)
+				}
+				b += n
+			}
+			// Read back block-at-a-time.
+			buf := make([]byte, bs)
+			for b := int64(0); b < tc.total; b++ {
+				if err := set.ReadBlock(ctx, b, buf); err != nil {
+					t.Fatalf("ReadBlock(%d): %v", b, err)
+				}
+				if !bytes.Equal(buf, data[b*int64(bs):(b+1)*int64(bs)]) {
+					t.Fatalf("block %d mismatch after WriteRange", b)
+				}
+			}
+
+			// Fresh set: write block-at-a-time, read back with ReadRange.
+			set2, _ := newTestSet(t, tc.layout, tc.total)
+			for b := int64(0); b < tc.total; b++ {
+				if err := set2.WriteBlock(ctx, b, data[b*int64(bs):(b+1)*int64(bs)]); err != nil {
+					t.Fatalf("WriteBlock(%d): %v", b, err)
+				}
+			}
+			got := make([]byte, len(data))
+			for b := int64(0); b < tc.total; {
+				n := int64(rng.Intn(9) + 1)
+				if b+n > tc.total {
+					n = tc.total - b
+				}
+				if err := set2.ReadRange(ctx, b, n, got[b*int64(bs):(b+n)*int64(bs)]); err != nil {
+					t.Fatalf("ReadRange(%d,%d): %v", b, n, err)
+				}
+				b += n
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("ReadRange data differs from per-block writes")
+			}
+		})
+	}
+}
+
+// TestRangeCoalescesRequests asserts that a ranged sequential scan of a
+// striped layout issues one device request per stripe-unit run rather
+// than one per block.
+func TestRangeCoalescesRequests(t *testing.T) {
+	ctx := sim.NewWall()
+	const unit, devs, total = 8, 4, 256
+	l := NewStriped(devs, unit)
+	set, disks := newTestSet(t, l, total)
+	buf := make([]byte, total*64)
+	if err := set.ReadRange(ctx, 0, total, buf); err != nil {
+		t.Fatal(err)
+	}
+	var requests int64
+	for _, d := range disks {
+		requests += d.Stats().Requests()
+	}
+	if want := int64(total / unit); requests != want {
+		t.Fatalf("requests = %d, want %d (one per %d-block run)", requests, want, unit)
+	}
+}
+
+// TestRangeUnderEngine runs ranged transfers from managed processes so
+// the per-device parallel issue path (sim.Par) is exercised.
+func TestRangeUnderEngine(t *testing.T) {
+	const total = 96
+	const bs = 64
+	l := NewStriped(4, 4)
+	e := sim.NewEngine()
+	disks := make([]*device.Disk, l.Devices())
+	for i := range disks {
+		disks[i] = device.New(device.Config{
+			Name:     fmt.Sprintf("d%d", i),
+			Geometry: device.Geometry{BlockSize: bs, BlocksPerCyl: 8, Cylinders: 64},
+			Engine:   e,
+		})
+	}
+	store, err := NewDirect(disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := NewSet(store, l, make([]int64, l.Devices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, total*bs)
+	rand.New(rand.NewSource(7)).Read(data)
+	got := make([]byte, total*bs)
+	e.Go("io", func(p *sim.Proc) {
+		if err := set.WriteRange(p, 0, total, data); err != nil {
+			t.Errorf("WriteRange: %v", err)
+			return
+		}
+		if err := set.ReadRange(p, 0, total, got); err != nil {
+			t.Errorf("ReadRange: %v", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("engine round trip mismatch")
+	}
+}

@@ -9,6 +9,11 @@
 //   - Cache: an LRU block cache "helpful when there is some locality of
 //     reference, as in the PDA organization".
 //
+// SeqReader and SeqWriter also come in extent form (NewSeqReaderExtent,
+// NewSeqWriterExtent): the streaming unit becomes a run of up to E
+// blocks fetched or flushed by one FetchRun/FlushRun call, so a
+// coalescing backend turns every extent into a single device request.
+//
 // All three are engine-aware: under a sim.Engine they overlap transfers
 // with the caller's computation in virtual time; without one they degrade
 // to synchronous operation (single-goroutine use only).
@@ -29,6 +34,15 @@ type Fetch func(ctx sim.Context, idx int64, buf []byte) error
 
 // FlushFn writes stream block idx from buf.
 type FlushFn func(ctx sim.Context, idx int64, buf []byte) error
+
+// FetchRun reads the run of n stream blocks starting at block first into
+// buf (len(buf) = n × block size), ideally as one coalesced device
+// request (blockio.Set.ReadRange).
+type FetchRun func(ctx sim.Context, first int64, n int, buf []byte) error
+
+// FlushRun writes the run of n stream blocks starting at block first
+// from buf, the write counterpart of FetchRun.
+type FlushRun func(ctx sim.Context, first int64, n int, buf []byte) error
 
 // SeqReader streams blocks 0..total-1 in order through a fixed pool of
 // buffers, prefetching ahead of the consumer. Multiple consumers may call
@@ -82,6 +96,33 @@ func NewSeqReader(fetch Fetch, blockSize int, total int64, nbufs, readers int) (
 		r.free = append(r.free, make([]byte, blockSize))
 	}
 	return r, nil
+}
+
+// NewSeqReaderExtent builds a reader whose streaming unit is an extent
+// of up to `extent` blocks: buffers are extent × blockSize bytes, and
+// each prefetch covers one whole extent — blocks [e·extent,
+// min((e+1)·extent, total)) — in a single FetchRun call, so a coalescing
+// fetch pays the device's per-request overhead once per extent instead
+// of once per block. Next yields whole extents (the index is the extent
+// number; the final extent may cover fewer blocks, and only its valid
+// prefix of the buffer is filled).
+func NewSeqReaderExtent(fetch FetchRun, blockSize int, total int64, extent, nbufs, readers int) (*SeqReader, error) {
+	if extent < 1 {
+		extent = 1
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("buffer: block size %d", blockSize)
+	}
+	extents := (total + int64(extent) - 1) / int64(extent)
+	wrapped := func(ctx sim.Context, e int64, buf []byte) error {
+		first := e * int64(extent)
+		n := int64(extent)
+		if first+n > total {
+			n = total - first
+		}
+		return fetch(ctx, first, int(n), buf[:n*int64(blockSize)])
+	}
+	return NewSeqReader(wrapped, blockSize*extent, extents, nbufs, readers)
 }
 
 // startPrefetch launches the dedicated I/O processes (engine mode only).
@@ -224,6 +265,33 @@ func NewSeqWriter(flush FlushFn, blockSize, nbufs, writers int) (*SeqWriter, err
 		w.free = append(w.free, make([]byte, blockSize))
 	}
 	return w, nil
+}
+
+// NewSeqWriterExtent builds a deferred writer whose streaming unit is an
+// extent of up to `extent` blocks over a stream of total blocks: the
+// producer assembles extent × blockSize buffers (Submit index = extent
+// number) and each flush covers the whole extent in a single FlushRun
+// call — one coalesced device request per extent. The final extent is
+// clamped to the stream length, so only its valid prefix is written.
+func NewSeqWriterExtent(flush FlushRun, blockSize int, total int64, extent, nbufs, writers int) (*SeqWriter, error) {
+	if extent < 1 {
+		extent = 1
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("buffer: block size %d", blockSize)
+	}
+	wrapped := func(ctx sim.Context, e int64, buf []byte) error {
+		first := e * int64(extent)
+		n := int64(extent)
+		if first+n > total {
+			n = total - first
+		}
+		if n <= 0 {
+			return fmt.Errorf("buffer: extent %d beyond stream of %d blocks", e, total)
+		}
+		return flush(ctx, first, int(n), buf[:n*int64(blockSize)])
+	}
+	return NewSeqWriter(wrapped, blockSize*extent, nbufs, writers)
 }
 
 // startWriters launches the flush processes (engine mode only).

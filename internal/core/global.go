@@ -52,12 +52,18 @@ func OpenGlobalReader(f *pfs.File, ctx sim.Context) (*GlobalReader, error) {
 // Size reports the payload length in bytes.
 func (g *GlobalReader) Size() int64 { return g.size }
 
-// Read implements io.Reader over the canonical record stream.
+// Read implements io.Reader over the canonical record stream. For dense
+// framings (no paper-block padding) whole-fs-block spans of the request
+// bypass the cache as coalesced ranged transfers — one device request
+// per physically contiguous run instead of one per block.
 func (g *GlobalReader) Read(p []byte) (int, error) {
 	if g.pos >= g.size {
 		return 0, io.EOF
 	}
 	m := g.f.Mapper()
+	if m.Dense() {
+		return g.readDense(p)
+	}
 	rs := int64(m.RecordSize())
 	total := 0
 	for len(p) > 0 && g.pos < g.size {
@@ -92,6 +98,50 @@ func (g *GlobalReader) Read(p []byte) (int, error) {
 				break
 			}
 		}
+	}
+	return total, nil
+}
+
+// readDense serves Read when payload bytes map 1:1 onto fs-block bytes:
+// block-aligned whole blocks transfer directly through Set.ReadRange
+// (the extent path); unaligned head and tail bytes go through the cache.
+func (g *GlobalReader) readDense(p []byte) (int, error) {
+	m := g.f.Mapper()
+	fsbs := int64(m.FSBlockSize())
+	total := 0
+	for len(p) > 0 && g.pos < g.size {
+		off := g.pos % fsbs
+		rem := g.size - g.pos
+		if off == 0 && int64(len(p)) >= fsbs && rem >= fsbs {
+			nb := int64(len(p)) / fsbs
+			if max := rem / fsbs; nb > max {
+				nb = max
+			}
+			if err := g.f.Set().ReadRange(g.ctx, g.pos/fsbs, nb, p[:nb*fsbs]); err != nil {
+				return total, err
+			}
+			p = p[nb*fsbs:]
+			g.pos += nb * fsbs
+			total += int(nb * fsbs)
+			continue
+		}
+		n := fsbs - off
+		if n > int64(len(p)) {
+			n = int64(len(p))
+		}
+		if n > rem {
+			n = rem
+		}
+		err := g.cache.With(g.ctx, g.pos/fsbs, false, func(buf []byte) error {
+			copy(p[:n], buf[off:off+n])
+			return nil
+		})
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+		g.pos += n
+		total += int(n)
 	}
 	return total, nil
 }

@@ -37,15 +37,20 @@ type SelfSched struct {
 	mu     sim.Mutex
 	cursor int64 // next record (record mode) or paper-block (block mode)
 
+	ext     int64 // fs blocks per streaming extent (early release)
+	totalFS int64
+
 	// Read state.
 	rd    *buffer.SeqReader
 	cur   []byte
-	curFS int64
+	curLo int64 // logical fs range [curLo, curHi) held by cur
+	curHi int64
 
 	// Write state.
 	sw    *buffer.SeqWriter
 	wbuf  []byte
-	wFS   int64
+	wLo   int64 // logical fs range [wLo, wHi) assembled in wbuf
+	wHi   int64
 	wBuf1 []byte // serialized-mode scratch block
 
 	payload []byte // block-mode assembly buffer
@@ -93,19 +98,22 @@ func OpenSelfSched(f *pfs.File, mode ssMode, opts Options) (*SelfSched, error) {
 				m.RecordSize(), m.FSBlockSize())
 		}
 	}
-	s := &SelfSched{f: f, opts: opts, mode: mode, curFS: -1, wFS: -1}
 	totalFS := m.TotalFSBlocks()
+	s := &SelfSched{f: f, opts: opts, mode: mode,
+		ext: int64(opts.ExtentBlocks), totalFS: totalFS,
+		curLo: -1, curHi: -1, wLo: -1, wHi: -1}
 	switch mode {
 	case ssRead:
 		if opts.EarlyRelease {
-			fetch := func(ctx sim.Context, k int64, buf []byte) error {
-				return f.Set().ReadBlock(ctx, k, buf)
+			fetch := func(ctx sim.Context, first int64, n int, buf []byte) error {
+				return f.Set().ReadRange(ctx, first, int64(n), buf)
 			}
 			ioProcs := opts.IOProcs
 			if ioProcs < 1 {
 				ioProcs = 1
 			}
-			rd, err := buffer.NewSeqReader(fetch, m.FSBlockSize(), totalFS, opts.NBufs, ioProcs)
+			rd, err := buffer.NewSeqReaderExtent(fetch, m.FSBlockSize(), totalFS,
+				opts.ExtentBlocks, opts.NBufs, ioProcs)
 			if err != nil {
 				return nil, err
 			}
@@ -115,14 +123,15 @@ func OpenSelfSched(f *pfs.File, mode ssMode, opts Options) (*SelfSched, error) {
 		}
 	case ssWrite:
 		if opts.EarlyRelease {
-			flush := func(ctx sim.Context, k int64, buf []byte) error {
-				return f.Set().WriteBlock(ctx, k, buf)
+			flush := func(ctx sim.Context, first int64, n int, buf []byte) error {
+				return f.Set().WriteRange(ctx, first, int64(n), buf)
 			}
 			ioProcs := opts.IOProcs
 			if ioProcs < 1 {
 				ioProcs = 1
 			}
-			sw, err := buffer.NewSeqWriter(flush, m.FSBlockSize(), opts.NBufs, ioProcs)
+			sw, err := buffer.NewSeqWriterExtent(flush, m.FSBlockSize(), totalFS,
+				opts.ExtentBlocks, opts.NBufs, ioProcs)
 			if err != nil {
 				return nil, err
 			}
@@ -187,29 +196,42 @@ func (s *SelfSched) setGran(g ssGran) error {
 // readAdvanceTo makes cur hold logical fs block k.
 func (s *SelfSched) readAdvanceTo(ctx sim.Context, k int64) error {
 	if s.opts.EarlyRelease {
-		for s.curFS < k {
+		for s.cur == nil || k >= s.curHi {
 			if s.cur != nil {
 				s.rd.Release(ctx, s.cur)
 				s.cur = nil
 			}
-			buf, idx, err := s.rd.Next(ctx)
+			buf, e, err := s.rd.Next(ctx)
 			if err != nil {
 				return err
 			}
-			s.cur, s.curFS = buf, idx
+			s.cur = buf
+			s.curLo, s.curHi = extentSpanOf(e, s.ext, s.totalFS)
 		}
-		if s.curFS != k {
-			return fmt.Errorf("core: SS read skipped fs block %d (at %d)", k, s.curFS)
+		if k < s.curLo {
+			return fmt.Errorf("core: SS read skipped fs block %d (at [%d,%d))", k, s.curLo, s.curHi)
 		}
 		return nil
 	}
-	if s.curFS != k {
+	if k < s.curLo || k >= s.curHi {
 		if err := s.f.Set().ReadBlock(ctx, k, s.cur); err != nil {
 			return err
 		}
-		s.curFS = k
+		s.curLo, s.curHi = k, k+1
 	}
 	return nil
+}
+
+// rblock returns the cached bytes of logical fs block k; readAdvanceTo(k)
+// must have succeeded.
+func (s *SelfSched) rblock(k int64) []byte {
+	return extentSlice(s.cur, k, s.curLo, s.f.Mapper().FSBlockSize())
+}
+
+// wblock returns the assembly bytes of logical fs block k;
+// writeAdvanceTo(k) must have succeeded.
+func (s *SelfSched) wblock(k int64) []byte {
+	return extentSlice(s.wbuf, k, s.wLo, s.f.Mapper().FSBlockSize())
 }
 
 // ReadNext claims and returns the next record (valid until the caller's
@@ -240,7 +262,8 @@ func (s *SelfSched) ReadNext(ctx sim.Context, dst []byte) (int64, error) {
 	if err := s.readAdvanceTo(ctx, sp.FSBlock); err != nil {
 		return rec, err
 	}
-	copy(dst, s.cur[sp.Off:sp.Off+sp.Len])
+	blk := s.rblock(sp.FSBlock)
+	copy(dst, blk[sp.Off:sp.Off+sp.Len])
 	s.opts.Trace.Add(trace.Event{
 		Time: ctx.Now(), Proc: s.traceProc(ctx), Op: trace.Read, Record: rec, Block: m.BlockOf(rec),
 	})
@@ -274,22 +297,23 @@ func (s *SelfSched) WriteNext(ctx sim.Context, data []byte) (int64, error) {
 	if err := s.writeAdvanceTo(ctx, sp.FSBlock); err != nil {
 		return rec, err
 	}
-	copy(s.wbuf[sp.Off:sp.Off+sp.Len], data)
+	blk := s.wblock(sp.FSBlock)
+	copy(blk[sp.Off:sp.Off+sp.Len], data)
 	s.opts.Trace.Add(trace.Event{
 		Time: ctx.Now(), Proc: s.traceProc(ctx), Op: trace.Write, Record: rec, Block: m.BlockOf(rec),
 	})
 	return rec, nil
 }
 
-// writeAdvanceTo makes wbuf the assembly buffer for logical fs block k,
-// flushing the completed predecessor.
+// writeAdvanceTo makes wbuf the assembly buffer covering logical fs
+// block k, flushing the completed predecessor extent.
 func (s *SelfSched) writeAdvanceTo(ctx sim.Context, k int64) error {
-	if s.wFS == k && s.wbuf != nil {
+	if s.wbuf != nil && k >= s.wLo && k < s.wHi {
 		return nil
 	}
 	if s.opts.EarlyRelease {
 		if s.wbuf != nil {
-			if err := s.sw.Submit(ctx, s.wFS, s.wbuf); err != nil {
+			if err := s.sw.Submit(ctx, s.wLo/s.ext, s.wbuf); err != nil {
 				return err
 			}
 			s.wbuf = nil
@@ -300,17 +324,17 @@ func (s *SelfSched) writeAdvanceTo(ctx sim.Context, k int64) error {
 		}
 		clear(buf)
 		s.wbuf = buf
-		s.wFS = k
+		s.wLo, s.wHi = extentSpanAt(k, s.ext, s.totalFS)
 		return nil
 	}
 	if s.wbuf != nil {
-		if err := s.f.Set().WriteBlock(ctx, s.wFS, s.wbuf); err != nil {
+		if err := s.f.Set().WriteBlock(ctx, s.wLo, s.wbuf); err != nil {
 			return err
 		}
 	}
 	clear(s.wBuf1)
 	s.wbuf = s.wBuf1
-	s.wFS = k
+	s.wLo, s.wHi = k, k+1
 	return nil
 }
 
@@ -353,7 +377,8 @@ func (s *SelfSched) ReadNextBlock(ctx sim.Context) ([]byte, int64, error) {
 		if n > want-got {
 			n = want - got
 		}
-		copy(out[got:], s.cur[off:off+n])
+		blk := s.rblock(k)
+		copy(out[got:], blk[off:off+n])
 		got += n
 	}
 	s.opts.Trace.Add(trace.Event{
@@ -399,7 +424,8 @@ func (s *SelfSched) WriteNextBlock(ctx sim.Context, payload []byte) (int64, erro
 		if n > want-put {
 			n = want - put
 		}
-		copy(s.wbuf[off:off+n], payload[put:put+n])
+		blk := s.wblock(k)
+		copy(blk[off:off+n], payload[put:put+n])
 		put += n
 	}
 	s.opts.Trace.Add(trace.Event{
@@ -431,10 +457,10 @@ func (s *SelfSched) Close(ctx sim.Context) error {
 	default:
 		if s.wbuf != nil {
 			if s.opts.EarlyRelease {
-				if err := s.sw.Submit(ctx, s.wFS, s.wbuf); err != nil {
+				if err := s.sw.Submit(ctx, s.wLo/s.ext, s.wbuf); err != nil {
 					return err
 				}
-			} else if err := s.f.Set().WriteBlock(ctx, s.wFS, s.wbuf); err != nil {
+			} else if err := s.f.Set().WriteBlock(ctx, s.wLo, s.wbuf); err != nil {
 				return err
 			}
 			s.wbuf = nil

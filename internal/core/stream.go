@@ -19,38 +19,40 @@ type StreamReader struct {
 	seq  blockSeq
 	opts Options
 
-	rd    *buffer.SeqReader
-	cur   []byte // current fs block buffer
-	curFS int64  // stream fs index of cur; -1 when none
-	j     int64  // paper-block cursor within the stream
-	i     int    // record cursor within the paper-block
+	rd      *buffer.SeqReader
+	ext     int64  // fs blocks per streaming extent
+	totalFS int64  // stream length in fs blocks
+	cur     []byte // current extent buffer
+	curLo   int64  // stream fs range [curLo, curHi) held by cur
+	curHi   int64
+	j       int64 // paper-block cursor within the stream
+	i       int   // record cursor within the paper-block
 
 	recBuf  []byte
 	spanBuf []records.Span
 	closed  bool
 }
 
-// newStreamReader wires a SeqReader over the stream's fs blocks.
+// newStreamReader wires an extent SeqReader over the stream's fs blocks:
+// each prefetch covers one extent of up to opts.ExtentBlocks fs blocks,
+// issued through the coalescing ranged path (Set.ReadRange).
 func newStreamReader(f *pfs.File, seq blockSeq, opts Options) (*StreamReader, error) {
 	opts = opts.norm()
 	m := f.Mapper()
-	fsPer := m.FSPerBlock()
-	totalFS := seq.n * fsPer
-	fetch := func(ctx sim.Context, k int64, buf []byte) error {
-		logical := seq.pb(k/fsPer)*fsPer + k%fsPer
-		return f.Set().ReadBlock(ctx, logical, buf)
-	}
-	rd, err := buffer.NewSeqReader(fetch, m.FSBlockSize(), totalFS, opts.NBufs, opts.IOProcs)
+	totalFS := seq.n * m.FSPerBlock()
+	rd, err := buffer.NewSeqReaderExtent(rangedFetch(f, seq), m.FSBlockSize(), totalFS,
+		opts.ExtentBlocks, opts.NBufs, opts.IOProcs)
 	if err != nil {
 		return nil, err
 	}
 	return &StreamReader{
-		f:      f,
-		seq:    seq,
-		opts:   opts,
-		rd:     rd,
-		curFS:  -1,
-		recBuf: make([]byte, m.RecordSize()),
+		f:       f,
+		seq:     seq,
+		opts:    opts,
+		rd:      rd,
+		ext:     int64(opts.ExtentBlocks),
+		totalFS: totalFS,
+		recBuf:  make([]byte, m.RecordSize()),
 	}, nil
 }
 
@@ -91,25 +93,31 @@ func OpenBlockRangeReader(f *pfs.File, first, end int64, opts Options) (*StreamR
 	return newStreamReader(f, seq, opts)
 }
 
-// advanceTo makes cur the stream fs block k (consuming the underlying
-// sequential stream; k must be ≥ curFS).
+// advanceTo makes cur the extent holding stream fs block k (consuming
+// the underlying sequential stream; k must be ≥ curLo).
 func (r *StreamReader) advanceTo(ctx sim.Context, k int64) error {
-	for r.curFS < k {
+	for r.cur == nil || k >= r.curHi {
 		if r.cur != nil {
 			r.rd.Release(ctx, r.cur)
 			r.cur = nil
 		}
-		buf, idx, err := r.rd.Next(ctx)
+		buf, e, err := r.rd.Next(ctx)
 		if err != nil {
 			return err
 		}
 		r.cur = buf
-		r.curFS = idx
+		r.curLo, r.curHi = extentSpanOf(e, r.ext, r.totalFS)
 	}
-	if r.curFS != k {
-		return fmt.Errorf("core: stream reader skipped past fs block %d (at %d)", k, r.curFS)
+	if k < r.curLo {
+		return fmt.Errorf("core: stream reader skipped past fs block %d (at [%d,%d))", k, r.curLo, r.curHi)
 	}
 	return nil
+}
+
+// fsSlice returns the cached bytes of stream fs block k; advanceTo(k)
+// must have succeeded.
+func (r *StreamReader) fsSlice(k int64) []byte {
+	return extentSlice(r.cur, k, r.curLo, r.f.Mapper().FSBlockSize())
 }
 
 // ReadRecord returns the next record of the stream and its global record
@@ -140,7 +148,8 @@ func (r *StreamReader) ReadRecord(ctx sim.Context) ([]byte, int64, error) {
 		if err := r.advanceTo(ctx, k); err != nil {
 			return nil, rec, err
 		}
-		copy(r.recBuf[got:], r.cur[sp.Off:sp.Off+sp.Len])
+		blk := r.fsSlice(k)
+		copy(r.recBuf[got:], blk[sp.Off:sp.Off+sp.Len])
 		got += sp.Len
 	}
 	r.i++
@@ -181,30 +190,33 @@ type StreamWriter struct {
 	seq  blockSeq
 	opts Options
 
-	sw    *buffer.SeqWriter
-	cur   []byte
-	curFS int64 // stream fs index of cur; -1 none
-	j     int64
-	i     int
+	sw      *buffer.SeqWriter
+	ext     int64  // fs blocks per streaming extent
+	totalFS int64  // stream length in fs blocks
+	cur     []byte // current extent assembly buffer
+	wLo     int64  // stream fs range [wLo, wHi) assembled in cur
+	wHi     int64
+	j       int64
+	i       int
 
 	spanBuf []records.Span
 	closed  bool
 }
 
-// newStreamWriter wires a SeqWriter over the stream's fs blocks.
+// newStreamWriter wires an extent SeqWriter over the stream's fs blocks:
+// each deferred flush covers one extent of up to opts.ExtentBlocks fs
+// blocks, issued through the coalescing ranged path (Set.WriteRange).
 func newStreamWriter(f *pfs.File, seq blockSeq, opts Options) (*StreamWriter, error) {
 	opts = opts.norm()
 	m := f.Mapper()
-	fsPer := m.FSPerBlock()
-	flush := func(ctx sim.Context, k int64, buf []byte) error {
-		logical := seq.pb(k/fsPer)*fsPer + k%fsPer
-		return f.Set().WriteBlock(ctx, logical, buf)
-	}
-	sw, err := buffer.NewSeqWriter(flush, m.FSBlockSize(), opts.NBufs, opts.IOProcs)
+	totalFS := seq.n * m.FSPerBlock()
+	sw, err := buffer.NewSeqWriterExtent(rangedFlush(f, seq), m.FSBlockSize(), totalFS,
+		opts.ExtentBlocks, opts.NBufs, opts.IOProcs)
 	if err != nil {
 		return nil, err
 	}
-	return &StreamWriter{f: f, seq: seq, opts: opts, sw: sw, curFS: -1}, nil
+	return &StreamWriter{f: f, seq: seq, opts: opts, sw: sw,
+		ext: int64(opts.ExtentBlocks), totalFS: totalFS}, nil
 }
 
 // OpenWriter opens the type-S (whole file, sequential) write view.
@@ -230,13 +242,14 @@ func OpenInterleavedWriter(f *pfs.File, part, stride int, opts Options) (*Stream
 	return newStreamWriter(f, seq, opts)
 }
 
-// advanceTo makes cur the stream fs block k, submitting completed blocks.
+// advanceTo makes cur the extent assembly buffer holding stream fs block
+// k, submitting the completed predecessor extent.
 func (w *StreamWriter) advanceTo(ctx sim.Context, k int64) error {
-	if w.curFS == k {
+	if w.cur != nil && k >= w.wLo && k < w.wHi {
 		return nil
 	}
 	if w.cur != nil {
-		if err := w.sw.Submit(ctx, w.curFS, w.cur); err != nil {
+		if err := w.sw.Submit(ctx, w.wLo/w.ext, w.cur); err != nil {
 			return err
 		}
 		w.cur = nil
@@ -247,8 +260,14 @@ func (w *StreamWriter) advanceTo(ctx sim.Context, k int64) error {
 	}
 	clear(buf)
 	w.cur = buf
-	w.curFS = k
+	w.wLo, w.wHi = extentSpanAt(k, w.ext, w.totalFS)
 	return nil
+}
+
+// fsSlice returns the assembly bytes of stream fs block k; advanceTo(k)
+// must have succeeded.
+func (w *StreamWriter) fsSlice(k int64) []byte {
+	return extentSlice(w.cur, k, w.wLo, w.f.Mapper().FSBlockSize())
 }
 
 // WriteRecord appends data (len must equal the record size) as the next
@@ -281,7 +300,8 @@ func (w *StreamWriter) WriteRecord(ctx sim.Context, data []byte) (int64, error) 
 		if err := w.advanceTo(ctx, k); err != nil {
 			return rec, err
 		}
-		copy(w.cur[sp.Off:sp.Off+sp.Len], data[put:])
+		blk := w.fsSlice(k)
+		copy(blk[sp.Off:sp.Off+sp.Len], data[put:])
 		put += sp.Len
 	}
 	w.i++
@@ -298,7 +318,7 @@ func (w *StreamWriter) Close(ctx sim.Context) error {
 	}
 	w.closed = true
 	if w.cur != nil {
-		if err := w.sw.Submit(ctx, w.curFS, w.cur); err != nil {
+		if err := w.sw.Submit(ctx, w.wLo/w.ext, w.cur); err != nil {
 			return err
 		}
 		w.cur = nil

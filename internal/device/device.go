@@ -436,6 +436,69 @@ func (d *Disk) WriteBlock(ctx sim.Context, block int64, src []byte) error {
 	})
 }
 
+// checkRun validates a whole-block run request.
+func (d *Disk) checkRun(op string, block int64, n int, buf []byte) error {
+	if n <= 0 {
+		return fmt.Errorf("device: %s of %d blocks", op, n)
+	}
+	if block < 0 || block+int64(n) > d.geom.Blocks() {
+		return fmt.Errorf("%w: blocks [%d,%d) of %d on %s", ErrOutOfRange, block, block+int64(n), d.geom.Blocks(), d.name)
+	}
+	if len(buf) != n*d.geom.BlockSize {
+		return fmt.Errorf("device: %s buffer len %d != %d blocks of %d bytes", op, len(buf), n, d.geom.BlockSize)
+	}
+	return nil
+}
+
+// ReadBlocks reads the n contiguous blocks starting at block into dst
+// (len(dst) must equal n × block size). The run is serviced as ONE queued
+// request — one controller overhead, one seek to the first block's
+// cylinder, one rotational latency, then n blocks at the streaming rate —
+// and the statistics count it as a single read of n blocks. This is the
+// extent I/O primitive: a sequential transfer of 1000 blocks issued
+// through ReadBlocks pays 1 overhead instead of 1000.
+func (d *Disk) ReadBlocks(ctx sim.Context, block int64, n int, dst []byte) error {
+	if err := d.checkRun("ReadBlocks", block, n, dst); err != nil {
+		return err
+	}
+	return d.access(ctx, block, len(dst), func() error {
+		bs := d.geom.BlockSize
+		for i := 0; i < n; i++ {
+			page := dst[i*bs : (i+1)*bs]
+			found, err := d.backend.ReadPage(block+int64(i), page)
+			if err != nil {
+				return err
+			}
+			if !found {
+				clear(page)
+			}
+		}
+		d.stats.Reads++
+		d.stats.BytesRead += int64(len(dst))
+		return nil
+	})
+}
+
+// WriteBlocks writes the n contiguous blocks starting at block from src
+// (len(src) must equal n × block size) as ONE queued request, the write
+// counterpart of ReadBlocks.
+func (d *Disk) WriteBlocks(ctx sim.Context, block int64, n int, src []byte) error {
+	if err := d.checkRun("WriteBlocks", block, n, src); err != nil {
+		return err
+	}
+	return d.access(ctx, block, len(src), func() error {
+		bs := d.geom.BlockSize
+		for i := 0; i < n; i++ {
+			if err := d.backend.WritePage(block+int64(i), src[i*bs:(i+1)*bs]); err != nil {
+				return err
+			}
+		}
+		d.stats.Writes++
+		d.stats.BytesWritten += int64(len(src))
+		return nil
+	})
+}
+
 // ReadAt reads len(dst) bytes starting at byte offset off, possibly
 // spanning blocks; it is modeled as a single request targeting the first
 // block's cylinder (contiguous blocks transfer at the streaming rate).

@@ -1,5 +1,7 @@
 package sim
 
+import "errors"
+
 // Synchronization primitives for virtual-time processes.
 //
 // Because the engine enforces strict alternation, these types need no
@@ -153,4 +155,34 @@ func (g *Group) Spawn(e *Engine, name string, fn func(p *Proc)) {
 		defer g.Done(p)
 		fn(p)
 	})
+}
+
+// Par runs the given operations concurrently when ctx is a managed
+// process (the first on the calling process, the rest as spawned
+// processes, matching how an I/O controller drives several spindles at
+// once) and sequentially otherwise, joining all errors. Spawn order — and
+// therefore virtual-time scheduling — follows argument order, keeping
+// runs deterministic.
+func Par(ctx Context, fns ...func(Context) error) error {
+	p, ok := ctx.(*Proc)
+	if !ok || len(fns) == 1 {
+		var errs []error
+		for _, fn := range fns {
+			if err := fn(ctx); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}
+	errs := make([]error, len(fns))
+	var g Group
+	for i := 1; i < len(fns); i++ {
+		i, fn := i, fns[i]
+		g.Spawn(p.Engine(), "par-io", func(c *Proc) {
+			errs[i] = fn(c)
+		})
+	}
+	errs[0] = fns[0](p)
+	g.Wait(p)
+	return errors.Join(errs...)
 }

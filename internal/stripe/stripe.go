@@ -34,27 +34,7 @@ var ErrDoubleFailure = errors.New("stripe: multiple drive failures exceed redund
 // par runs the given operations concurrently under a simulation engine
 // (or sequentially otherwise) and joins their errors.
 func par(ctx sim.Context, fns ...func(sim.Context) error) error {
-	p, ok := ctx.(*sim.Proc)
-	if !ok || len(fns) == 1 {
-		var errs []error
-		for _, fn := range fns {
-			if err := fn(ctx); err != nil {
-				errs = append(errs, err)
-			}
-		}
-		return errors.Join(errs...)
-	}
-	errs := make([]error, len(fns))
-	var g sim.Group
-	for i := 1; i < len(fns); i++ {
-		i, fn := i, fns[i]
-		g.Spawn(p.Engine(), "stripe-io", func(c *sim.Proc) {
-			errs[i] = fn(c)
-		})
-	}
-	errs[0] = fns[0](p)
-	g.Wait(p)
-	return errors.Join(errs...)
+	return sim.Par(ctx, fns...)
 }
 
 // xorInto sets dst ^= src.

@@ -18,6 +18,21 @@
 // sequential byte stream — through OpenGlobalReader/OpenGlobalWriter, so
 // ordinary sequential software can consume parallel files.
 //
+// # Extent I/O
+//
+// Every layer moves data in extents — runs of physically contiguous
+// blocks — as well as single blocks. A Disk services a contiguous run
+// as one queued request (one controller overhead, one seek, one
+// rotational latency, then N blocks at the streaming rate); layouts
+// decompose any logical block range into per-device physically
+// contiguous runs in closed form (blockio.Layout.MapRun); and ranged
+// Set operations issue those runs in parallel across devices. Stream
+// access methods opt in through Options.ExtentBlocks: prefetchers and
+// write-behind then move whole extents per device request, which cuts
+// the modeled per-request overhead of a sequential scan by the
+// coalescing factor. The default remains one block per request, the
+// paper's model; see BenchmarkExtentCoalescing for the measured win.
+//
 // # Execution model
 //
 // The library runs over a deterministic virtual-time engine (NewEngine):
