@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "all", "one of: seek, service, stripe, extent, all")
+	scenario := flag.String("scenario", "all", "one of: seek, service, stripe, extent, noncontig, all")
 	flag.Parse()
 	if err := run(*scenario, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "pariosim: %v\n", err)
@@ -37,6 +37,8 @@ func run(scenario string, w io.Writer) error {
 		return stripeDemo(w)
 	case "extent":
 		return extentDemo(w)
+	case "noncontig":
+		return noncontigDemo(w)
 	case "all":
 		if err := seekTable(w); err != nil {
 			return err
@@ -47,7 +49,10 @@ func run(scenario string, w io.Writer) error {
 		if err := stripeDemo(w); err != nil {
 			return err
 		}
-		return extentDemo(w)
+		if err := extentDemo(w); err != nil {
+			return err
+		}
+		return noncontigDemo(w)
 	default:
 		return fmt.Errorf("unknown scenario %q", scenario)
 	}
@@ -204,6 +209,67 @@ func extentDemo(w io.Writer) error {
 		t.AddRow(extent, requests, e.Now(), stats.MBps(bytes, e.Now()))
 	}
 	t.Note = "one queued request per physically contiguous run: overhead+seek+rotation paid once per extent"
+	fmt.Fprintln(w, t.String())
+	return nil
+}
+
+// noncontigDemo shows scatter/gather coalescing on the layout extent I/O
+// cannot serve: a unit-1 declustered file, where logically consecutive
+// blocks alternate devices. Scanned block-at-a-time every block is its
+// own request; scanned through a vectored descriptor (Set.ReadVec) each
+// window collapses to one gather request per device.
+func noncontigDemo(w io.Writer) error {
+	const devs = 4
+	const blocks = 1024 // 256 per device
+	t := stats.NewTable("Vectored I/O: sequential scan of a unit-1 declustered file, 1024 blocks (4 KiB) on 4 devices",
+		"window (blocks)", "requests", "elapsed", "MB/s", "speedup")
+	var base time.Duration
+	for _, window := range []int64{1, 8, 32} {
+		e := sim.NewEngine()
+		disks := make([]*device.Disk, devs)
+		for i := range disks {
+			disks[i] = device.New(device.Config{Engine: e, Name: fmt.Sprintf("d%d", i)})
+		}
+		store, err := blockio.NewDirect(disks)
+		if err != nil {
+			return err
+		}
+		set, err := blockio.NewSet(store, blockio.NewStriped(devs, 1), make([]int64, devs))
+		if err != nil {
+			return err
+		}
+		var scanErr error
+		e.Go("scan", func(p *sim.Proc) {
+			bs := int64(store.BlockSize())
+			buf := make([]byte, window*bs)
+			for b := int64(0); b < blocks; b += window {
+				n := window
+				if b+n > blocks {
+					n = blocks - b
+				}
+				if scanErr = set.ReadVec(p, blockio.Vec{{Block: b, N: n}}, buf[:n*bs]); scanErr != nil {
+					return
+				}
+			}
+		})
+		if err := e.Run(); err != nil {
+			return err
+		}
+		if scanErr != nil {
+			return scanErr
+		}
+		var requests int64
+		for _, d := range disks {
+			requests += d.Stats().Requests()
+		}
+		if window == 1 {
+			base = e.Now()
+		}
+		bytes := int64(blocks) * int64(store.BlockSize())
+		t.AddRow(window, requests, e.Now(), stats.MBps(bytes, e.Now()),
+			fmt.Sprintf("%.2fx", float64(base)/float64(e.Now())))
+	}
+	t.Note = "unit-1 striping defeats extent coalescing (physically adjacent blocks are logically strided);\nthe scatter/gather descriptor merges them anyway: one gather request per device per window"
 	fmt.Fprintln(w, t.String())
 	return nil
 }

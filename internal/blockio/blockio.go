@@ -49,6 +49,17 @@ type Store interface {
 	// WriteBlocks writes the n physically contiguous blocks starting at
 	// pblock of device dev from src, the write counterpart of ReadBlocks.
 	WriteBlocks(ctx sim.Context, dev int, pblock int64, n int, src []byte) error
+	// ReadBlocksVec reads the n physically contiguous blocks starting at
+	// pblock of device dev as one coalesced request, scattering
+	// consecutive blocks into the elements of dsts in order (each a
+	// whole number of blocks, n blocks in total) — the gather-run
+	// primitive behind vectored I/O.
+	ReadBlocksVec(ctx sim.Context, dev int, pblock int64, n int, dsts [][]byte) error
+	// WriteBlocksVec writes the n physically contiguous blocks starting
+	// at pblock of device dev as one coalesced request, gathering
+	// consecutive blocks from the elements of srcs in order — the write
+	// counterpart of ReadBlocksVec.
+	WriteBlocksVec(ctx sim.Context, dev int, pblock int64, n int, srcs [][]byte) error
 }
 
 // Direct is a Store over plain disks with no redundancy.
@@ -100,6 +111,16 @@ func (d *Direct) ReadBlocks(ctx sim.Context, dev int, pblock int64, n int, dst [
 // WriteBlocks implements Store as one device request.
 func (d *Direct) WriteBlocks(ctx sim.Context, dev int, pblock int64, n int, src []byte) error {
 	return d.disks[dev].WriteBlocks(ctx, pblock, n, src)
+}
+
+// ReadBlocksVec implements Store as one scatter device request.
+func (d *Direct) ReadBlocksVec(ctx sim.Context, dev int, pblock int64, n int, dsts [][]byte) error {
+	return d.disks[dev].ReadBlocksVec(ctx, pblock, n, dsts)
+}
+
+// WriteBlocksVec implements Store as one gather device request.
+func (d *Direct) WriteBlocksVec(ctx sim.Context, dev int, pblock int64, n int, srcs [][]byte) error {
+	return d.disks[dev].WriteBlocksVec(ctx, pblock, n, srcs)
 }
 
 // Layout maps a file's logical blocks onto a device set. Physical block

@@ -18,13 +18,21 @@ import (
 	"repro/internal/sim"
 )
 
-// Run is a physically contiguous span of a layout: the N logical blocks
-// [B, B+N) map to the physical blocks [PBlock, PBlock+N) of device Dev.
+// Run is a physically contiguous span of a layout: N logical blocks map
+// to the physical blocks [PBlock, PBlock+N) of device Dev.
+//
+// A run produced by Layout.MapRun is logically contiguous too — its
+// blocks are [B, B+N) — and has no Segs. A gather run produced by vec
+// merging (Set.MapVec) may cover logically scattered blocks: Segs then
+// lists where each consecutive slice of the run's blocks lives in the
+// caller's buffer, and B records only the run's first logical block (for
+// diagnostics).
 type Run struct {
 	Dev    int   // device index
 	PBlock int64 // first physical block (file-extent relative)
 	B      int64 // first logical block
 	N      int64 // length in blocks
+	Segs   []Seg // buffer scatter/gather map; nil for plain MapRun runs
 }
 
 // appendRun adds a span to dst, merging with the previous run when it is

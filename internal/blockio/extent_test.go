@@ -82,7 +82,8 @@ func TestMapRunMatchesMap(t *testing.T) {
 							b, n, len(got), len(want), got, want)
 					}
 					for i := range got {
-						if got[i] != want[i] {
+						g, w := got[i], want[i]
+						if g.Dev != w.Dev || g.PBlock != w.PBlock || g.B != w.B || g.N != w.N || g.Segs != nil {
 							t.Fatalf("MapRun(%d,%d) run %d = %+v, want %+v", b, n, i, got[i], want[i])
 						}
 					}

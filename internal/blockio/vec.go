@@ -1,0 +1,223 @@
+// Vectored (scatter/gather) I/O: the request descriptor, the listio-style
+// merge of physically adjacent pieces across descriptor segments, and the
+// vectored Set operations built on them.
+//
+// Extent I/O (extent.go) coalesces runs that are contiguous in both the
+// logical file and the caller's buffer. Declustered layouts break that:
+// with a stripe unit smaller than the transfer, logically consecutive
+// blocks alternate devices, and the blocks that ARE physically adjacent
+// on one device are logically strided — so the extent path degenerates to
+// one request per unit. A Vec describes the whole transfer up front;
+// MapVec decomposes every segment, sorts the pieces by physical address
+// and merges the adjacent ones into gather runs, each of which transfers
+// as one device request scattering into (gathering from) the caller's
+// buffer. Unit-1 declustering then coalesces exactly like unit-8
+// striping.
+
+package blockio
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Seg maps one consecutive slice of a gather run onto the caller's
+// buffer: the run's next Blocks blocks transfer at buffer byte offset
+// BufOff.
+type Seg struct {
+	BufOff int64 // byte offset into the caller's buffer (block aligned)
+	Blocks int64 // number of consecutive run blocks at that offset
+}
+
+// VecSeg is one segment of a vectored request: the n logical blocks
+// [Block, Block+N) correspond to the caller-buffer bytes
+// [BufOff, BufOff+N×blocksize).
+type VecSeg struct {
+	Block  int64 // first logical block
+	N      int64 // length in blocks
+	BufOff int64 // byte offset into the request buffer (block aligned)
+}
+
+// Vec is a scatter/gather request descriptor: a list of (logical block
+// range, buffer offset) segments, in any order. Segments must be
+// pairwise disjoint both in logical blocks and in buffer bytes —
+// overlapping segments make the transfer order ambiguous and are
+// rejected. Zero-length segments are permitted and ignored.
+type Vec []VecSeg
+
+// Blocks reports the total block count of the descriptor.
+func (v Vec) Blocks() int64 {
+	var n int64
+	for _, sg := range v {
+		n += sg.N
+	}
+	return n
+}
+
+// checkVec validates descriptor shape: block-aligned in-bounds buffer
+// ranges, non-negative block ranges, and pairwise disjointness in both
+// coordinate systems. bufLen < 0 skips the buffer bound check (MapVec,
+// which has no buffer).
+func (s *Set) checkVec(op string, vec Vec, bufLen int64) error {
+	bs := int64(s.store.BlockSize())
+	act := make([]int, 0, len(vec)) // indices of non-empty segments
+	for i, sg := range vec {
+		if sg.N < 0 || sg.Block < 0 {
+			return fmt.Errorf("blockio: %s segment %d: blocks [%d,%d)", op, i, sg.Block, sg.Block+sg.N)
+		}
+		if sg.N == 0 {
+			continue
+		}
+		if sg.BufOff < 0 || sg.BufOff%bs != 0 {
+			return fmt.Errorf("blockio: %s segment %d: buffer offset %d not aligned to %d-byte blocks", op, i, sg.BufOff, bs)
+		}
+		if bufLen >= 0 && sg.BufOff+sg.N*bs > bufLen {
+			return fmt.Errorf("blockio: %s segment %d: buffer bytes [%d,%d) exceed %d-byte buffer",
+				op, i, sg.BufOff, sg.BufOff+sg.N*bs, bufLen)
+		}
+		act = append(act, i)
+	}
+	for pass := 0; pass < 2; pass++ {
+		byBlock := pass == 0
+		idx := append([]int(nil), act...)
+		sort.Slice(idx, func(a, b int) bool {
+			if byBlock {
+				return vec[idx[a]].Block < vec[idx[b]].Block
+			}
+			return vec[idx[a]].BufOff < vec[idx[b]].BufOff
+		})
+		for k := 1; k < len(idx); k++ {
+			p, c := vec[idx[k-1]], vec[idx[k]]
+			if byBlock && p.Block+p.N > c.Block {
+				return fmt.Errorf("blockio: %s segments %d and %d overlap in logical blocks", op, idx[k-1], idx[k])
+			}
+			if !byBlock && p.BufOff+p.N*bs > c.BufOff {
+				return fmt.Errorf("blockio: %s segments %d and %d overlap in the buffer", op, idx[k-1], idx[k])
+			}
+		}
+	}
+	return nil
+}
+
+// appendGather extends runs with the piece (dev, pblock, b, n, bufOff),
+// merging it into the previous run when physically adjacent. Pieces must
+// arrive sorted by (dev, pblock).
+func appendGather(runs []Run, bs int64, dev int, pblock, b, n, bufOff int64) []Run {
+	if k := len(runs) - 1; k >= 0 {
+		last := &runs[k]
+		if last.Dev == dev && last.PBlock+last.N == pblock {
+			last.N += n
+			if j := len(last.Segs) - 1; j >= 0 && last.Segs[j].BufOff+last.Segs[j].Blocks*bs == bufOff {
+				last.Segs[j].Blocks += n
+			} else {
+				last.Segs = append(last.Segs, Seg{BufOff: bufOff, Blocks: n})
+			}
+			return runs
+		}
+	}
+	return append(runs, Run{Dev: dev, PBlock: pblock, B: b, N: n,
+		Segs: []Seg{{BufOff: bufOff, Blocks: n}}})
+}
+
+// MapVec validates vec and decomposes it into gather runs: every segment
+// is mapped through the layout, the resulting pieces are sorted by
+// physical address, and pieces that are physically adjacent on one
+// device merge into a single run even when they come from different
+// segments or are logically strided (listio-style coalescing). Physical
+// blocks are file-extent relative, like Layout.MapRun. The runs are
+// returned in (device, physical block) order.
+func (s *Set) MapVec(vec Vec) ([]Run, error) {
+	if err := s.checkVec("MapVec", vec, -1); err != nil {
+		return nil, err
+	}
+	return s.mapVec(vec), nil
+}
+
+// piece is one (physical run, buffer offset) fragment before merging.
+type piece struct {
+	dev    int
+	pblock int64
+	b      int64
+	n      int64
+	bufOff int64
+}
+
+// mapVec is MapVec without validation (callers have run checkVec).
+func (s *Set) mapVec(vec Vec) []Run {
+	bs := int64(s.store.BlockSize())
+	var pieces []piece
+	var tmp []Run
+	for _, sg := range vec {
+		if sg.N == 0 {
+			continue
+		}
+		tmp = s.layout.MapRun(tmp[:0], sg.Block, sg.N)
+		for _, r := range tmp {
+			pieces = append(pieces, piece{
+				dev: r.Dev, pblock: r.PBlock, b: r.B, n: r.N,
+				bufOff: sg.BufOff + (r.B-sg.Block)*bs,
+			})
+		}
+	}
+	sort.Slice(pieces, func(i, j int) bool {
+		if pieces[i].dev != pieces[j].dev {
+			return pieces[i].dev < pieces[j].dev
+		}
+		return pieces[i].pblock < pieces[j].pblock
+	})
+	runs := make([]Run, 0, len(pieces))
+	for _, p := range pieces {
+		runs = appendGather(runs, bs, p.dev, p.pblock, p.b, p.n, p.bufOff)
+	}
+	return runs
+}
+
+// ReadVec reads the blocks described by vec into buf, scattering each
+// segment's blocks at its buffer offset. Physically adjacent pieces —
+// across segments, regardless of logical adjacency — coalesce into
+// single gather requests, issued in parallel across devices under a
+// simulation engine.
+func (s *Set) ReadVec(ctx sim.Context, vec Vec, buf []byte) error {
+	return s.doVec(ctx, "ReadVec", vec, buf, s.store.ReadBlocksVec)
+}
+
+// WriteVec writes the blocks described by vec from buf, gathering each
+// segment's bytes from its buffer offset — the write counterpart of
+// ReadVec.
+func (s *Set) WriteVec(ctx sim.Context, vec Vec, buf []byte) error {
+	return s.doVec(ctx, "WriteVec", vec, buf, s.store.WriteBlocksVec)
+}
+
+// doVec implements ReadVec/WriteVec over a per-run vectored transfer.
+func (s *Set) doVec(ctx sim.Context, op string, vec Vec, buf []byte,
+	xfer func(sim.Context, int, int64, int, [][]byte) error) error {
+	if err := s.checkVec(op, vec, int64(len(buf))); err != nil {
+		return err
+	}
+	runs := s.mapVec(vec)
+	if len(runs) == 0 {
+		return nil
+	}
+	bs := int64(s.store.BlockSize())
+	iov := func(r Run) [][]byte {
+		out := make([][]byte, len(r.Segs))
+		for i, sg := range r.Segs {
+			out[i] = buf[sg.BufOff : sg.BufOff+sg.Blocks*bs]
+		}
+		return out
+	}
+	if len(runs) == 1 {
+		r := runs[0]
+		return xfer(ctx, r.Dev, s.base[r.Dev]+r.PBlock, int(r.N), iov(r))
+	}
+	fns := make([]func(sim.Context) error, len(runs))
+	for i, r := range runs {
+		r := r
+		fns[i] = func(c sim.Context) error {
+			return xfer(c, r.Dev, s.base[r.Dev]+r.PBlock, int(r.N), iov(r))
+		}
+	}
+	return sim.Par(ctx, fns...)
+}

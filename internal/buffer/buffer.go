@@ -44,6 +44,12 @@ type FetchRun func(ctx sim.Context, first int64, n int, buf []byte) error
 // from buf, the write counterpart of FetchRun.
 type FlushRun func(ctx sim.Context, first int64, n int, buf []byte) error
 
+// FetchSpan reads the len(idxs) blocks listed in idxs into buf, the i-th
+// landing at buf[i×blockSize:]. The indices are ascending and distinct
+// but need not be contiguous; a vectored backend (blockio.Set.ReadVec)
+// coalesces physically adjacent blocks into single device requests.
+type FetchSpan func(ctx sim.Context, idxs []int64, buf []byte) error
+
 // SeqReader streams blocks 0..total-1 in order through a fixed pool of
 // buffers, prefetching ahead of the consumer. Multiple consumers may call
 // Next concurrently under an engine (each receives a distinct block, in
@@ -410,6 +416,7 @@ type entry struct {
 // must be used from a single goroutine.
 type Cache struct {
 	fetch     Fetch
+	fetchSpan FetchSpan // optional vectored batch fetch (FaultIn)
 	flush     FlushFn
 	blockSize int
 	capacity  int
@@ -441,6 +448,77 @@ func NewCache(fetch Fetch, flush FlushFn, blockSize, capacity int) (*Cache, erro
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() CacheStats { return c.stats }
+
+// SetFetchSpan installs a vectored batch fetch used by FaultIn. Without
+// one, FaultIn degrades to per-block fetches.
+func (c *Cache) SetFetchSpan(fs FetchSpan) { c.fetchSpan = fs }
+
+// FaultIn brings the listed blocks (ascending, distinct) into the cache,
+// fetching all the missing ones with a single vectored FetchSpan call —
+// the ranged fault path: a request spanning several absent blocks pays
+// the device's per-request overhead once per physically contiguous run
+// instead of once per block. Blocks already resident are touched first
+// (made most-recent), so the fault's evictions spare them whenever the
+// listed span fits the cache. At most capacity blocks are faulted per
+// call; callers chunk larger spans.
+func (c *Cache) FaultIn(ctx sim.Context, idxs []int64) error {
+	for _, idx := range idxs {
+		c.waitNotBusy(ctx, idx)
+		if e, ok := c.entries[idx]; ok {
+			c.lru.MoveToFront(e.elem)
+		}
+	}
+	var missing []int64
+	for _, idx := range idxs {
+		c.waitNotBusy(ctx, idx)
+		if _, ok := c.entries[idx]; ok {
+			continue
+		}
+		if c.busy[idx] != nil || len(missing) >= c.capacity {
+			continue
+		}
+		// Reserve the slot before parking in eviction, so concurrent
+		// accessors wait for our fetch instead of duplicating it.
+		c.setBusy(idx)
+		missing = append(missing, idx)
+		for len(c.entries)+len(c.busy) > c.capacity && c.lru.Len() > 0 {
+			if err := c.evictOne(ctx); err != nil {
+				for _, m := range missing {
+					c.clearBusy(ctx, m)
+				}
+				return err
+			}
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	c.stats.Misses += int64(len(missing))
+	flat := make([]byte, len(missing)*c.blockSize)
+	var err error
+	if c.fetchSpan != nil {
+		err = c.fetchSpan(ctx, missing, flat)
+	} else {
+		for i, idx := range missing {
+			if err = c.fetch(ctx, idx, flat[i*c.blockSize:(i+1)*c.blockSize]); err != nil {
+				break
+			}
+		}
+	}
+	for i, idx := range missing {
+		c.clearBusy(ctx, idx)
+		if err != nil {
+			continue
+		}
+		e := &entry{idx: idx, buf: flat[i*c.blockSize : (i+1)*c.blockSize]}
+		e.elem = c.lru.PushFront(e)
+		c.entries[idx] = e
+	}
+	if err != nil {
+		return fmt.Errorf("buffer: fault in %d blocks: %w", len(missing), err)
+	}
+	return nil
+}
 
 // waitNotBusy parks until no fetch/write-back is in flight for idx.
 func (c *Cache) waitNotBusy(ctx sim.Context, idx int64) {

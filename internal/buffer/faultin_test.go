@@ -1,0 +1,162 @@
+package buffer
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// spanBackend instruments a fake store: it counts fetch calls of each
+// kind so tests can assert the batch path was taken.
+type spanBackend struct {
+	blockSize  int
+	fetches    int // single-block Fetch calls
+	spans      int // FetchSpan calls
+	spanBlocks int // blocks moved by FetchSpan calls
+	flushes    int
+}
+
+func (b *spanBackend) fetch(ctx sim.Context, idx int64, buf []byte) error {
+	b.fetches++
+	for i := range buf {
+		buf[i] = byte(idx)
+	}
+	return nil
+}
+
+func (b *spanBackend) fetchSpan(ctx sim.Context, idxs []int64, buf []byte) error {
+	b.spans++
+	b.spanBlocks += len(idxs)
+	for i, idx := range idxs {
+		for j := 0; j < b.blockSize; j++ {
+			buf[i*b.blockSize+j] = byte(idx)
+		}
+	}
+	return nil
+}
+
+func (b *spanBackend) flush(ctx sim.Context, idx int64, buf []byte) error {
+	b.flushes++
+	return nil
+}
+
+func newSpanCache(t *testing.T, capacity int) (*Cache, *spanBackend) {
+	t.Helper()
+	be := &spanBackend{blockSize: 16}
+	c, err := NewCache(be.fetch, be.flush, be.blockSize, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFetchSpan(be.fetchSpan)
+	return c, be
+}
+
+// TestFaultInBatchesMisses asserts a span of absent blocks is fetched by
+// one FetchSpan call and subsequent accesses are hits.
+func TestFaultInBatchesMisses(t *testing.T) {
+	c, be := newSpanCache(t, 8)
+	ctx := sim.NewWall()
+	idxs := []int64{3, 5, 6, 9}
+	if err := c.FaultIn(ctx, idxs); err != nil {
+		t.Fatal(err)
+	}
+	if be.spans != 1 || be.spanBlocks != 4 || be.fetches != 0 {
+		t.Fatalf("FaultIn used %d span calls (%d blocks) and %d single fetches; want 1 span of 4",
+			be.spans, be.spanBlocks, be.fetches)
+	}
+	for _, idx := range idxs {
+		idx := idx
+		err := c.With(ctx, idx, false, func(buf []byte) error {
+			if buf[0] != byte(idx) {
+				return fmt.Errorf("block %d holds %d", idx, buf[0])
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.Hits != 4 || s.Misses != 4 {
+		t.Fatalf("stats = %+v, want 4 hits (post-fault) and 4 misses (the faulted blocks)", s)
+	}
+	if be.fetches != 0 {
+		t.Fatalf("%d single-block fetches after FaultIn; want 0", be.fetches)
+	}
+}
+
+// TestFaultInSkipsResident asserts resident blocks are neither refetched
+// nor evicted by a fault that fills the rest of the cache.
+func TestFaultInSkipsResident(t *testing.T) {
+	c, be := newSpanCache(t, 4)
+	ctx := sim.NewWall()
+	if err := c.With(ctx, 7, false, func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	be.fetches = 0
+	if err := c.FaultIn(ctx, []int64{2, 4, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if be.spans != 1 || be.spanBlocks != 3 {
+		t.Fatalf("fault fetched %d blocks in %d calls; want 3 in 1 (7 already resident)", be.spanBlocks, be.spans)
+	}
+	if c.Resident() != 4 {
+		t.Fatalf("%d resident, want 4", c.Resident())
+	}
+	hits := c.Stats().Hits
+	if err := c.With(ctx, 7, false, func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Hits != hits+1 {
+		t.Fatal("resident block 7 was evicted by FaultIn")
+	}
+}
+
+// TestFaultInClampsToCapacity asserts a span larger than the cache only
+// faults capacity blocks (the rest fall back to per-block fetches).
+func TestFaultInClampsToCapacity(t *testing.T) {
+	c, be := newSpanCache(t, 3)
+	ctx := sim.NewWall()
+	if err := c.FaultIn(ctx, []int64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if be.spanBlocks != 3 {
+		t.Fatalf("faulted %d blocks into a 3-block cache, want 3", be.spanBlocks)
+	}
+	if c.Resident() != 3 {
+		t.Fatalf("%d resident, want 3", c.Resident())
+	}
+}
+
+// TestFaultInWritesBack asserts dirty victims are flushed when a fault
+// needs their slots.
+func TestFaultInWritesBack(t *testing.T) {
+	c, be := newSpanCache(t, 2)
+	ctx := sim.NewWall()
+	for idx := int64(0); idx < 2; idx++ {
+		if err := c.With(ctx, idx, true, func([]byte) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FaultIn(ctx, []int64{10, 11}); err != nil {
+		t.Fatal(err)
+	}
+	if be.flushes != 2 {
+		t.Fatalf("%d write-backs, want 2 (both dirty victims)", be.flushes)
+	}
+}
+
+// TestFaultInWithoutFetchSpan degrades to per-block fetches.
+func TestFaultInWithoutFetchSpan(t *testing.T) {
+	be := &spanBackend{blockSize: 16}
+	c, err := NewCache(be.fetch, be.flush, be.blockSize, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FaultIn(sim.NewWall(), []int64{1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if be.fetches != 2 || c.Resident() != 2 {
+		t.Fatalf("fallback faulted %d blocks via %d fetches, want 2 via 2", c.Resident(), be.fetches)
+	}
+}

@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/blockio"
 	"repro/internal/buffer"
 	"repro/internal/pfs"
 	"repro/internal/sim"
@@ -172,30 +173,46 @@ func (s blockSeq) contigRuns(fsPer, first, n int64, fn func(logical, off, run in
 	return nil
 }
 
-// rangedFetch returns a FetchRun over the stream's fs blocks that
-// coalesces logically contiguous spans into Set.ReadRange calls — the
-// extent read path.
+// streamVec assembles the scatter/gather descriptor of the stream fs
+// blocks [first, first+n): one segment per logically contiguous span.
+// Every stream transfer goes through this one descriptor form, so the
+// vec merge coalesces physically adjacent spans even when they are
+// logically strided (IS views, unit-1 declustering).
+func (s blockSeq) streamVec(dst blockio.Vec, fsPer, bs, first, n int64) blockio.Vec {
+	_ = s.contigRuns(fsPer, first, n, func(logical, off, run int64) error {
+		dst = append(dst, blockio.VecSeg{Block: logical, N: run, BufOff: off * bs})
+		return nil
+	})
+	return dst
+}
+
+// rangedFetch returns a FetchRun over the stream's fs blocks that issues
+// each extent as one vectored request (Set.ReadVec) — the extent read
+// path, gather-capable since vectored I/O.
 func rangedFetch(f *pfs.File, seq blockSeq) buffer.FetchRun {
 	set := f.Set()
 	fsPer := f.Mapper().FSPerBlock()
 	bs := int64(f.Mapper().FSBlockSize())
+	// vec is reused across calls, which is safe even with several
+	// prefetch processes sharing this closure: ReadVec consumes the
+	// descriptor into physical runs before its first wait.
+	var vec blockio.Vec
 	return func(ctx sim.Context, first int64, n int, buf []byte) error {
-		return seq.contigRuns(fsPer, first, int64(n), func(logical, off, run int64) error {
-			return set.ReadRange(ctx, logical, run, buf[off*bs:(off+run)*bs])
-		})
+		vec = seq.streamVec(vec[:0], fsPer, bs, first, int64(n))
+		return set.ReadVec(ctx, vec, buf)
 	}
 }
 
 // rangedFlush is the write counterpart of rangedFetch, built on
-// Set.WriteRange.
+// Set.WriteVec.
 func rangedFlush(f *pfs.File, seq blockSeq) buffer.FlushRun {
 	set := f.Set()
 	fsPer := f.Mapper().FSPerBlock()
 	bs := int64(f.Mapper().FSBlockSize())
+	var vec blockio.Vec
 	return func(ctx sim.Context, first int64, n int, buf []byte) error {
-		return seq.contigRuns(fsPer, first, int64(n), func(logical, off, run int64) error {
-			return set.WriteRange(ctx, logical, run, buf[off*bs:(off+run)*bs])
-		})
+		vec = seq.streamVec(vec[:0], fsPer, bs, first, int64(n))
+		return set.WriteVec(ctx, vec, buf)
 	}
 }
 

@@ -3,11 +3,142 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/blockio"
 	"repro/internal/buffer"
 	"repro/internal/pfs"
+	"repro/internal/records"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// fetchSpanOf builds the vectored batch fetch for f's block cache: each
+// listed fs block becomes a one-block descriptor segment, so physically
+// adjacent blocks — even when logically strided — coalesce into gather
+// runs (Set.ReadVec), the ranged fault path of the direct handles.
+func fetchSpanOf(f *pfs.File) buffer.FetchSpan {
+	set := f.Set()
+	bs := int64(f.Mapper().FSBlockSize())
+	return func(ctx sim.Context, idxs []int64, buf []byte) error {
+		vec := make(blockio.Vec, len(idxs))
+		for i, k := range idxs {
+			vec[i] = blockio.VecSeg{Block: k, N: 1, BufOff: int64(i) * bs}
+		}
+		return set.ReadVec(ctx, vec, buf)
+	}
+}
+
+// moveRecord copies one record between data (len = record size) and the
+// cache, tracing the access. spanBuf is scratch reused across calls.
+func moveRecord(ctx sim.Context, cache *buffer.Cache, m *records.Mapper, opts *Options,
+	rec int64, data []byte, write bool, spanBuf *[]records.Span) error {
+	pos := 0
+	*spanBuf = m.AppendSpans((*spanBuf)[:0], rec)
+	for _, sp := range *spanBuf {
+		sp := sp
+		p0 := pos
+		err := cache.With(ctx, sp.FSBlock, write, func(buf []byte) error {
+			if write {
+				copy(buf[sp.Off:sp.Off+sp.Len], data[p0:])
+			} else {
+				copy(data[p0:], buf[sp.Off:sp.Off+sp.Len])
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		pos += sp.Len
+	}
+	op := trace.Read
+	if write {
+		op = trace.Write
+	}
+	opts.Trace.Add(trace.Event{
+		Time: ctx.Now(), Proc: opts.Proc, Op: op, Record: rec, Block: m.BlockOf(rec),
+	})
+	return nil
+}
+
+// batchRecords moves the count records [rec, rec+count) between data and
+// the cache in chunks whose fs-block span fits the cache: each chunk's
+// missing blocks are faulted in with one vectored request
+// (Cache.FaultIn) instead of block-at-a-time, then its records move as
+// cache hits. check, when non-nil, validates each record in order before
+// its chunk is faulted (PDA ownership, restricted sequencing); records
+// preceding a failed check still transfer, matching the per-record loop.
+func batchRecords(ctx sim.Context, cache *buffer.Cache, m *records.Mapper, opts *Options,
+	rec, count int64, data []byte, write bool, check func(int64) error) error {
+	if count < 0 {
+		return fmt.Errorf("core: batch of %d records", count)
+	}
+	if count > 0 {
+		if err := m.Check(rec); err != nil {
+			return err
+		}
+		if err := m.Check(rec + count - 1); err != nil {
+			return err
+		}
+	}
+	rs := int64(m.RecordSize())
+	if int64(len(data)) != count*rs {
+		return fmt.Errorf("core: buffer is %d bytes, %d records are %d", len(data), count, count*rs)
+	}
+	capBlocks := opts.CacheBlocks
+	var spanBuf []records.Span
+	var blocks []int64
+	var checkErr error
+	for r := rec; r < rec+count; {
+		// Build a chunk [r, r2) whose distinct fs blocks fit the cache.
+		blocks = blocks[:0]
+		r2 := r
+		for r2 < rec+count && checkErr == nil {
+			// Dry-run the record's blocks against the capacity before
+			// validating it: a record deferred to the next chunk must not
+			// have been sequence-checked (check mutates restricted-mode
+			// state) this round.
+			spanBuf = m.AppendSpans(spanBuf[:0], r2)
+			add, last := 0, int64(-1)
+			if len(blocks) > 0 {
+				last = blocks[len(blocks)-1]
+			}
+			for _, sp := range spanBuf {
+				if sp.FSBlock > last {
+					add++
+					last = sp.FSBlock
+				}
+			}
+			if len(blocks) > 0 && len(blocks)+add > capBlocks {
+				break
+			}
+			if check != nil {
+				if checkErr = check(r2); checkErr != nil {
+					break
+				}
+			}
+			for _, sp := range spanBuf {
+				if n := len(blocks); n == 0 || sp.FSBlock > blocks[n-1] {
+					blocks = append(blocks, sp.FSBlock)
+				}
+			}
+			r2++
+		}
+		if len(blocks) > 0 {
+			if err := cache.FaultIn(ctx, blocks); err != nil {
+				return err
+			}
+		}
+		for ; r < r2; r++ {
+			off := (r - rec) * rs
+			if err := moveRecord(ctx, cache, m, opts, r, data[off:off+rs], write, &spanBuf); err != nil {
+				return err
+			}
+		}
+		if checkErr != nil {
+			return checkErr
+		}
+	}
+	return nil
+}
 
 // Direct is the type-GDA handle: any process may read or write any
 // record in any order. Accesses go through a shared write-back block
@@ -35,6 +166,7 @@ func OpenDirect(f *pfs.File, opts Options) (*Direct, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache.SetFetchSpan(fetchSpanOf(f))
 	return &Direct{f: f, opts: opts, cache: cache}, nil
 }
 
@@ -51,6 +183,29 @@ func (d *Direct) WriteRecordAt(ctx sim.Context, rec int64, src []byte) error {
 	return d.access(ctx, rec, src, true)
 }
 
+// ReadRecordsAt reads the count records [rec, rec+count) into dst
+// (len = count × record size). The span's missing blocks are faulted in
+// with vectored reads — one device request per physically contiguous
+// run, even on declustered layouts — instead of block-at-a-time.
+func (d *Direct) ReadRecordsAt(ctx sim.Context, rec, count int64, dst []byte) error {
+	return d.batch(ctx, rec, count, dst, false)
+}
+
+// WriteRecordsAt writes the count records [rec, rec+count) from src, the
+// write counterpart of ReadRecordsAt (absent blocks are still faulted
+// in, preserving the cache's read-modify-write semantics).
+func (d *Direct) WriteRecordsAt(ctx sim.Context, rec, count int64, src []byte) error {
+	return d.batch(ctx, rec, count, src, true)
+}
+
+// batch implements the batch-record methods.
+func (d *Direct) batch(ctx sim.Context, rec, count int64, data []byte, write bool) error {
+	if d.closed {
+		return fmt.Errorf("core: handle closed")
+	}
+	return batchRecords(ctx, d.cache, d.f.Mapper(), &d.opts, rec, count, data, write, nil)
+}
+
 // access moves one record between the caller's buffer and the cache.
 func (d *Direct) access(ctx sim.Context, rec int64, data []byte, write bool) error {
 	if d.closed {
@@ -63,31 +218,8 @@ func (d *Direct) access(ctx sim.Context, rec int64, data []byte, write bool) err
 	if len(data) != m.RecordSize() {
 		return fmt.Errorf("core: buffer is %d bytes, records are %d", len(data), m.RecordSize())
 	}
-	pos := 0
-	for _, sp := range m.Spans(rec) {
-		sp := sp
-		p0 := pos
-		err := d.cache.With(ctx, sp.FSBlock, write, func(buf []byte) error {
-			if write {
-				copy(buf[sp.Off:sp.Off+sp.Len], data[p0:])
-			} else {
-				copy(data[p0:], buf[sp.Off:sp.Off+sp.Len])
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		pos += sp.Len
-	}
-	op := trace.Read
-	if write {
-		op = trace.Write
-	}
-	d.opts.Trace.Add(trace.Event{
-		Time: ctx.Now(), Proc: d.opts.Proc, Op: op, Record: rec, Block: m.BlockOf(rec),
-	})
-	return nil
+	var spanBuf []records.Span
+	return moveRecord(ctx, d.cache, m, &d.opts, rec, data, write, &spanBuf)
 }
 
 // Flush writes back dirty cached blocks.
@@ -139,6 +271,7 @@ func OpenDirectPart(f *pfs.File, part int, opts Options) (*DirectPart, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache.SetFetchSpan(fetchSpanOf(f))
 	dp := &DirectPart{f: f, part: part, opts: opts, cache: cache}
 	if opts.SeqWithinBlocks {
 		dp.seqPos = make(map[int64]int)
@@ -195,37 +328,36 @@ func (d *DirectPart) WriteRecordAt(ctx sim.Context, rec int64, src []byte) error
 	return d.move(ctx, rec, src, true)
 }
 
+// ReadRecordsAt reads the count records [rec, rec+count) — all in owned
+// blocks — into dst (len = count × record size), faulting the span's
+// missing blocks with vectored reads instead of block-at-a-time.
+func (d *DirectPart) ReadRecordsAt(ctx sim.Context, rec, count int64, dst []byte) error {
+	return d.batch(ctx, rec, count, dst, false)
+}
+
+// WriteRecordsAt writes the count records [rec, rec+count) from src, the
+// write counterpart of ReadRecordsAt.
+func (d *DirectPart) WriteRecordsAt(ctx sim.Context, rec, count int64, src []byte) error {
+	return d.batch(ctx, rec, count, src, true)
+}
+
+// batch implements the batch-record methods; every record passes the
+// ownership (and restricted-sequencing) check before its chunk faults.
+func (d *DirectPart) batch(ctx sim.Context, rec, count int64, data []byte, write bool) error {
+	if d.closed {
+		return fmt.Errorf("core: handle closed")
+	}
+	return batchRecords(ctx, d.cache, d.f.Mapper(), &d.opts, rec, count, data, write, d.check)
+}
+
 // move copies one record through the private cache.
 func (d *DirectPart) move(ctx sim.Context, rec int64, data []byte, write bool) error {
 	m := d.f.Mapper()
 	if len(data) != m.RecordSize() {
 		return fmt.Errorf("core: buffer is %d bytes, records are %d", len(data), m.RecordSize())
 	}
-	pos := 0
-	for _, sp := range m.Spans(rec) {
-		sp := sp
-		p0 := pos
-		err := d.cache.With(ctx, sp.FSBlock, write, func(buf []byte) error {
-			if write {
-				copy(buf[sp.Off:sp.Off+sp.Len], data[p0:])
-			} else {
-				copy(data[p0:], buf[sp.Off:sp.Off+sp.Len])
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		pos += sp.Len
-	}
-	op := trace.Read
-	if write {
-		op = trace.Write
-	}
-	d.opts.Trace.Add(trace.Event{
-		Time: ctx.Now(), Proc: d.opts.Proc, Op: op, Record: rec, Block: m.BlockOf(rec),
-	})
-	return nil
+	var spanBuf []records.Span
+	return moveRecord(ctx, d.cache, m, &d.opts, rec, data, write, &spanBuf)
 }
 
 // Flush writes back dirty cached blocks.

@@ -499,6 +499,88 @@ func (d *Disk) WriteBlocks(ctx sim.Context, block int64, n int, src []byte) erro
 	})
 }
 
+// checkRunVec validates a scatter/gather run request: every element of
+// iov must be a non-empty whole number of blocks and the elements must
+// total exactly n blocks.
+func (d *Disk) checkRunVec(op string, block int64, n int, iov [][]byte) error {
+	if n <= 0 {
+		return fmt.Errorf("device: %s of %d blocks", op, n)
+	}
+	if block < 0 || block+int64(n) > d.geom.Blocks() {
+		return fmt.Errorf("%w: blocks [%d,%d) of %d on %s", ErrOutOfRange, block, block+int64(n), d.geom.Blocks(), d.name)
+	}
+	bs := d.geom.BlockSize
+	total := 0
+	for i, v := range iov {
+		if len(v) == 0 || len(v)%bs != 0 {
+			return fmt.Errorf("device: %s segment %d is %d bytes, not a positive multiple of the %d-byte block", op, i, len(v), bs)
+		}
+		total += len(v)
+	}
+	if total != n*bs {
+		return fmt.Errorf("device: %s segments total %d bytes != %d blocks of %d bytes", op, total, n, bs)
+	}
+	return nil
+}
+
+// ReadBlocksVec reads the n physically contiguous blocks starting at
+// block as ONE queued request — the same service-time model as
+// ReadBlocks — scattering consecutive blocks into the elements of dsts in
+// order (readv semantics). Each element must hold a whole number of
+// blocks; together they must hold exactly n. This is the gather-run
+// primitive behind vectored I/O: a merged physical run can deliver into a
+// strided caller buffer without paying one request per stride.
+func (d *Disk) ReadBlocksVec(ctx sim.Context, block int64, n int, dsts [][]byte) error {
+	if err := d.checkRunVec("ReadBlocksVec", block, n, dsts); err != nil {
+		return err
+	}
+	return d.access(ctx, block, n*d.geom.BlockSize, func() error {
+		bs := d.geom.BlockSize
+		b := block
+		for _, dst := range dsts {
+			for off := 0; off < len(dst); off += bs {
+				page := dst[off : off+bs]
+				found, err := d.backend.ReadPage(b, page)
+				if err != nil {
+					return err
+				}
+				if !found {
+					clear(page)
+				}
+				b++
+			}
+		}
+		d.stats.Reads++
+		d.stats.BytesRead += int64(n) * int64(bs)
+		return nil
+	})
+}
+
+// WriteBlocksVec writes the n physically contiguous blocks starting at
+// block as ONE queued request, gathering consecutive blocks from the
+// elements of srcs in order (writev semantics) — the write counterpart
+// of ReadBlocksVec.
+func (d *Disk) WriteBlocksVec(ctx sim.Context, block int64, n int, srcs [][]byte) error {
+	if err := d.checkRunVec("WriteBlocksVec", block, n, srcs); err != nil {
+		return err
+	}
+	return d.access(ctx, block, n*d.geom.BlockSize, func() error {
+		bs := d.geom.BlockSize
+		b := block
+		for _, src := range srcs {
+			for off := 0; off < len(src); off += bs {
+				if err := d.backend.WritePage(b, src[off:off+bs]); err != nil {
+					return err
+				}
+				b++
+			}
+		}
+		d.stats.Writes++
+		d.stats.BytesWritten += int64(n) * int64(bs)
+		return nil
+	})
+}
+
 // ReadAt reads len(dst) bytes starting at byte offset off, possibly
 // spanning blocks; it is modeled as a single request targeting the first
 // block's cylinder (contiguous blocks transfer at the streaming rate).

@@ -238,19 +238,59 @@ func (p *Parity) WriteBlock(ctx sim.Context, dev int, b int64, src []byte) error
 	}
 }
 
+// rebuildExtent is the batching unit (in rows) for drive rebuilds: each
+// extent's surviving-drive reads and replacement write are one coalesced
+// device request apiece, shrinking the §5 reliability-exposure window by
+// the coalescing factor versus row-by-row reconstruction.
+const rebuildExtent = 32
+
 // Rebuild reconstructs rows [0, rows) of the (repaired, erased) physical
-// drive failedPhys from the surviving drives.
+// drive failedPhys from the surviving drives, in extents of up to
+// rebuildExtent rows: every surviving drive's extent is read as one
+// coalesced request (in parallel across drives), the rows are XORed in
+// memory, and the reconstructed extent is written back as one request.
 func (p *Parity) Rebuild(ctx sim.Context, failedPhys int, rows int64) error {
 	if p.disks[failedPhys].Failed() {
 		return fmt.Errorf("stripe: rebuild target drive %d still failed", failedPhys)
 	}
-	buf := make([]byte, p.BlockSize())
-	for b := int64(0); b < rows; b++ {
-		if err := p.reconstruct(ctx, failedPhys, b, buf); err != nil {
-			return fmt.Errorf("stripe: rebuild row %d: %w", b, err)
+	bs := int64(p.BlockSize())
+	bufs := make([][]byte, len(p.disks))
+	for i := range p.disks {
+		if i != failedPhys {
+			bufs[i] = make([]byte, rebuildExtent*bs)
 		}
-		if err := p.disks[failedPhys].WriteBlock(ctx, b, buf); err != nil {
-			return fmt.Errorf("stripe: rebuild row %d: %w", b, err)
+	}
+	acc := make([]byte, rebuildExtent*bs)
+	for b := int64(0); b < rows; b += rebuildExtent {
+		n := int64(rebuildExtent)
+		if b+n > rows {
+			n = rows - b
+		}
+		fns := make([]func(sim.Context) error, 0, len(p.disks)-1)
+		for i := range p.disks {
+			if i == failedPhys {
+				continue
+			}
+			i := i
+			fns = append(fns, func(c sim.Context) error {
+				if err := p.disks[i].ReadBlocks(c, b, int(n), bufs[i][:n*bs]); err != nil {
+					return fmt.Errorf("%w (drive %d also unavailable: %v)", ErrDoubleFailure, i, err)
+				}
+				return nil
+			})
+		}
+		if err := par(ctx, fns...); err != nil {
+			return fmt.Errorf("stripe: rebuild rows [%d,%d): %w", b, b+n, err)
+		}
+		clear(acc[:n*bs])
+		for i, buf := range bufs {
+			if i == failedPhys || buf == nil {
+				continue
+			}
+			xorInto(acc[:n*bs], buf[:n*bs])
+		}
+		if err := p.disks[failedPhys].WriteBlocks(ctx, b, int(n), acc[:n*bs]); err != nil {
+			return fmt.Errorf("stripe: rebuild rows [%d,%d): %w", b, b+n, err)
 		}
 	}
 	return nil
@@ -324,20 +364,27 @@ func (m *Mirror) WriteBlock(ctx sim.Context, dev int, b int64, src []byte) error
 }
 
 // Rebuild copies rows [0, rows) of device dev from its healthy twin onto
-// the (repaired, erased) other drive. fromShadow selects the direction:
-// true restores the primary from the shadow.
+// the (repaired, erased) other drive, in extents of up to rebuildExtent
+// rows — one coalesced read and one coalesced write per extent.
+// fromShadow selects the direction: true restores the primary from the
+// shadow.
 func (m *Mirror) Rebuild(ctx sim.Context, dev int, rows int64, fromShadow bool) error {
 	src, dst := m.primary[dev], m.shadow[dev]
 	if fromShadow {
 		src, dst = m.shadow[dev], m.primary[dev]
 	}
-	buf := make([]byte, m.BlockSize())
-	for b := int64(0); b < rows; b++ {
-		if err := src.ReadBlock(ctx, b, buf); err != nil {
-			return fmt.Errorf("stripe: mirror rebuild row %d: %w", b, err)
+	bs := int64(m.BlockSize())
+	buf := make([]byte, rebuildExtent*bs)
+	for b := int64(0); b < rows; b += rebuildExtent {
+		n := int64(rebuildExtent)
+		if b+n > rows {
+			n = rows - b
 		}
-		if err := dst.WriteBlock(ctx, b, buf); err != nil {
-			return fmt.Errorf("stripe: mirror rebuild row %d: %w", b, err)
+		if err := src.ReadBlocks(ctx, b, int(n), buf[:n*bs]); err != nil {
+			return fmt.Errorf("stripe: mirror rebuild rows [%d,%d): %w", b, b+n, err)
+		}
+		if err := dst.WriteBlocks(ctx, b, int(n), buf[:n*bs]); err != nil {
+			return fmt.Errorf("stripe: mirror rebuild rows [%d,%d): %w", b, b+n, err)
 		}
 	}
 	return nil

@@ -1,0 +1,123 @@
+// Vectored (scatter/gather) run I/O for the redundant stores. Mirror
+// passes the scatter list straight through to the drive pair, so
+// scattered delivery happens at the device like a plain disk. Parity
+// stages through a contiguous scratch run instead: its run path already
+// splits by physical drive and batches parity rows (extent.go), and the
+// redundancy arithmetic (XOR across rows) wants contiguous spans — an
+// in-memory copy costs nothing in the device model, while the queued
+// requests, locks and degraded modes stay exactly those of
+// ReadBlocks/WriteBlocks.
+
+package stripe
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// checkVec validates a scatter/gather list against a run of n blocks.
+func checkVec(op string, bs, n int, iov [][]byte) error {
+	total := 0
+	for i, v := range iov {
+		if len(v) == 0 || len(v)%bs != 0 {
+			return fmt.Errorf("stripe: %s segment %d is %d bytes, not a positive multiple of the %d-byte block", op, i, len(v), bs)
+		}
+		total += len(v)
+	}
+	if total != n*bs {
+		return fmt.Errorf("stripe: %s segments total %d bytes != %d blocks of %d bytes", op, total, n, bs)
+	}
+	return nil
+}
+
+// gather copies the scatter list into one contiguous run buffer.
+func gather(iov [][]byte, dst []byte) {
+	pos := 0
+	for _, v := range iov {
+		pos += copy(dst[pos:], v)
+	}
+}
+
+// scatter copies a contiguous run buffer out into the scatter list.
+func scatter(src []byte, iov [][]byte) {
+	pos := 0
+	for _, v := range iov {
+		pos += copy(v, src[pos:])
+	}
+}
+
+// ReadBlocksVec implements blockio.Store: the run is read through the
+// coalesced (and degraded-capable) ReadBlocks path into a contiguous
+// scratch buffer, then scattered to the caller's segments.
+func (p *Parity) ReadBlocksVec(ctx sim.Context, dev int, b int64, n int, dsts [][]byte) error {
+	bs := p.BlockSize()
+	if err := checkVec("ReadBlocksVec", bs, n, dsts); err != nil {
+		return err
+	}
+	if len(dsts) == 1 {
+		return p.ReadBlocks(ctx, dev, b, n, dsts[0])
+	}
+	scratch := make([]byte, n*bs)
+	if err := p.ReadBlocks(ctx, dev, b, n, scratch); err != nil {
+		return err
+	}
+	scatter(scratch, dsts)
+	return nil
+}
+
+// WriteBlocksVec implements blockio.Store: the caller's segments are
+// gathered into a contiguous run and written through the batched
+// small-write path (WriteBlocks), preserving its row locks and degraded
+// modes.
+func (p *Parity) WriteBlocksVec(ctx sim.Context, dev int, b int64, n int, srcs [][]byte) error {
+	bs := p.BlockSize()
+	if err := checkVec("WriteBlocksVec", bs, n, srcs); err != nil {
+		return err
+	}
+	if len(srcs) == 1 {
+		return p.WriteBlocks(ctx, dev, b, n, srcs[0])
+	}
+	scratch := make([]byte, n*bs)
+	gather(srcs, scratch)
+	return p.WriteBlocks(ctx, dev, b, n, scratch)
+}
+
+// ReadBlocksVec implements blockio.Store as one scatter request on the
+// primary, failing over to one on the shadow.
+func (m *Mirror) ReadBlocksVec(ctx sim.Context, dev int, b int64, n int, dsts [][]byte) error {
+	if err := checkVec("ReadBlocksVec", m.BlockSize(), n, dsts); err != nil {
+		return err
+	}
+	err := m.primary[dev].ReadBlocksVec(ctx, b, n, dsts)
+	if err == nil || !errors.Is(err, device.ErrFailed) {
+		return err
+	}
+	if err2 := m.shadow[dev].ReadBlocksVec(ctx, b, n, dsts); err2 != nil {
+		return fmt.Errorf("%w: primary and shadow of device %d", ErrDoubleFailure, dev)
+	}
+	return nil
+}
+
+// WriteBlocksVec implements blockio.Store: one gather request on the
+// drive and one on its shadow, issued in parallel; the write survives a
+// single failed drive of the pair.
+func (m *Mirror) WriteBlocksVec(ctx sim.Context, dev int, b int64, n int, srcs [][]byte) error {
+	if err := checkVec("WriteBlocksVec", m.BlockSize(), n, srcs); err != nil {
+		return err
+	}
+	errP := make([]error, 2)
+	err := par(ctx,
+		func(c sim.Context) error { errP[0] = m.primary[dev].WriteBlocksVec(c, b, n, srcs); return nil },
+		func(c sim.Context) error { errP[1] = m.shadow[dev].WriteBlocksVec(c, b, n, srcs); return nil },
+	)
+	if err != nil {
+		return err
+	}
+	if errP[0] != nil && errP[1] != nil {
+		return fmt.Errorf("%w: primary and shadow of device %d", ErrDoubleFailure, dev)
+	}
+	return nil
+}

@@ -33,6 +33,28 @@
 // coalescing factor. The default remains one block per request, the
 // paper's model; see BenchmarkExtentCoalescing for the measured win.
 //
+// # Vectored I/O
+//
+// Extent I/O only coalesces runs that are contiguous in both the
+// logical file and the caller's buffer. Declustered layouts
+// (StripeUnitFS smaller than the transfer) and strided access patterns
+// break that, so the whole data-movement spine is built on a
+// scatter/gather request descriptor instead: a Vec lists (logical block
+// range, buffer offset) segments in any order, and Set.ReadVec/WriteVec
+// merge the pieces that land physically adjacent on one device — across
+// segments, regardless of logical adjacency — into gather runs
+// (listio-style coalescing). A disk services a gather run as one queued
+// request (one overhead + seek + rotational latency, then N blocks at
+// the streaming rate) scattering into or gathering from the strided
+// buffer, and every Store implementation (plain disks, parity,
+// mirroring) supports the vectored run methods. Stream prefetchers
+// route each extent through the same descriptor, so a unit-1
+// declustered scan collapses to one request per device per extent; the
+// direct-access handles batch record ranges through
+// ReadRecordsAt/WriteRecordsAt, whose cache faults fetch a request's
+// missing span as one vectored read. See BenchmarkVectoredScan and
+// `pariosim -scenario noncontig` for the measured win.
+//
 // # Execution model
 //
 // The library runs over a deterministic virtual-time engine (NewEngine):
@@ -136,6 +158,22 @@ type (
 
 	// TraceRecorder captures per-record access events (Figure 1).
 	TraceRecorder = trace.Recorder
+
+	// Vec is the scatter/gather request descriptor: a list of (logical
+	// block range, buffer offset) segments moved by Set.ReadVec/WriteVec
+	// with listio-style physical coalescing.
+	Vec = blockio.Vec
+	// VecSeg is one segment of a Vec.
+	VecSeg = blockio.VecSeg
+	// Run is a physically contiguous span of a layout, gather-capable
+	// via its buffer segments.
+	Run = blockio.Run
+	// Seg maps one consecutive slice of a gather Run onto the caller's
+	// buffer.
+	Seg = blockio.Seg
+	// Set binds a store, a layout and extent bases into logical-block
+	// I/O (File.Set returns a file's Set).
+	Set = blockio.Set
 )
 
 // Organization constants (paper §3).
@@ -206,7 +244,6 @@ var (
 	OpenPartWriter        = core.OpenPartWriter
 	OpenInterleavedReader = core.OpenInterleavedReader
 	OpenInterleavedWriter = core.OpenInterleavedWriter
-	OpenBlockRangeReader  = core.OpenBlockRangeReader
 	OpenSelfSched         = core.OpenSelfSched
 	OpenSelfSchedDirect   = core.OpenSelfSchedDirect
 	OpenDirect            = core.OpenDirect
@@ -214,6 +251,13 @@ var (
 	OpenGlobalReader      = core.OpenGlobalReader
 	OpenGlobalWriter      = core.OpenGlobalWriter
 )
+
+// OpenBlockRangeReader opens a sequential read view over the contiguous
+// paper-block range [first, end) — an ad-hoc PS-style partition
+// independent of the file's own partition table, the substrate for the
+// §5 alternate views (package convert builds on it). It is not one of
+// the paper's six organizations, hence its separate listing here.
+var OpenBlockRangeReader = core.OpenBlockRangeReader
 
 // SaveVolume persists a volume and its devices to a host directory;
 // LoadVolume restores it (see cmd/parioctl).
