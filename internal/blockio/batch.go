@@ -1,0 +1,185 @@
+// Cross-file batched (listio-style) I/O: one scatter/gather request list
+// spanning several Sets that share a device array.
+//
+// A Vec coalesces pieces that land physically adjacent on one device, but
+// only within a single file: each Set adds its own extent base, so two
+// files whose extents abut — a checkpoint set written file-per-process,
+// or the file domains of a two-phase collective — still issue separate
+// requests even when their blocks are neighbors on the platter. A
+// BatchVec lifts the merge above the file boundary: every item's segments
+// are mapped through its own Set into absolute physical addresses, the
+// pieces are sorted device-major and merged across items, and each merged
+// run transfers as ONE device request gathering from (scattering into)
+// the items' buffers. This is the cross-Set entry point the collective
+// subsystem issues its per-domain I/O through.
+
+package blockio
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// BatchItem is one file's contribution to a cross-file batch: a
+// scatter/gather descriptor against Set, moving bytes of Buf.
+type BatchItem struct {
+	Set *Set
+	Vec Vec
+	Buf []byte
+}
+
+// BatchVec is a cross-file scatter/gather request list. All items' Sets
+// must share one Store (the same device array — Sets of one Volume
+// qualify); pieces that are physically adjacent on a device merge into
+// single gather requests even across items.
+type BatchVec []BatchItem
+
+// bpiece is one physical fragment of a batch before merging: n blocks at
+// absolute physical block pb of device dev, moving the buffer bytes
+// [bufOff, bufOff+n×bs) of buf.
+type bpiece struct {
+	dev    int
+	pb     int64
+	n      int64
+	buf    []byte
+	bufOff int64
+}
+
+// batchRun is a merged physically contiguous gather run; iov holds its
+// buffer slices (across item buffers) in transfer order.
+type batchRun struct {
+	dev int
+	pb  int64
+	n   int64
+	iov [][]byte
+	// final-element bookkeeping, so adjacent pieces of one buffer extend
+	// the last iov slice instead of adding an element
+	lastBuf        []byte
+	lastOff, lastN int64
+}
+
+// sameBuf reports whether a and b are the same slice (identical base and
+// length). Both are non-empty here: checkVec rejects pieces whose buffer
+// window is empty.
+func sameBuf(a, b []byte) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
+}
+
+// addPiece appends pc's buffer window to the run's iov.
+func (r *batchRun) addPiece(pc bpiece, bs int64) {
+	n := pc.n * bs
+	if r.lastBuf != nil && sameBuf(r.lastBuf, pc.buf) && r.lastOff+r.lastN == pc.bufOff {
+		r.lastN += n
+		r.iov[len(r.iov)-1] = pc.buf[r.lastOff : r.lastOff+r.lastN]
+		return
+	}
+	r.lastBuf, r.lastOff, r.lastN = pc.buf, pc.bufOff, n
+	r.iov = append(r.iov, pc.buf[pc.bufOff:pc.bufOff+n])
+}
+
+// mapBatch validates the batch and merges it into per-device gather runs
+// in (device, physical block) order.
+func (b BatchVec) mapBatch(op string) ([]batchRun, Store, error) {
+	if len(b) == 0 {
+		return nil, nil, nil
+	}
+	if b[0].Set == nil {
+		return nil, nil, fmt.Errorf("blockio: %s item 0 has no Set", op)
+	}
+	store := b[0].Set.store
+	bs := int64(store.BlockSize())
+	var pieces []bpiece
+	var tmp []Run
+	for i, it := range b {
+		if it.Set == nil {
+			return nil, nil, fmt.Errorf("blockio: %s item %d has no Set", op, i)
+		}
+		if it.Set.store != store {
+			return nil, nil, fmt.Errorf("blockio: %s item %d is on a different store", op, i)
+		}
+		if err := it.Set.checkVec(fmt.Sprintf("%s item %d", op, i), it.Vec, int64(len(it.Buf))); err != nil {
+			return nil, nil, err
+		}
+		for _, sg := range it.Vec {
+			if sg.N == 0 {
+				continue
+			}
+			tmp = it.Set.layout.MapRun(tmp[:0], sg.Block, sg.N)
+			for _, r := range tmp {
+				pieces = append(pieces, bpiece{
+					dev: r.Dev, pb: it.Set.base[r.Dev] + r.PBlock, n: r.N,
+					buf: it.Buf, bufOff: sg.BufOff + (r.B-sg.Block)*bs,
+				})
+			}
+		}
+	}
+	sort.Slice(pieces, func(i, j int) bool {
+		if pieces[i].dev != pieces[j].dev {
+			return pieces[i].dev < pieces[j].dev
+		}
+		return pieces[i].pb < pieces[j].pb
+	})
+	runs := make([]batchRun, 0, len(pieces))
+	for _, pc := range pieces {
+		if k := len(runs) - 1; k >= 0 && runs[k].dev == pc.dev {
+			last := &runs[k]
+			if last.pb+last.n > pc.pb {
+				// Same physical blocks named twice (a Set listed twice, or
+				// overlapping vecs): the transfer order would be ambiguous.
+				return nil, nil, fmt.Errorf("blockio: %s items overlap on device %d at block %d", op, pc.dev, pc.pb)
+			}
+			if last.pb+last.n == pc.pb {
+				last.n += pc.n
+				last.addPiece(pc, bs)
+				continue
+			}
+		}
+		r := batchRun{dev: pc.dev, pb: pc.pb, n: pc.n}
+		r.addPiece(pc, bs)
+		runs = append(runs, r)
+	}
+	return runs, store, nil
+}
+
+// Read transfers the batch from the devices into the items' buffers:
+// each merged cross-file run is one scatter device request, and runs
+// proceed in parallel across devices under a simulation engine.
+func (b BatchVec) Read(ctx sim.Context) error {
+	return b.do(ctx, "ReadBatch", Store.ReadBlocksVec)
+}
+
+// Write transfers the batch from the items' buffers to the devices, the
+// write counterpart of Read.
+func (b BatchVec) Write(ctx sim.Context) error {
+	return b.do(ctx, "WriteBatch", Store.WriteBlocksVec)
+}
+
+// NumRuns reports how many device requests the batch coalesces into
+// (diagnostics and tests).
+func (b BatchVec) NumRuns() (int, error) {
+	runs, _, err := b.mapBatch("MapBatch")
+	return len(runs), err
+}
+
+// do implements Read/Write over the merged runs.
+func (b BatchVec) do(ctx sim.Context, op string,
+	xfer func(Store, sim.Context, int, int64, int, [][]byte) error) error {
+	runs, store, err := b.mapBatch(op)
+	if err != nil || len(runs) == 0 {
+		return err
+	}
+	if len(runs) == 1 {
+		r := runs[0]
+		return xfer(store, ctx, r.dev, r.pb, int(r.n), r.iov)
+	}
+	fns := make([]func(sim.Context) error, len(runs))
+	for i, r := range runs {
+		r := r
+		fns[i] = func(c sim.Context) error {
+			return xfer(store, c, r.dev, r.pb, int(r.n), r.iov)
+		}
+	}
+	return sim.Par(ctx, fns...)
+}

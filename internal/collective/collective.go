@@ -1,0 +1,310 @@
+// Package collective implements two-phase collective I/O over parallel
+// files — the cross-process, cross-file aggregation layer above the
+// per-file vectored path.
+//
+// The paper's shared organizations (SS, GDA and friends) coordinate
+// processes at the file layer, but every process still issues its own
+// device requests, so fine-grained concurrent accesses interleave at the
+// drives and the seek interference the paper measures is never repaired.
+// Two-phase collective I/O (Thakur/Gropp/Lusk's MPI-IO optimization) fixes
+// that by trading interconnect traffic — cheap — for device requests —
+// expensive:
+//
+//  1. Plan. The ranks' request lists are combined into a union access
+//     footprint over the file group's concatenated block space, and the
+//     footprint is split into contiguous file domains, one per aggregator
+//     rank (plan.go).
+//  2. Exchange. Every rank ships the pieces of its buffer that fall in
+//     each domain to that domain's aggregator (writes), or the
+//     aggregators ship freshly read domains back to the ranks (reads),
+//     in one mpp.Alltoallv with modeled link cost.
+//  3. Access. Each aggregator moves its whole domain with one
+//     blockio.BatchVec — the cross-file batch — so pieces that are
+//     physically adjacent on a device coalesce into single requests even
+//     across files, and each device sees at most one request per
+//     aggregator per collective.
+//
+// An 8-rank interleaved checkpoint that costs one device request per
+// record independently collapses to one request per device per
+// aggregator; TestCollectiveCoalescingWin enforces the modeled win.
+package collective
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blockio"
+	"repro/internal/mpp"
+	"repro/internal/pfs"
+)
+
+// VecReq names one file of the collective's group and a scatter/gather
+// descriptor against it: the file's fs blocks listed in Vec move to/from
+// the calling rank's buffer at each segment's BufOff. A rank passes any
+// number of VecReqs per collective call (several per file is fine as
+// long as blocks and buffer ranges stay disjoint within the rank).
+type VecReq struct {
+	File int
+	Vec  blockio.Vec
+}
+
+// Options tunes a collective handle. The zero value selects defaults.
+type Options struct {
+	// Aggregators is the number of aggregator ranks performing device
+	// I/O (ranks [0, Aggregators) of the group). 0 selects
+	// min(group size, device count), one file domain per device's worth
+	// of parallelism.
+	Aggregators int
+}
+
+// Collective is a collective-I/O handle over a group of files sharing
+// one device array, used by all ranks of one mpp group. ReadAll and
+// WriteAll are collective calls: every rank of the group must call them
+// the same number of times, in the same order (ranks with nothing to
+// move pass empty request lists). The handle may be reused across calls;
+// it must not be shared between different-sized groups.
+type Collective struct {
+	group *pfs.FileGroup
+	size  int
+	naggs int
+	bs    int64
+
+	// per-call scratch, indexed by rank; safe under the engine's strict
+	// alternation
+	reqs  [][]VecReq
+	bufs  [][]byte
+	errs  []error
+	pl    *plan
+	plErr error
+}
+
+// Open builds a collective handle for a size-rank group over the file
+// group.
+func Open(g *pfs.FileGroup, size int, opts Options) (*Collective, error) {
+	if g == nil {
+		return nil, fmt.Errorf("collective: nil file group")
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("collective: group size %d", size)
+	}
+	naggs := opts.Aggregators
+	if naggs <= 0 {
+		naggs = g.Store().Devices()
+	}
+	if naggs > size {
+		naggs = size
+	}
+	return &Collective{
+		group: g,
+		size:  size,
+		naggs: naggs,
+		bs:    int64(g.Store().BlockSize()),
+		reqs:  make([][]VecReq, size),
+		bufs:  make([][]byte, size),
+		errs:  make([]error, size),
+	}, nil
+}
+
+// Group returns the underlying file group.
+func (c *Collective) Group() *pfs.FileGroup { return c.group }
+
+// Aggregators reports how many ranks perform device I/O.
+func (c *Collective) Aggregators() int { return c.naggs }
+
+// WriteAll writes every rank's requests as one two-phase collective:
+// ranks exchange their pieces with the domain aggregators, and each
+// aggregator issues its whole domain as one cross-file batch. All ranks
+// receive the same error (the join of every rank's failures).
+func (c *Collective) WriteAll(p *mpp.Proc, reqs []VecReq, buf []byte) error {
+	return c.run(p, true, reqs, buf)
+}
+
+// ReadAll reads every rank's requests as one two-phase collective: the
+// aggregators read their domains as cross-file batches, then ship each
+// rank its pieces — the read mirror of WriteAll.
+func (c *Collective) ReadAll(p *mpp.Proc, reqs []VecReq, buf []byte) error {
+	return c.run(p, false, reqs, buf)
+}
+
+// run is the collective engine shared by ReadAll/WriteAll.
+func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) error {
+	if p.Size() != c.size {
+		// A group-size mismatch is a programming error; returning before
+		// the first barrier leaves the other ranks waiting, which the
+		// engine reports as a deadlock naming them.
+		return fmt.Errorf("collective: handle opened for %d ranks, called from a %d-rank group", c.size, p.Size())
+	}
+	rank := p.Rank()
+	c.reqs[rank], c.bufs[rank], c.errs[rank] = reqs, buf, nil
+	p.Barrier()
+	// One rank derives the shared plan; the plan is a pure function of
+	// the gathered requests, so any rank would compute the same one.
+	if rank == 0 {
+		c.pl, c.plErr = buildPlan(c.group, c.reqs, c.bufs, c.naggs, write)
+	}
+	p.Barrier()
+	if c.plErr != nil {
+		return c.plErr
+	}
+	pl := c.pl
+	if write {
+		recv := p.Alltoallv(c.packRankPieces(pl, rank, buf))
+		if rank < pl.naggs {
+			dombuf := c.assembleDomain(pl, rank, recv)
+			// p.Proc, not p: sim.Par recognizes the underlying engine
+			// process, so the domain's per-device runs issue in parallel.
+			c.errs[rank] = c.domainBatch(pl, rank, dombuf).Write(p.Proc)
+		}
+	} else {
+		var send [][]byte
+		if rank < pl.naggs {
+			lo, hi := pl.domain(rank)
+			dombuf := make([]byte, (hi-lo)*pl.bs)
+			c.errs[rank] = c.domainBatch(pl, rank, dombuf).Read(p.Proc)
+			send = c.packDomainPieces(pl, rank, dombuf)
+		}
+		recv := p.Alltoallv(send)
+		c.scatterRankPieces(pl, rank, recv, buf)
+	}
+	p.Barrier()
+	var errs []error
+	for r, err := range c.errs {
+		if err != nil {
+			errs = append(errs, fmt.Errorf("rank %d: %w", r, err))
+		}
+	}
+	// Hold everyone until all ranks have read the error scratch: a rank
+	// returning early could re-enter on a reused handle and clear its
+	// slot before slower ranks join the errors
+	// (TestCollectiveReuseErrorVisibility).
+	p.Barrier()
+	return errors.Join(errs...)
+}
+
+// packRankPieces builds rank's write-phase exchange payloads: for each
+// aggregator, the rank's clips against that domain concatenated in
+// canonical order.
+func (c *Collective) packRankPieces(pl *plan, rank int, buf []byte) [][]byte {
+	send := make([][]byte, c.size)
+	for a := 0; a < pl.naggs; a++ {
+		n := pl.clipBytes(rank, a)
+		if n == 0 {
+			continue
+		}
+		pay := make([]byte, 0, n)
+		pl.forEachClip(rank, a, func(cl clip) {
+			pay = append(pay, buf[cl.bufOff:cl.bufOff+cl.n*pl.bs]...)
+		})
+		send[a] = pay
+	}
+	return send
+}
+
+// assembleDomain builds aggregator agg's domain buffer from the ranks'
+// write-phase payloads.
+func (c *Collective) assembleDomain(pl *plan, agg int, recv [][]byte) []byte {
+	lo, hi := pl.domain(agg)
+	dombuf := make([]byte, (hi-lo)*pl.bs)
+	for src := 0; src < c.size; src++ {
+		pay := recv[src]
+		var cur int64
+		pl.forEachClip(src, agg, func(cl clip) {
+			n := cl.n * pl.bs
+			copy(dombuf[cl.domOff:cl.domOff+n], pay[cur:cur+n])
+			cur += n
+		})
+	}
+	return dombuf
+}
+
+// packDomainPieces builds aggregator agg's read-phase payloads: each
+// rank's clips copied out of the freshly read domain buffer.
+func (c *Collective) packDomainPieces(pl *plan, agg int, dombuf []byte) [][]byte {
+	send := make([][]byte, c.size)
+	for r := 0; r < c.size; r++ {
+		n := pl.clipBytes(r, agg)
+		if n == 0 {
+			continue
+		}
+		pay := make([]byte, 0, n)
+		pl.forEachClip(r, agg, func(cl clip) {
+			pay = append(pay, dombuf[cl.domOff:cl.domOff+cl.n*pl.bs]...)
+		})
+		send[r] = pay
+	}
+	return send
+}
+
+// scatterRankPieces delivers the read-phase payloads into rank's buffer.
+func (c *Collective) scatterRankPieces(pl *plan, rank int, recv [][]byte, buf []byte) {
+	for a := 0; a < pl.naggs; a++ {
+		pay := recv[a]
+		var cur int64
+		pl.forEachClip(rank, a, func(cl clip) {
+			n := cl.n * pl.bs
+			copy(buf[cl.bufOff:cl.bufOff+n], pay[cur:cur+n])
+			cur += n
+		})
+	}
+}
+
+// domainBatch assembles aggregator agg's cross-file batch: the domain's
+// covered spans split at file boundaries, each file contributing one
+// BatchItem whose segments scatter/gather directly on the domain buffer.
+func (c *Collective) domainBatch(pl *plan, agg int, dombuf []byte) blockio.BatchVec {
+	var batch blockio.BatchVec
+	fileIdx := -1
+	pl.forEachDomainSpan(agg, func(gb, n, domOff int64) {
+		for n > 0 {
+			file, block, err := c.group.Locate(gb)
+			if err != nil {
+				// Unreachable: validated segments lie inside the group.
+				panic(err)
+			}
+			seg := c.group.Offset(file+1) - gb // blocks left in this file
+			if seg > n {
+				seg = n
+			}
+			if file != fileIdx {
+				batch = append(batch, blockio.BatchItem{Set: c.group.File(file).Set(), Buf: dombuf})
+				fileIdx = file
+			}
+			it := &batch[len(batch)-1]
+			it.Vec = append(it.Vec, blockio.VecSeg{Block: block, N: seg, BufOff: domOff})
+			gb += seg
+			domOff += seg * pl.bs
+			n -= seg
+		}
+	})
+	return batch
+}
+
+// RecordRangeReq builds the VecReq covering records [firstRec,
+// firstRec+nRec) of group file `file`, with the records' bytes at
+// rank-buffer offset bufOff — the record-list convenience over the
+// block-range API. The file's framing must be dense (records tile fs
+// blocks with no padding) and the record range must cover whole fs
+// blocks, so that ranks' byte ranges remain block-disjoint.
+func RecordRangeReq(g *pfs.FileGroup, file int, firstRec, nRec, bufOff int64) (VecReq, error) {
+	if file < 0 || file >= g.Len() {
+		return VecReq{}, fmt.Errorf("collective: file %d of %d", file, g.Len())
+	}
+	m := g.File(file).Mapper()
+	if !m.Dense() {
+		return VecReq{}, fmt.Errorf("collective: file %q frames records with padding; use block-range requests", g.File(file).Name())
+	}
+	if firstRec < 0 || nRec < 0 || firstRec+nRec > m.NumRecords() {
+		return VecReq{}, fmt.Errorf("collective: records [%d,%d) of %d", firstRec, firstRec+nRec, m.NumRecords())
+	}
+	bs := int64(m.FSBlockSize())
+	rs := int64(m.RecordSize())
+	if (firstRec*rs)%bs != 0 || (nRec*rs)%bs != 0 {
+		return VecReq{}, fmt.Errorf("collective: records [%d,%d) of size %d do not cover whole %d-byte fs blocks",
+			firstRec, firstRec+nRec, rs, bs)
+	}
+	return VecReq{File: file, Vec: blockio.Vec{{
+		Block:  firstRec * rs / bs,
+		N:      nRec * rs / bs,
+		BufOff: bufOff,
+	}}}, nil
+}

@@ -1,0 +1,234 @@
+// The collective plan: the deterministic description of one two-phase
+// operation that every rank derives identically from the gathered
+// request lists.
+//
+// All coordinates are global fs blocks — the pfs.FileGroup concatenation
+// of the member files' block spaces. The plan holds three things:
+//
+//   - the per-rank segment lists (each rank's requests flattened into
+//     sorted global-block segments),
+//   - the union access footprint (the merged covered spans, with prefix
+//     sums assigning every covered block a dense "covered index"), and
+//   - the file-domain split: the covered index space divided into naggs
+//     contiguous domains of ⌈total/naggs⌉ blocks, domain a belonging to
+//     aggregator rank a (the final domain is ragged when the footprint
+//     does not divide evenly).
+//
+// Because domains are contiguous in covered-index space, each
+// aggregator's device accesses are as sequential as the footprint
+// permits, and holes nobody asked for are never touched.
+
+package collective
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pfs"
+)
+
+// rseg is one rank segment in global coordinates: n blocks starting at
+// global block gb, moving the rank-buffer bytes [bufOff, bufOff+n×bs).
+type rseg struct {
+	gb     int64
+	n      int64
+	bufOff int64
+}
+
+// span is a covered interval of the union footprint.
+type span struct{ gb, n int64 }
+
+// clip is the intersection of one rank segment with one aggregator
+// domain: n blocks moving rank-buffer bytes at bufOff to/from
+// domain-buffer bytes at domOff. Clips enumerate in the same canonical
+// order on the rank and the aggregator side, which is what lets the
+// exchange payloads be plain concatenations.
+type clip struct {
+	n      int64
+	bufOff int64
+	domOff int64
+}
+
+// plan is the shared description of one collective operation.
+type plan struct {
+	bs        int64
+	naggs     int
+	segs      [][]rseg // per rank, sorted by gb
+	covered   []span   // merged union footprint, sorted by gb
+	cbase     []int64  // covered-index of covered[i].gb
+	total     int64    // total covered blocks
+	domBlocks int64    // blocks per domain (last one ragged)
+}
+
+// buildPlan validates every rank's requests and computes the footprint
+// and domain split. write additionally rejects cross-rank overlaps,
+// whose store order would be ambiguous.
+func buildPlan(group *pfs.FileGroup, reqs [][]VecReq, bufs [][]byte, naggs int, write bool) (*plan, error) {
+	bs := int64(group.Store().BlockSize())
+	pl := &plan{bs: bs, naggs: naggs, segs: make([][]rseg, len(reqs))}
+	type owned struct {
+		rseg
+		rank int
+	}
+	var all []owned
+	for r, rr := range reqs {
+		bufLen := int64(len(bufs[r]))
+		var segs []rseg
+		for qi, q := range rr {
+			if q.File < 0 || q.File >= group.Len() {
+				return nil, fmt.Errorf("collective: rank %d request %d: file %d of %d", r, qi, q.File, group.Len())
+			}
+			fileBlocks := group.File(q.File).Mapper().TotalFSBlocks()
+			off := group.Offset(q.File)
+			for si, sg := range q.Vec {
+				if sg.N < 0 || sg.Block < 0 || sg.Block+sg.N > fileBlocks {
+					return nil, fmt.Errorf("collective: rank %d request %d segment %d: blocks [%d,%d) of %d-block file",
+						r, qi, si, sg.Block, sg.Block+sg.N, fileBlocks)
+				}
+				if sg.N == 0 {
+					continue
+				}
+				if sg.BufOff < 0 || sg.BufOff%bs != 0 {
+					return nil, fmt.Errorf("collective: rank %d request %d segment %d: buffer offset %d not aligned to %d-byte blocks",
+						r, qi, si, sg.BufOff, bs)
+				}
+				if sg.BufOff+sg.N*bs > bufLen {
+					return nil, fmt.Errorf("collective: rank %d request %d segment %d: buffer bytes [%d,%d) exceed %d-byte buffer",
+						r, qi, si, sg.BufOff, sg.BufOff+sg.N*bs, bufLen)
+				}
+				segs = append(segs, rseg{gb: off + sg.Block, n: sg.N, bufOff: sg.BufOff})
+			}
+		}
+		sort.Slice(segs, func(i, j int) bool { return segs[i].gb < segs[j].gb })
+		if write {
+			// A rank naming a block twice in one write is ambiguous; a
+			// read may fetch one block into several buffer slots.
+			for i := 1; i < len(segs); i++ {
+				if segs[i-1].gb+segs[i-1].n > segs[i].gb {
+					return nil, fmt.Errorf("collective: rank %d requests overlap at global block %d", r, segs[i].gb)
+				}
+			}
+		}
+		byBuf := append([]rseg(nil), segs...)
+		sort.Slice(byBuf, func(i, j int) bool { return byBuf[i].bufOff < byBuf[j].bufOff })
+		for i := 1; i < len(byBuf); i++ {
+			if byBuf[i-1].bufOff+byBuf[i-1].n*bs > byBuf[i].bufOff {
+				return nil, fmt.Errorf("collective: rank %d requests overlap in the buffer at offset %d", r, byBuf[i].bufOff)
+			}
+		}
+		pl.segs[r] = segs
+		for _, sg := range segs {
+			all = append(all, owned{rseg: sg, rank: r})
+		}
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i].gb < all[j].gb })
+	for i, sg := range all {
+		if i > 0 && all[i-1].gb+all[i-1].n > sg.gb {
+			if write {
+				return nil, fmt.Errorf("collective: ranks %d and %d write overlapping blocks at global block %d",
+					all[i-1].rank, sg.rank, sg.gb)
+			}
+			// Reads may share blocks; the union merge below absorbs them.
+		}
+		if k := len(pl.covered) - 1; k >= 0 && pl.covered[k].gb+pl.covered[k].n >= sg.gb {
+			if end := sg.gb + sg.n; end > pl.covered[k].gb+pl.covered[k].n {
+				pl.covered[k].n = end - pl.covered[k].gb
+			}
+			continue
+		}
+		pl.covered = append(pl.covered, span{gb: sg.gb, n: sg.n})
+	}
+	pl.cbase = make([]int64, len(pl.covered))
+	for i, sp := range pl.covered {
+		pl.cbase[i] = pl.total
+		pl.total += sp.n
+	}
+	if pl.total > 0 {
+		pl.domBlocks = (pl.total + int64(naggs) - 1) / int64(naggs)
+	}
+	return pl, nil
+}
+
+// coveredIndex maps a covered global block to its dense covered index.
+// gb must lie in the footprint (every validated segment does).
+func (pl *plan) coveredIndex(gb int64) int64 {
+	i := sort.Search(len(pl.covered), func(i int) bool { return pl.covered[i].gb+pl.covered[i].n > gb })
+	return pl.cbase[i] + gb - pl.covered[i].gb
+}
+
+// domain reports aggregator a's covered-index range [lo, hi); empty when
+// the footprint runs out before domain a.
+func (pl *plan) domain(a int) (lo, hi int64) {
+	lo = int64(a) * pl.domBlocks
+	hi = lo + pl.domBlocks
+	if lo > pl.total {
+		lo = pl.total
+	}
+	if hi > pl.total {
+		hi = pl.total
+	}
+	return lo, hi
+}
+
+// forEachClip enumerates rank's segments clipped to aggregator agg's
+// domain, in ascending global-block order — the canonical payload order
+// of the exchange phase. A segment is always contained in one covered
+// span, so its covered indexes are consecutive and each segment yields
+// at most one clip per domain.
+func (pl *plan) forEachClip(rank, agg int, fn func(c clip)) {
+	lo, hi := pl.domain(agg)
+	if lo >= hi {
+		return
+	}
+	for _, sg := range pl.segs[rank] {
+		ci := pl.coveredIndex(sg.gb)
+		cLo, cHi := ci, ci+sg.n
+		if cLo < lo {
+			cLo = lo
+		}
+		if cHi > hi {
+			cHi = hi
+		}
+		if cLo >= cHi {
+			continue
+		}
+		fn(clip{
+			n:      cHi - cLo,
+			bufOff: sg.bufOff + (cLo-ci)*pl.bs,
+			domOff: (cLo - lo) * pl.bs,
+		})
+	}
+}
+
+// clipBytes reports the exchange payload size between rank and agg.
+func (pl *plan) clipBytes(rank, agg int) int64 {
+	var n int64
+	pl.forEachClip(rank, agg, func(c clip) { n += c.n })
+	return n * pl.bs
+}
+
+// forEachDomainSpan enumerates aggregator a's domain as (global block,
+// length, domain-buffer offset) pieces — the covered spans clipped to
+// the domain, ascending.
+func (pl *plan) forEachDomainSpan(a int, fn func(gb, n, domOff int64)) {
+	lo, hi := pl.domain(a)
+	if lo >= hi {
+		return
+	}
+	i := sort.Search(len(pl.covered), func(i int) bool { return pl.cbase[i]+pl.covered[i].n > lo })
+	for ; i < len(pl.covered) && pl.cbase[i] < hi; i++ {
+		sp, cb := pl.covered[i], pl.cbase[i]
+		cLo, cHi := cb, cb+sp.n
+		if cLo < lo {
+			cLo = lo
+		}
+		if cHi > hi {
+			cHi = hi
+		}
+		if cLo >= cHi {
+			continue
+		}
+		fn(sp.gb+(cLo-cb), cHi-cLo, (cLo-lo)*pl.bs)
+	}
+}

@@ -116,6 +116,7 @@ type Stats struct {
 	BytesWritten int64
 	Seeks        int64         // requests that moved the head
 	SeekCyls     int64         // total cylinders traveled
+	Merged       int64         // queued requests absorbed by back/front merging
 	BusyTime     time.Duration // time the device spent servicing requests
 	LatencySum   time.Duration // queue wait + service, summed over requests
 	LatencyMax   time.Duration
@@ -128,12 +129,27 @@ func (s Stats) Requests() int64 { return s.Reads + s.Writes }
 // Bytes reports total bytes transferred.
 func (s Stats) Bytes() int64 { return s.BytesRead + s.BytesWritten }
 
-// request is a queued disk operation.
+// reqOp classifies a request for queue merging: only whole-block
+// requests of the same direction may merge.
+type reqOp int
+
+const (
+	opOther reqOp = iota // byte-granular (ReadAt/WriteAt): never merged
+	opRead
+	opWrite
+)
+
+// request is a queued disk operation. A merged request carries several
+// owning processes: procs[0] issued the request the others were absorbed
+// into, performs the completion chaining, and is woken first; every
+// member transfers its own data at the shared completion instant.
 type request struct {
-	proc  *sim.Proc
+	procs []*sim.Proc
+	op    reqOp
+	block int64 // first block of the run (merge key)
+	nblk  int64 // run length in blocks; 0 for byte-granular requests
 	cyl   int
 	bytes int
-	enq   time.Duration
 	done  time.Duration // completion time, set at dispatch
 }
 
@@ -153,6 +169,7 @@ type Disk struct {
 	head    int     // current cylinder
 	scanUp  bool    // SCAN direction
 	busy    bool
+	merge   bool // merge physically adjacent queued requests
 	queue   []*request
 	failed  bool
 
@@ -169,6 +186,13 @@ type Config struct {
 	// Backend optionally overrides the page store (e.g. a FileBackend);
 	// nil selects the in-memory sparse store.
 	Backend Backend
+	// MergeQueued enables block-layer style back/front merging: a newly
+	// queued whole-block request that is physically adjacent to a queued
+	// request of the same direction is absorbed into it, and the merged
+	// run is serviced as one request (one overhead + seek + rotation for
+	// the combined transfer). Off by default — the paper's model services
+	// every arrival individually — and counted in Stats.Merged when on.
+	MergeQueued bool
 }
 
 // New creates a disk. Zero-valued geometry or timing fields are filled
@@ -196,6 +220,7 @@ func New(cfg Config) *Disk {
 		backend: backend,
 		scratch: make([]byte, cfg.Geometry.BlockSize),
 		scanUp:  true,
+		merge:   cfg.MergeQueued,
 	}
 }
 
@@ -327,27 +352,58 @@ func (d *Disk) startService(r *request, now time.Duration) {
 }
 
 // dispatch starts service of the next queued request at virtual time now,
-// waking its (parked) owner at the completion instant. Caller must have
-// checked the queue is non-empty.
+// waking its (parked) owners at the completion instant — the issuing
+// process first, then any merged members. Caller must have checked the
+// queue is non-empty.
 func (d *Disk) dispatch(now time.Duration) {
 	r := d.selectNext()
 	d.startService(r, now)
-	d.eng.WakeAt(r.proc, r.done)
+	for _, p := range r.procs {
+		d.eng.WakeAt(p, r.done)
+	}
+}
+
+// tryMerge absorbs a new whole-block request into a physically adjacent
+// queued request of the same direction (block-layer back/front merging)
+// and returns the merged request, or nil when nothing is adjacent. Only
+// requests still waiting in the queue merge; the in-service request is
+// already committed to its service time.
+func (d *Disk) tryMerge(p *sim.Proc, op reqOp, block, nblk int64, bytes int) *request {
+	for _, q := range d.queue {
+		if q.op != op || q.nblk == 0 {
+			continue
+		}
+		switch {
+		case q.block+q.nblk == block: // back merge
+		case block+nblk == q.block: // front merge
+			q.block = block
+			q.cyl = d.geom.cylinderOf(block)
+		default:
+			continue
+		}
+		q.nblk += nblk
+		q.bytes += bytes
+		q.procs = append(q.procs, p)
+		d.stats.Merged++
+		return q
+	}
+	return nil
 }
 
 // access performs the timing model around fn, which does the actual
-// data transfer. firstBlock fixes the target cylinder; bytes the
-// transfer size.
-func (d *Disk) access(ctx sim.Context, firstBlock int64, bytes int, fn func() error) error {
-	if firstBlock < 0 || firstBlock >= d.geom.Blocks() {
-		return fmt.Errorf("%w: block %d of %d on %s", ErrOutOfRange, firstBlock, d.geom.Blocks(), d.name)
+// data transfer. block fixes the target cylinder, bytes the transfer
+// size; nblk is the whole-block run length (0 for byte-granular
+// requests), which is what queue merging keys on.
+func (d *Disk) access(ctx sim.Context, op reqOp, block, nblk int64, bytes int, fn func() error) error {
+	if block < 0 || block >= d.geom.Blocks() {
+		return fmt.Errorf("%w: block %d of %d on %s", ErrOutOfRange, block, d.geom.Blocks(), d.name)
 	}
 	p, timed := ctx.(*sim.Proc)
 	if !timed || d.eng == nil {
 		if d.failed {
 			return fmt.Errorf("%w: %s", ErrFailed, d.name)
 		}
-		cyl := d.geom.cylinderOf(firstBlock)
+		cyl := d.geom.cylinderOf(block)
 		if cyl != d.head {
 			d.stats.Seeks++
 			dist := cyl - d.head
@@ -360,17 +416,28 @@ func (d *Disk) access(ctx sim.Context, firstBlock int64, bytes int, fn func() er
 		return fn()
 	}
 
-	r := &request{proc: p, cyl: d.geom.cylinderOf(firstBlock), bytes: bytes, enq: p.Now()}
+	enq := p.Now()
+	var r *request
 	if d.busy {
-		// Queue behind the in-service request; a completing process
-		// will dispatch us and wake us at our completion time.
-		d.queue = append(d.queue, r)
+		// Queue behind the in-service request; a completing process will
+		// dispatch us and wake us at our completion time. With merging
+		// enabled, an adjacent queued request may absorb us instead.
+		if d.merge && nblk > 0 {
+			r = d.tryMerge(p, op, block, nblk, bytes)
+		}
+		if r == nil {
+			r = &request{procs: []*sim.Proc{p}, op: op, block: block, nblk: nblk,
+				cyl: d.geom.cylinderOf(block), bytes: bytes}
+			d.queue = append(d.queue, r)
+		}
 		if depth := len(d.queue) + 1; depth > d.stats.QueuePeak {
 			d.stats.QueuePeak = depth
 		}
 		p.Park()
 	} else {
 		// Idle disk: serve ourselves immediately.
+		r = &request{procs: []*sim.Proc{p}, op: op, block: block, nblk: nblk,
+			cyl: d.geom.cylinderOf(block), bytes: bytes}
 		d.busy = true
 		if d.stats.QueuePeak < 1 {
 			d.stats.QueuePeak = 1
@@ -379,7 +446,7 @@ func (d *Disk) access(ctx sim.Context, firstBlock int64, bytes int, fn func() er
 		p.SleepUntil(r.done)
 	}
 
-	lat := p.Now() - r.enq
+	lat := p.Now() - enq
 	d.stats.LatencySum += lat
 	if lat > d.stats.LatencyMax {
 		d.stats.LatencyMax = lat
@@ -391,11 +458,15 @@ func (d *Disk) access(ctx sim.Context, firstBlock int64, bytes int, fn func() er
 	} else {
 		err = fn()
 	}
-	// Chain the next request, or go idle.
-	if len(d.queue) > 0 {
-		d.dispatch(p.Now())
-	} else {
-		d.busy = false
+	// The issuing process chains the next request or idles the disk;
+	// merged members woken at the same completion instant only transfer
+	// their data.
+	if p == r.procs[0] {
+		if len(d.queue) > 0 {
+			d.dispatch(p.Now())
+		} else {
+			d.busy = false
+		}
 	}
 	return err
 }
@@ -406,7 +477,7 @@ func (d *Disk) ReadBlock(ctx sim.Context, block int64, dst []byte) error {
 	if len(dst) != d.geom.BlockSize {
 		return fmt.Errorf("device: ReadBlock dst len %d != block size %d", len(dst), d.geom.BlockSize)
 	}
-	return d.access(ctx, block, len(dst), func() error {
+	return d.access(ctx, opRead, block, 1, len(dst), func() error {
 		found, err := d.backend.ReadPage(block, dst)
 		if err != nil {
 			return err
@@ -426,7 +497,7 @@ func (d *Disk) WriteBlock(ctx sim.Context, block int64, src []byte) error {
 	if len(src) != d.geom.BlockSize {
 		return fmt.Errorf("device: WriteBlock src len %d != block size %d", len(src), d.geom.BlockSize)
 	}
-	return d.access(ctx, block, len(src), func() error {
+	return d.access(ctx, opWrite, block, 1, len(src), func() error {
 		if err := d.backend.WritePage(block, src); err != nil {
 			return err
 		}
@@ -461,7 +532,7 @@ func (d *Disk) ReadBlocks(ctx sim.Context, block int64, n int, dst []byte) error
 	if err := d.checkRun("ReadBlocks", block, n, dst); err != nil {
 		return err
 	}
-	return d.access(ctx, block, len(dst), func() error {
+	return d.access(ctx, opRead, block, int64(n), len(dst), func() error {
 		bs := d.geom.BlockSize
 		for i := 0; i < n; i++ {
 			page := dst[i*bs : (i+1)*bs]
@@ -486,7 +557,7 @@ func (d *Disk) WriteBlocks(ctx sim.Context, block int64, n int, src []byte) erro
 	if err := d.checkRun("WriteBlocks", block, n, src); err != nil {
 		return err
 	}
-	return d.access(ctx, block, len(src), func() error {
+	return d.access(ctx, opWrite, block, int64(n), len(src), func() error {
 		bs := d.geom.BlockSize
 		for i := 0; i < n; i++ {
 			if err := d.backend.WritePage(block+int64(i), src[i*bs:(i+1)*bs]); err != nil {
@@ -534,7 +605,7 @@ func (d *Disk) ReadBlocksVec(ctx sim.Context, block int64, n int, dsts [][]byte)
 	if err := d.checkRunVec("ReadBlocksVec", block, n, dsts); err != nil {
 		return err
 	}
-	return d.access(ctx, block, n*d.geom.BlockSize, func() error {
+	return d.access(ctx, opRead, block, int64(n), n*d.geom.BlockSize, func() error {
 		bs := d.geom.BlockSize
 		b := block
 		for _, dst := range dsts {
@@ -564,7 +635,7 @@ func (d *Disk) WriteBlocksVec(ctx sim.Context, block int64, n int, srcs [][]byte
 	if err := d.checkRunVec("WriteBlocksVec", block, n, srcs); err != nil {
 		return err
 	}
-	return d.access(ctx, block, n*d.geom.BlockSize, func() error {
+	return d.access(ctx, opWrite, block, int64(n), n*d.geom.BlockSize, func() error {
 		bs := d.geom.BlockSize
 		b := block
 		for _, src := range srcs {
@@ -589,7 +660,7 @@ func (d *Disk) ReadAt(ctx sim.Context, off int64, dst []byte) error {
 		return fmt.Errorf("%w: [%d,%d) of %d bytes on %s", ErrOutOfRange, off, off+int64(len(dst)), d.geom.Capacity(), d.name)
 	}
 	first := off / int64(d.geom.BlockSize)
-	return d.access(ctx, first, len(dst), func() error {
+	return d.access(ctx, opOther, first, 0, len(dst), func() error {
 		if err := d.copyOut(off, dst); err != nil {
 			return err
 		}
@@ -606,7 +677,7 @@ func (d *Disk) WriteAt(ctx sim.Context, off int64, src []byte) error {
 		return fmt.Errorf("%w: [%d,%d) of %d bytes on %s", ErrOutOfRange, off, off+int64(len(src)), d.geom.Capacity(), d.name)
 	}
 	first := off / int64(d.geom.BlockSize)
-	return d.access(ctx, first, len(src), func() error {
+	return d.access(ctx, opOther, first, 0, len(src), func() error {
 		if err := d.copyIn(off, src); err != nil {
 			return err
 		}

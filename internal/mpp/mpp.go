@@ -36,10 +36,15 @@ func (p *Proc) Compute(d time.Duration) { p.Sleep(d) }
 type Group struct {
 	size    int
 	barrier *sim.Barrier
+	// interconnect model (zero: communication is free, the historical
+	// default — see SetLink)
+	linkMsg   time.Duration
+	linkBytes float64 // bytes per second; 0 = infinite
 	// reduction scratch
 	redVals  []float64
 	redCount int
 	gather   [][]byte
+	a2a      [][][]byte // a2a[src][dst]: Alltoallv scratch
 }
 
 // Run launches fn on size processes under the engine and returns the
@@ -50,6 +55,10 @@ func Run(e *sim.Engine, size int, name string, fn func(p *Proc)) (*Group, *sim.G
 		barrier: sim.NewBarrier(size),
 		redVals: make([]float64, size),
 		gather:  make([][]byte, size),
+		a2a:     make([][][]byte, size),
+	}
+	for i := range g.a2a {
+		g.a2a[i] = make([][]byte, size)
 	}
 	var join sim.Group
 	for r := 0; r < size; r++ {
@@ -91,14 +100,103 @@ func (p *Proc) ReduceMax(v float64) float64 {
 }
 
 // Gather collects each process's payload; rank 0's slice of all payloads
-// is returned to every process (valid until the next collective).
+// is returned to every process (valid until the next collective). With a
+// link model configured (SetLink) each process is charged for injecting
+// its payload and receiving the other processes' payloads.
 func (p *Proc) Gather(payload []byte) [][]byte {
 	g := p.group
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
 	g.gather[p.rank] = cp
+	p.chargeLink(1, int64(len(payload)))
 	p.Barrier()
 	out := g.gather
+	var in int64
+	for r, pl := range out {
+		if r != p.rank {
+			in += int64(len(pl))
+		}
+	}
+	p.chargeLink(g.size-1, in)
 	p.Barrier()
 	return out
+}
+
+// SetLink configures the modeled interconnect: every message a process
+// injects or receives costs msg fixed time plus its bytes at bytesPerSec
+// through the process's link. The zero configuration (the default) keeps
+// communication free, so existing programs' timings are unchanged.
+// Configure before the group's processes start communicating.
+func (g *Group) SetLink(msg time.Duration, bytesPerSec float64) {
+	g.linkMsg = msg
+	g.linkBytes = bytesPerSec
+}
+
+// chargeLink models msgs messages totalling bytes crossing this process's
+// link. A no-op (not even a yield) when no link model is configured, so
+// the default timing stays bit-identical.
+func (p *Proc) chargeLink(msgs int, bytes int64) {
+	g := p.group
+	if msgs <= 0 || (g.linkMsg == 0 && g.linkBytes == 0) {
+		return
+	}
+	d := time.Duration(msgs) * g.linkMsg
+	if g.linkBytes > 0 && bytes > 0 {
+		d += time.Duration(float64(bytes) / g.linkBytes * float64(time.Second))
+	}
+	if d > 0 {
+		p.Sleep(d)
+	}
+}
+
+// Alltoallv performs a personalized all-to-all exchange: send[dst] is the
+// payload (possibly nil) this process sends to rank dst, and the returned
+// slice holds at recv[src] the payload rank src sent to this process
+// (valid until the group's next collective; payloads are copied at send
+// time, so the caller may reuse its buffers immediately). len(send) may
+// be shorter than the group; absent entries send nothing. With a link
+// model configured (SetLink), each process is charged for injecting its
+// outgoing payloads and receiving its incoming ones; the self payload
+// (send[rank]) is a local copy and crosses no link.
+//
+// This is the data-exchange primitive of two-phase collective I/O
+// (package collective): ranks ship their pieces to aggregators, or
+// aggregators ship file domains back to ranks, in one step.
+func (p *Proc) Alltoallv(send [][]byte) [][]byte {
+	g := p.group
+	row := g.a2a[p.rank]
+	var out int64
+	outMsgs := 0
+	for dst := 0; dst < g.size; dst++ {
+		var pl []byte
+		if dst < len(send) {
+			pl = send[dst]
+		}
+		if pl == nil {
+			row[dst] = nil
+			continue
+		}
+		cp := make([]byte, len(pl))
+		copy(cp, pl)
+		row[dst] = cp
+		if dst != p.rank {
+			out += int64(len(pl))
+			outMsgs++
+		}
+	}
+	p.chargeLink(outMsgs, out)
+	p.Barrier()
+	recv := make([][]byte, g.size)
+	var in int64
+	inMsgs := 0
+	for src := 0; src < g.size; src++ {
+		recv[src] = g.a2a[src][p.rank]
+		if src != p.rank && recv[src] != nil {
+			in += int64(len(recv[src]))
+			inMsgs++
+		}
+	}
+	p.chargeLink(inMsgs, in)
+	p.Barrier()
+	return recv
 }

@@ -92,6 +92,135 @@ func TestGather(t *testing.T) {
 	}
 }
 
+func TestAlltoallv(t *testing.T) {
+	e := sim.NewEngine()
+	const n = 4
+	_, join := Run(e, n, "w", func(p *Proc) {
+		// Rank r sends to each dst a payload of r+1 bytes of value
+		// 10*r+dst; rank 3 sends nothing (nil row entries).
+		send := make([][]byte, n)
+		if p.Rank() != 3 {
+			for dst := 0; dst < n; dst++ {
+				pl := make([]byte, p.Rank()+1)
+				for i := range pl {
+					pl[i] = byte(10*p.Rank() + dst)
+				}
+				send[dst] = pl
+			}
+		}
+		recv := p.Alltoallv(send)
+		for src := 0; src < n; src++ {
+			if src == 3 {
+				if recv[src] != nil {
+					t.Errorf("rank %d: unexpected payload from silent rank: %v", p.Rank(), recv[src])
+				}
+				continue
+			}
+			want := byte(10*src + p.Rank())
+			if len(recv[src]) != src+1 {
+				t.Errorf("rank %d: payload from %d has %d bytes, want %d", p.Rank(), src, len(recv[src]), src+1)
+				continue
+			}
+			for _, b := range recv[src] {
+				if b != want {
+					t.Errorf("rank %d: payload from %d = %v, want all %d", p.Rank(), src, recv[src], want)
+					break
+				}
+			}
+		}
+		// A second exchange must not see stale scratch.
+		recv2 := p.Alltoallv(make([][]byte, n))
+		for src, pl := range recv2 {
+			if pl != nil {
+				t.Errorf("rank %d: stale payload from %d: %v", p.Rank(), src, pl)
+			}
+		}
+	})
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvShortSend(t *testing.T) {
+	e := sim.NewEngine()
+	_, join := Run(e, 3, "w", func(p *Proc) {
+		// A send slice shorter than the group (including nil) is legal.
+		var send [][]byte
+		if p.Rank() == 0 {
+			send = [][]byte{nil, {42}} // only to rank 1
+		}
+		recv := p.Alltoallv(send)
+		if p.Rank() == 1 {
+			if len(recv[0]) != 1 || recv[0][0] != 42 {
+				t.Errorf("rank 1 recv[0] = %v", recv[0])
+			}
+		} else if recv[0] != nil {
+			t.Errorf("rank %d recv[0] = %v, want nil", p.Rank(), recv[0])
+		}
+	})
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvLinkCost(t *testing.T) {
+	// With a link of 1 ms/message + 1000 bytes/s, a 2-rank exchange of
+	// 500 bytes each way costs every rank 1 ms + 0.5 s to inject and the
+	// same to receive: both ranks finish at exactly 1.002 s.
+	e := sim.NewEngine()
+	g, join := Run(e, 2, "w", func(p *Proc) {
+		pl := make([]byte, 500)
+		send := [][]byte{nil, nil}
+		send[1-p.Rank()] = pl
+		p.Alltoallv(send)
+		want := 2 * (time.Millisecond + 500*time.Millisecond)
+		if p.Now() != want {
+			t.Errorf("rank %d finished at %v, want %v", p.Rank(), p.Now(), want)
+		}
+	})
+	g.SetLink(time.Millisecond, 1000)
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkFreeByDefault(t *testing.T) {
+	// Without SetLink, collectives charge no time at all.
+	e := sim.NewEngine()
+	_, join := Run(e, 2, "w", func(p *Proc) {
+		p.Alltoallv([][]byte{make([]byte, 1<<20), make([]byte, 1<<20)})
+		p.Gather(make([]byte, 1<<20))
+		if p.Now() != 0 {
+			t.Errorf("rank %d: free link advanced clock to %v", p.Rank(), p.Now())
+		}
+	})
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherLinkCost(t *testing.T) {
+	// Gather with a pure-bandwidth link: each of 2 ranks injects 100
+	// bytes and receives the other's 100 bytes at 1000 B/s.
+	e := sim.NewEngine()
+	g, join := Run(e, 2, "w", func(p *Proc) {
+		p.Gather(make([]byte, 100))
+		want := 2 * 100 * time.Millisecond
+		if p.Now() != want {
+			t.Errorf("rank %d finished at %v, want %v", p.Rank(), p.Now(), want)
+		}
+	})
+	g.SetLink(0, 1000)
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestComputeAdvancesClock(t *testing.T) {
 	e := sim.NewEngine()
 	_, join := Run(e, 1, "w", func(p *Proc) {

@@ -210,6 +210,82 @@ func (f *File) BlockOwner(b int64) int {
 	}
 }
 
+// FileGroup is an ordered set of files sharing one device array, opened
+// together for collective access. It concatenates the members' fs-block
+// spaces into one global enumeration — file i's blocks occupy the global
+// indexes [Offset(i), Offset(i+1)) — which is the coordinate system the
+// collective subsystem computes its union footprint and file domains in.
+type FileGroup struct {
+	files []*File
+	offs  []int64 // offs[i] = global index of file i's block 0; len = files+1
+}
+
+// NewFileGroup forms a group from already-open files. The files must be
+// distinct and their Sets must share one Store (one device array) — the
+// condition under which cross-file physical merging (blockio.BatchVec)
+// is meaningful.
+func NewFileGroup(files ...*File) (*FileGroup, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("pfs: file group needs at least one file")
+	}
+	store := files[0].Set().Store()
+	g := &FileGroup{files: files, offs: make([]int64, len(files)+1)}
+	for i, f := range files {
+		if f == nil {
+			return nil, fmt.Errorf("pfs: file group member %d is nil", i)
+		}
+		if f.Set().Store() != store {
+			return nil, fmt.Errorf("pfs: file group member %q is on a different device array", f.Name())
+		}
+		for _, prev := range files[:i] {
+			if prev == f {
+				return nil, fmt.Errorf("pfs: file group lists %q twice", f.Name())
+			}
+		}
+		g.offs[i+1] = g.offs[i] + f.Mapper().TotalFSBlocks()
+	}
+	return g, nil
+}
+
+// OpenGroup looks up the named files and forms a FileGroup — the
+// collective open of a file group.
+func (v *Volume) OpenGroup(names ...string) (*FileGroup, error) {
+	files := make([]*File, len(names))
+	for i, n := range names {
+		f, err := v.Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		files[i] = f
+	}
+	return NewFileGroup(files...)
+}
+
+// Len reports the number of files in the group.
+func (g *FileGroup) Len() int { return len(g.files) }
+
+// File returns member i.
+func (g *FileGroup) File(i int) *File { return g.files[i] }
+
+// Store returns the shared device array.
+func (g *FileGroup) Store() blockio.Store { return g.files[0].Set().Store() }
+
+// TotalFSBlocks reports the size of the concatenated block space.
+func (g *FileGroup) TotalFSBlocks() int64 { return g.offs[len(g.files)] }
+
+// Offset reports the global index of file i's block 0; Offset(Len()) is
+// the total.
+func (g *FileGroup) Offset(i int) int64 { return g.offs[i] }
+
+// Locate maps a global block index to its (file, file-local block) pair.
+func (g *FileGroup) Locate(global int64) (file int, block int64, err error) {
+	if global < 0 || global >= g.TotalFSBlocks() {
+		return 0, 0, fmt.Errorf("pfs: global block %d out of range [0,%d)", global, g.TotalFSBlocks())
+	}
+	file = sort.Search(len(g.files), func(i int) bool { return g.offs[i+1] > global })
+	return file, global - g.offs[file], nil
+}
+
 // Volume is a parallel file system instance over a Store.
 type Volume struct {
 	store blockio.Store

@@ -293,3 +293,75 @@ func TestInterleavedPlacementEqualsDevicesPerProc(t *testing.T) {
 		}
 	}
 }
+
+func TestFileGroup(t *testing.T) {
+	v := testVolume(t, 2)
+	mk := func(name string, records int64) *File {
+		t.Helper()
+		f, err := v.Create(Spec{Name: name, Org: OrgSequential, RecordSize: 256, NumRecords: records})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a := mk("a", 6) // 6 fs blocks
+	b := mk("b", 3) // 3 fs blocks
+	g, err := v.OpenGroup("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 || g.File(0) != a || g.File(1) != b {
+		t.Fatalf("group members wrong: %v", g)
+	}
+	if g.TotalFSBlocks() != 9 {
+		t.Fatalf("TotalFSBlocks = %d, want 9", g.TotalFSBlocks())
+	}
+	if g.Offset(0) != 0 || g.Offset(1) != 6 || g.Offset(2) != 9 {
+		t.Fatalf("offsets = %d %d %d", g.Offset(0), g.Offset(1), g.Offset(2))
+	}
+	for _, tc := range []struct {
+		global int64
+		file   int
+		block  int64
+	}{{0, 0, 0}, {5, 0, 5}, {6, 1, 0}, {8, 1, 2}} {
+		file, block, err := g.Locate(tc.global)
+		if err != nil || file != tc.file || block != tc.block {
+			t.Fatalf("Locate(%d) = (%d, %d, %v), want (%d, %d)", tc.global, file, block, err, tc.file, tc.block)
+		}
+	}
+	if _, _, err := g.Locate(9); err == nil {
+		t.Fatal("Locate beyond the group accepted")
+	}
+	if _, _, err := g.Locate(-1); err == nil {
+		t.Fatal("negative Locate accepted")
+	}
+	if g.Store() != v.Store() {
+		t.Fatal("group store differs from volume store")
+	}
+}
+
+func TestFileGroupValidation(t *testing.T) {
+	v := testVolume(t, 2)
+	f, err := v.Create(Spec{Name: "a", Org: OrgSequential, RecordSize: 256, NumRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileGroup(); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := NewFileGroup(f, f); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate member: %v", err)
+	}
+	if _, err := v.OpenGroup("a", "missing"); err == nil {
+		t.Fatal("missing member accepted")
+	}
+	// Files on a different device array cannot join the group.
+	v2 := testVolume(t, 2)
+	f2, err := v2.Create(Spec{Name: "b", Org: OrgSequential, RecordSize: 256, NumRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileGroup(f, f2); err == nil || !strings.Contains(err.Error(), "different device array") {
+		t.Fatalf("cross-array group: %v", err)
+	}
+}

@@ -120,6 +120,11 @@ func (p *Parity) WriteBlocks(ctx sim.Context, dev int, b int64, n int, src []byt
 // writeRun is the healthy batched small-write across rows [b, b+n).
 func (p *Parity) writeRun(ctx sim.Context, dev int, b int64, n int, src []byte) error {
 	bs := p.BlockSize()
+	// Row locks in ascending row order — the store-wide global order
+	// (rows are shared across visible devices: writes to dev 0 row r and
+	// dev 1 row r update the same parity block). Concurrent writeRuns
+	// with overlapping ranges therefore contend but never deadlock,
+	// whichever aggregator goroutines issue them.
 	unlocks := make([]func(), 0, n)
 	for i := 0; i < n; i++ {
 		unlocks = append(unlocks, p.lockRow(ctx, b+int64(i)))

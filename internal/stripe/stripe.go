@@ -75,6 +75,16 @@ func NewParity(disks []*device.Disk, rotate bool) (*Parity, error) {
 
 // lockRow serializes row b (engine contexts only — without an engine
 // there is no concurrency to guard). The returned function unlocks.
+//
+// Lock-order invariant: every multi-row operation acquires row locks in
+// ascending row number (see writeRun), and single-row operations hold at
+// most one row lock at a time — a global order, so concurrent aggregator
+// goroutines (two-phase collective writers staging through
+// WriteBlocksVec, degraded readers reconstructing mid-write) can never
+// deadlock however their row ranges overlap. The row-lock map itself is
+// only ever touched by engine-managed processes, whose strict
+// alternation provides the required happens-before edges;
+// TestParityConcurrentAggregators runs this under -race.
 func (p *Parity) lockRow(ctx sim.Context, b int64) func() {
 	pr, ok := ctx.(*sim.Proc)
 	if !ok {
