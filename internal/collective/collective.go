@@ -48,13 +48,43 @@ type VecReq struct {
 	Vec  blockio.Vec
 }
 
-// Options tunes a collective handle. The zero value selects defaults.
+// Options tunes a collective handle. The zero value selects defaults
+// (round-robin domains, overlapping writes rejected), which keep PR 3's
+// modeled timings bit-identical.
 type Options struct {
-	// Aggregators is the number of aggregator ranks performing device
-	// I/O (ranks [0, Aggregators) of the group). 0 selects
+	// Aggregators is the number of file domains (and so the maximum
+	// number of aggregator ranks performing device I/O). 0 selects
 	// min(group size, device count), one file domain per device's worth
-	// of parallelism.
+	// of parallelism. By default domain a is aggregated by rank a; see
+	// Locality.
 	Aggregators int
+
+	// Locality assigns each file domain to the participating rank that
+	// owns the largest share of the domain's footprint (ties to the
+	// lowest rank) instead of round-robin rank order. Nearly-aligned
+	// access patterns then keep most bytes local — self-messages cross
+	// no link — which matters whenever the interconnect is contended
+	// (mpp.Group.SetBisection). One rank may aggregate several domains;
+	// LastStats reports the measured split.
+	Locality bool
+
+	// LastWriterWins permits cross-rank write overlaps with MPI-IO
+	// ordering semantics: the outcome is as if the ranks wrote in rank
+	// order, so the highest overlapping rank's bytes land — a
+	// deterministic rule, unlike the racing independent writes it
+	// replaces. Off (default) rejects overlapping collective writes.
+	// Overlaps within one rank's request list remain errors either way.
+	LastWriterWins bool
+}
+
+// ExchangeStats reports where one collective call's exchange-phase bytes
+// went: BytesMoved crossed the interconnect (rank ≠ domain aggregator),
+// BytesLocal stayed on the aggregating rank (self-messages, free under
+// both link models). Payload bytes are counted once per direction —
+// reads and writes of the same footprint report the same split.
+type ExchangeStats struct {
+	BytesMoved int64
+	BytesLocal int64
 }
 
 // Collective is a collective-I/O handle over a group of files sharing
@@ -68,6 +98,7 @@ type Collective struct {
 	size  int
 	naggs int
 	bs    int64
+	opts  Options
 
 	// per-call scratch, indexed by rank; safe under the engine's strict
 	// alternation
@@ -76,6 +107,7 @@ type Collective struct {
 	errs  []error
 	pl    *plan
 	plErr error
+	stats ExchangeStats
 }
 
 // Open builds a collective handle for a size-rank group over the file
@@ -99,6 +131,7 @@ func Open(g *pfs.FileGroup, size int, opts Options) (*Collective, error) {
 		size:  size,
 		naggs: naggs,
 		bs:    int64(g.Store().BlockSize()),
+		opts:  opts,
 		reqs:  make([][]VecReq, size),
 		bufs:  make([][]byte, size),
 		errs:  make([]error, size),
@@ -108,8 +141,15 @@ func Open(g *pfs.FileGroup, size int, opts Options) (*Collective, error) {
 // Group returns the underlying file group.
 func (c *Collective) Group() *pfs.FileGroup { return c.group }
 
-// Aggregators reports how many ranks perform device I/O.
+// Aggregators reports the number of file domains (with Options.Locality
+// several may be aggregated by one rank).
 func (c *Collective) Aggregators() int { return c.naggs }
+
+// LastStats reports the exchange split (bytes moved over the
+// interconnect vs bytes kept local) of the most recent successfully
+// planned ReadAll/WriteAll. Valid once that call has returned on every
+// rank; a reused handle overwrites it per call.
+func (c *Collective) LastStats() ExchangeStats { return c.stats }
 
 // WriteAll writes every rank's requests as one two-phase collective:
 // ranks exchange their pieces with the domain aggregators, and each
@@ -140,7 +180,10 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 	// One rank derives the shared plan; the plan is a pure function of
 	// the gathered requests, so any rank would compute the same one.
 	if rank == 0 {
-		c.pl, c.plErr = buildPlan(c.group, c.reqs, c.bufs, c.naggs, write)
+		c.pl, c.plErr = buildPlan(c.group, c.reqs, c.bufs, c.naggs, write, c.opts)
+		if c.plErr == nil {
+			c.stats = c.pl.exchangeStats(c.size)
+		}
 	}
 	p.Barrier()
 	if c.plErr != nil {
@@ -149,20 +192,41 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 	pl := c.pl
 	if write {
 		recv := p.Alltoallv(c.packRankPieces(pl, rank, buf))
-		if rank < pl.naggs {
-			dombuf := c.assembleDomain(pl, rank, recv)
+		var cur []int64
+		var aggErrs []error
+		for a := 0; a < pl.naggs; a++ {
+			if pl.owner[a] != rank {
+				continue
+			}
+			if cur == nil {
+				cur = make([]int64, c.size)
+			}
+			dombuf := c.assembleDomain(pl, a, recv, cur)
 			// p.Proc, not p: sim.Par recognizes the underlying engine
 			// process, so the domain's per-device runs issue in parallel.
-			c.errs[rank] = c.domainBatch(pl, rank, dombuf).Write(p.Proc)
+			if err := c.domainBatch(pl, a, dombuf).Write(p.Proc); err != nil {
+				aggErrs = append(aggErrs, err)
+			}
 		}
+		c.errs[rank] = errors.Join(aggErrs...)
 	} else {
 		var send [][]byte
-		if rank < pl.naggs {
-			lo, hi := pl.domain(rank)
+		var aggErrs []error
+		for a := 0; a < pl.naggs; a++ {
+			if pl.owner[a] != rank {
+				continue
+			}
+			if send == nil {
+				send = make([][]byte, c.size)
+			}
+			lo, hi := pl.domain(a)
 			dombuf := make([]byte, (hi-lo)*pl.bs)
-			c.errs[rank] = c.domainBatch(pl, rank, dombuf).Read(p.Proc)
-			send = c.packDomainPieces(pl, rank, dombuf)
+			if err := c.domainBatch(pl, a, dombuf).Read(p.Proc); err != nil {
+				aggErrs = append(aggErrs, err)
+			}
+			c.packDomainPieces(pl, a, dombuf, send)
 		}
+		c.errs[rank] = errors.Join(aggErrs...)
 		recv := p.Alltoallv(send)
 		c.scatterRankPieces(pl, rank, recv, buf)
 	}
@@ -181,80 +245,92 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 	return errors.Join(errs...)
 }
 
-// packRankPieces builds rank's write-phase exchange payloads: for each
-// aggregator, the rank's clips against that domain concatenated in
-// canonical order.
+// packRankPieces builds rank's write-phase exchange payloads, keyed by
+// destination rank: for each domain in ascending order, the rank's clips
+// against that domain concatenated onto the domain owner's payload. The
+// (domain asc, clip asc) canonical order is what lets the aggregator
+// side consume payloads with plain per-source cursors.
 func (c *Collective) packRankPieces(pl *plan, rank int, buf []byte) [][]byte {
 	send := make([][]byte, c.size)
 	for a := 0; a < pl.naggs; a++ {
-		n := pl.clipBytes(rank, a)
-		if n == 0 {
+		if pl.shares[rank][a] == 0 {
 			continue
 		}
-		pay := make([]byte, 0, n)
+		dst := pl.owner[a]
+		if send[dst] == nil {
+			// Exact capacity on first touch: this rank's payload to dst
+			// summed across all of dst's domains, so multi-domain owners
+			// (Options.Locality) never reallocate mid-pack.
+			var need int64
+			for b := a; b < pl.naggs; b++ {
+				if pl.owner[b] == dst {
+					need += pl.shares[rank][b]
+				}
+			}
+			send[dst] = make([]byte, 0, need)
+		}
 		pl.forEachClip(rank, a, func(cl clip) {
-			pay = append(pay, buf[cl.bufOff:cl.bufOff+cl.n*pl.bs]...)
+			send[dst] = append(send[dst], buf[cl.bufOff:cl.bufOff+cl.n*pl.bs]...)
 		})
-		send[a] = pay
 	}
 	return send
 }
 
-// assembleDomain builds aggregator agg's domain buffer from the ranks'
-// write-phase payloads.
-func (c *Collective) assembleDomain(pl *plan, agg int, recv [][]byte) []byte {
-	lo, hi := pl.domain(agg)
+// assembleDomain builds domain a's buffer from the ranks' write-phase
+// payloads. cur holds the caller's per-source payload cursors, advanced
+// across the caller's owned domains in ascending order — mirroring
+// packRankPieces's concatenation. Sources are applied in rank order, so
+// when the plan admits overlaps (Options.LastWriterWins) the highest
+// overlapping rank's bytes land.
+func (c *Collective) assembleDomain(pl *plan, a int, recv [][]byte, cur []int64) []byte {
+	lo, hi := pl.domain(a)
 	dombuf := make([]byte, (hi-lo)*pl.bs)
 	for src := 0; src < c.size; src++ {
 		pay := recv[src]
-		var cur int64
-		pl.forEachClip(src, agg, func(cl clip) {
+		pl.forEachClip(src, a, func(cl clip) {
 			n := cl.n * pl.bs
-			copy(dombuf[cl.domOff:cl.domOff+n], pay[cur:cur+n])
-			cur += n
+			copy(dombuf[cl.domOff:cl.domOff+n], pay[cur[src]:cur[src]+n])
+			cur[src] += n
 		})
 	}
 	return dombuf
 }
 
-// packDomainPieces builds aggregator agg's read-phase payloads: each
-// rank's clips copied out of the freshly read domain buffer.
-func (c *Collective) packDomainPieces(pl *plan, agg int, dombuf []byte) [][]byte {
-	send := make([][]byte, c.size)
+// packDomainPieces appends domain a's read-phase pieces onto each rank's
+// payload in send: the rank's clips copied out of the freshly read
+// domain buffer. Called for the aggregator's owned domains in ascending
+// order, matching scatterRankPieces's consumption order.
+func (c *Collective) packDomainPieces(pl *plan, a int, dombuf []byte, send [][]byte) {
 	for r := 0; r < c.size; r++ {
-		n := pl.clipBytes(r, agg)
-		if n == 0 {
-			continue
-		}
-		pay := make([]byte, 0, n)
-		pl.forEachClip(r, agg, func(cl clip) {
-			pay = append(pay, dombuf[cl.domOff:cl.domOff+cl.n*pl.bs]...)
+		pl.forEachClip(r, a, func(cl clip) {
+			send[r] = append(send[r], dombuf[cl.domOff:cl.domOff+cl.n*pl.bs]...)
 		})
-		send[r] = pay
 	}
-	return send
 }
 
-// scatterRankPieces delivers the read-phase payloads into rank's buffer.
+// scatterRankPieces delivers the read-phase payloads into rank's buffer,
+// consuming each aggregator's payload with a cursor across its owned
+// domains in ascending order.
 func (c *Collective) scatterRankPieces(pl *plan, rank int, recv [][]byte, buf []byte) {
+	cur := make([]int64, c.size)
 	for a := 0; a < pl.naggs; a++ {
-		pay := recv[a]
-		var cur int64
+		src := pl.owner[a]
+		pay := recv[src]
 		pl.forEachClip(rank, a, func(cl clip) {
 			n := cl.n * pl.bs
-			copy(buf[cl.bufOff:cl.bufOff+n], pay[cur:cur+n])
-			cur += n
+			copy(buf[cl.bufOff:cl.bufOff+n], pay[cur[src]:cur[src]+n])
+			cur[src] += n
 		})
 	}
 }
 
-// domainBatch assembles aggregator agg's cross-file batch: the domain's
+// domainBatch assembles domain a's cross-file batch: the domain's
 // covered spans split at file boundaries, each file contributing one
 // BatchItem whose segments scatter/gather directly on the domain buffer.
-func (c *Collective) domainBatch(pl *plan, agg int, dombuf []byte) blockio.BatchVec {
+func (c *Collective) domainBatch(pl *plan, a int, dombuf []byte) blockio.BatchVec {
 	var batch blockio.BatchVec
 	fileIdx := -1
-	pl.forEachDomainSpan(agg, func(gb, n, domOff int64) {
+	pl.forEachDomainSpan(a, func(gb, n, domOff int64) {
 		for n > 0 {
 			file, block, err := c.group.Locate(gb)
 			if err != nil {

@@ -161,61 +161,63 @@ func readAllBlocks(t *testing.T, g *pfs.FileGroup) []byte {
 func TestCollectiveWriteEquivalence(t *testing.T) {
 	for _, kind := range []storeKind{storeDirect, storeParity, storeMirror} {
 		for _, pl := range testPlacements {
-			t.Run(fmt.Sprintf("%s/%s", kind, pl.name), func(t *testing.T) {
-				const nRanks = 8
-				// Collective run.
-				e, g, _ := collectiveFixture(t, kind, pl.spec)
-				col, err := Open(g, nRanks, Options{})
-				if err != nil {
-					t.Fatal(err)
-				}
-				mg, join := mpp.Run(e, nRanks, "w", func(p *mpp.Proc) {
-					reqs, buf, slots := strideReqs(g, p.Rank(), nRanks)
-					for i, gb := range slots {
-						pattern(gb, buf[int64(i)*testBS:int64(i+1)*testBS])
+			for _, locality := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/%s/locality=%v", kind, pl.name, locality), func(t *testing.T) {
+					const nRanks = 8
+					// Collective run.
+					e, g, _ := collectiveFixture(t, kind, pl.spec)
+					col, err := Open(g, nRanks, Options{Locality: locality})
+					if err != nil {
+						t.Fatal(err)
 					}
-					if err := col.WriteAll(p, reqs, buf); err != nil {
-						t.Errorf("rank %d: %v", p.Rank(), err)
-					}
-				})
-				mg.SetLink(0, 100e6)
-				e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
-				if err := e.Run(); err != nil {
-					t.Fatal(err)
-				}
-				gotCollective := readAllBlocks(t, g)
-
-				// Independent run on a twin setup.
-				e2, g2, _ := collectiveFixture(t, kind, pl.spec)
-				_, join2 := mpp.Run(e2, nRanks, "iw", func(p *mpp.Proc) {
-					reqs, buf, slots := strideReqs(g2, p.Rank(), nRanks)
-					for i, gb := range slots {
-						pattern(gb, buf[int64(i)*testBS:int64(i+1)*testBS])
-					}
-					for _, q := range reqs {
-						if err := g2.File(q.File).Set().WriteVec(p.Proc, q.Vec, buf); err != nil {
+					mg, join := mpp.Run(e, nRanks, "w", func(p *mpp.Proc) {
+						reqs, buf, slots := strideReqs(g, p.Rank(), nRanks)
+						for i, gb := range slots {
+							pattern(gb, buf[int64(i)*testBS:int64(i+1)*testBS])
+						}
+						if err := col.WriteAll(p, reqs, buf); err != nil {
 							t.Errorf("rank %d: %v", p.Rank(), err)
+						}
+					})
+					mg.SetLink(0, 100e6)
+					e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+					if err := e.Run(); err != nil {
+						t.Fatal(err)
+					}
+					gotCollective := readAllBlocks(t, g)
+
+					// Independent run on a twin setup.
+					e2, g2, _ := collectiveFixture(t, kind, pl.spec)
+					_, join2 := mpp.Run(e2, nRanks, "iw", func(p *mpp.Proc) {
+						reqs, buf, slots := strideReqs(g2, p.Rank(), nRanks)
+						for i, gb := range slots {
+							pattern(gb, buf[int64(i)*testBS:int64(i+1)*testBS])
+						}
+						for _, q := range reqs {
+							if err := g2.File(q.File).Set().WriteVec(p.Proc, q.Vec, buf); err != nil {
+								t.Errorf("rank %d: %v", p.Rank(), err)
+							}
+						}
+					})
+					e2.Go("join", func(sp *sim.Proc) { join2.Wait(sp) })
+					if err := e2.Run(); err != nil {
+						t.Fatal(err)
+					}
+					gotIndependent := readAllBlocks(t, g2)
+
+					if !bytes.Equal(gotCollective, gotIndependent) {
+						t.Fatal("collective and independent writes landed different bytes")
+					}
+					// And both match the intended pattern on every written block.
+					want := make([]byte, testBS)
+					for gb := int64(0); gb < g.TotalFSBlocks(); gb++ {
+						pattern(gb, want)
+						if !bytes.Equal(gotCollective[gb*testBS:(gb+1)*testBS], want) {
+							t.Fatalf("global block %d corrupt after collective write", gb)
 						}
 					}
 				})
-				e2.Go("join", func(sp *sim.Proc) { join2.Wait(sp) })
-				if err := e2.Run(); err != nil {
-					t.Fatal(err)
-				}
-				gotIndependent := readAllBlocks(t, g2)
-
-				if !bytes.Equal(gotCollective, gotIndependent) {
-					t.Fatal("collective and independent writes landed different bytes")
-				}
-				// And both match the intended pattern on every written block.
-				want := make([]byte, testBS)
-				for gb := int64(0); gb < g.TotalFSBlocks(); gb++ {
-					pattern(gb, want)
-					if !bytes.Equal(gotCollective[gb*testBS:(gb+1)*testBS], want) {
-						t.Fatalf("global block %d corrupt after collective write", gb)
-					}
-				}
-			})
+			}
 		}
 	}
 }
@@ -226,51 +228,53 @@ func TestCollectiveWriteEquivalence(t *testing.T) {
 func TestCollectiveReadEquivalence(t *testing.T) {
 	for _, kind := range []storeKind{storeDirect, storeParity, storeMirror} {
 		for _, pl := range testPlacements {
-			t.Run(fmt.Sprintf("%s/%s", kind, pl.name), func(t *testing.T) {
-				const nRanks = 8
-				e, g, _ := collectiveFixture(t, kind, pl.spec)
-				// Seed through the independent path, untimed.
-				ctx := sim.NewWall()
-				blk := make([]byte, testBS)
-				for f := 0; f < g.Len(); f++ {
-					total := g.File(f).Mapper().TotalFSBlocks()
-					for b := int64(0); b < total; b++ {
-						pattern(g.Offset(f)+b, blk)
-						if err := g.File(f).Set().WriteBlock(ctx, b, blk); err != nil {
-							t.Fatal(err)
+			for _, locality := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/%s/locality=%v", kind, pl.name, locality), func(t *testing.T) {
+					const nRanks = 8
+					e, g, _ := collectiveFixture(t, kind, pl.spec)
+					// Seed through the independent path, untimed.
+					ctx := sim.NewWall()
+					blk := make([]byte, testBS)
+					for f := 0; f < g.Len(); f++ {
+						total := g.File(f).Mapper().TotalFSBlocks()
+						for b := int64(0); b < total; b++ {
+							pattern(g.Offset(f)+b, blk)
+							if err := g.File(f).Set().WriteBlock(ctx, b, blk); err != nil {
+								t.Fatal(err)
+							}
 						}
 					}
-				}
-				col, err := Open(g, nRanks, Options{})
-				if err != nil {
-					t.Fatal(err)
-				}
-				mg, join := mpp.Run(e, nRanks, "r", func(p *mpp.Proc) {
-					reqs, buf, slots := strideReqs(g, p.Rank(), nRanks)
-					// Every rank also reads block 0 of file 0 — a
-					// cross-rank overlap, legal for reads.
-					reqs = append(reqs, VecReq{File: 0, Vec: blockio.Vec{{Block: 0, N: 1, BufOff: int64(len(buf))}}})
-					buf = append(buf, make([]byte, testBS)...)
-					slots = append(slots, 0)
-					if err := col.ReadAll(p, reqs, buf); err != nil {
-						t.Errorf("rank %d: %v", p.Rank(), err)
-						return
+					col, err := Open(g, nRanks, Options{Locality: locality})
+					if err != nil {
+						t.Fatal(err)
 					}
-					want := make([]byte, testBS)
-					for i, gb := range slots {
-						pattern(gb, want)
-						if !bytes.Equal(buf[int64(i)*testBS:int64(i+1)*testBS], want) {
-							t.Errorf("rank %d: slot %d (global block %d) mismatch", p.Rank(), i, gb)
+					mg, join := mpp.Run(e, nRanks, "r", func(p *mpp.Proc) {
+						reqs, buf, slots := strideReqs(g, p.Rank(), nRanks)
+						// Every rank also reads block 0 of file 0 — a
+						// cross-rank overlap, legal for reads.
+						reqs = append(reqs, VecReq{File: 0, Vec: blockio.Vec{{Block: 0, N: 1, BufOff: int64(len(buf))}}})
+						buf = append(buf, make([]byte, testBS)...)
+						slots = append(slots, 0)
+						if err := col.ReadAll(p, reqs, buf); err != nil {
+							t.Errorf("rank %d: %v", p.Rank(), err)
 							return
 						}
+						want := make([]byte, testBS)
+						for i, gb := range slots {
+							pattern(gb, want)
+							if !bytes.Equal(buf[int64(i)*testBS:int64(i+1)*testBS], want) {
+								t.Errorf("rank %d: slot %d (global block %d) mismatch", p.Rank(), i, gb)
+								return
+							}
+						}
+					})
+					mg.SetLink(0, 100e6)
+					e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+					if err := e.Run(); err != nil {
+						t.Fatal(err)
 					}
 				})
-				mg.SetLink(0, 100e6)
-				e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
-				if err := e.Run(); err != nil {
-					t.Fatal(err)
-				}
-			})
+			}
 		}
 	}
 }
@@ -523,5 +527,180 @@ func TestCollectiveReuseErrorVisibility(t *testing.T) {
 		if err != nil {
 			t.Errorf("rank %d call 2 error = %v, want nil", r, err)
 		}
+	}
+}
+
+// TestCollectiveLocalityKeepsBytesLocal is the subsystem-level locality
+// check: 4 ranks write 10-block slabs of file a shifted by one slab
+// (rank r writes slab (r+1) mod 4), so under round-robin assignment
+// every byte crosses the interconnect while locality assignment keeps
+// every byte on its writing rank. Verified three ways: the plan's
+// ExchangeStats, the measured mpp link traffic, and the landed bytes.
+func TestCollectiveLocalityKeepsBytesLocal(t *testing.T) {
+	const nRanks = 4
+	run := func(locality bool) (ExchangeStats, int64) {
+		e, g, _ := collectiveFixture(t, storeDirect, testPlacements[0].spec)
+		col, err := Open(g, nRanks, Options{Aggregators: 4, Locality: locality})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg, join := mpp.Run(e, nRanks, "w", func(p *mpp.Proc) {
+			slab := int64((p.Rank() + 1) % nRanks)
+			buf := make([]byte, 10*testBS)
+			for i := int64(0); i < 10; i++ {
+				pattern(slab*10+i, buf[i*testBS:(i+1)*testBS])
+			}
+			reqs := []VecReq{{File: 0, Vec: blockio.Vec{{Block: slab * 10, N: 10, BufOff: 0}}}}
+			if err := col.WriteAll(p, reqs, buf); err != nil {
+				t.Errorf("rank %d: %v", p.Rank(), err)
+			}
+		})
+		e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got := readAllBlocks(t, g)
+		want := make([]byte, testBS)
+		for gb := int64(0); gb < 40; gb++ {
+			pattern(gb, want)
+			if !bytes.Equal(got[gb*testBS:(gb+1)*testBS], want) {
+				t.Fatalf("locality=%v: global block %d corrupt", locality, gb)
+			}
+		}
+		_, linkBytes := mg.Traffic()
+		return col.LastStats(), linkBytes
+	}
+
+	const totalBytes = int64(40 * testBS)
+	naive, naiveLink := run(false)
+	if naive.BytesMoved != totalBytes || naive.BytesLocal != 0 {
+		t.Errorf("round-robin stats = %+v, want all %d bytes moved", naive, totalBytes)
+	}
+	if naiveLink != totalBytes {
+		t.Errorf("round-robin link traffic = %d bytes, want %d", naiveLink, totalBytes)
+	}
+	local, localLink := run(true)
+	if local.BytesMoved != 0 || local.BytesLocal != totalBytes {
+		t.Errorf("locality stats = %+v, want all %d bytes local", local, totalBytes)
+	}
+	if localLink != 0 {
+		t.Errorf("locality link traffic = %d bytes, want 0", localLink)
+	}
+}
+
+// TestCollectiveLastWriterWins pins the MPI-IO overlap semantics: three
+// ranks write overlapping ranges and the outcome must be as if they
+// wrote in rank order — deterministically, for both domain assignments.
+func TestCollectiveLastWriterWins(t *testing.T) {
+	for _, locality := range []bool{false, true} {
+		t.Run(fmt.Sprintf("locality=%v", locality), func(t *testing.T) {
+			const nRanks = 3
+			e, g, _ := collectiveFixture(t, storeDirect, testPlacements[0].spec)
+			col, err := Open(g, nRanks, Options{Locality: locality, LastWriterWins: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Rank 0: blocks [0,4); rank 1: [2,6); rank 2: [3,5).
+			ranges := [][2]int64{{0, 4}, {2, 6}, {3, 5}}
+			_, join := mpp.Run(e, nRanks, "w", func(p *mpp.Proc) {
+				lo, hi := ranges[p.Rank()][0], ranges[p.Rank()][1]
+				buf := make([]byte, (hi-lo)*testBS)
+				for i := range buf {
+					buf[i] = byte(100 + p.Rank()) // rank-identifying fill
+				}
+				reqs := []VecReq{{File: 0, Vec: blockio.Vec{{Block: lo, N: hi - lo, BufOff: 0}}}}
+				if err := col.WriteAll(p, reqs, buf); err != nil {
+					t.Errorf("rank %d: %v", p.Rank(), err)
+				}
+			})
+			e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got := readAllBlocks(t, g)
+			// Rank order outcome: rank 2 owns [3,5), rank 1 owns [2,3) and
+			// [5,6), rank 0 owns [0,2).
+			winners := []int{0, 0, 1, 2, 2, 1}
+			for gb, w := range winners {
+				want := byte(100 + w)
+				for i := int64(0); i < testBS; i++ {
+					if got[int64(gb)*testBS+i] != want {
+						t.Fatalf("block %d byte %d = %d, want rank %d's %d",
+							gb, i, got[int64(gb)*testBS+i], w, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCollectiveLastWriterWinsIdempotent re-runs the same overlapping
+// write twice on a reused handle: the outcome must not change (the
+// resolution is rank order, not arrival order).
+func TestCollectiveLastWriterWinsIdempotent(t *testing.T) {
+	const nRanks = 2
+	e, g, _ := collectiveFixture(t, storeDirect, testPlacements[0].spec)
+	col, err := Open(g, nRanks, Options{LastWriterWins: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, join := mpp.Run(e, nRanks, "w", func(p *mpp.Proc) {
+		for call := 0; call < 2; call++ {
+			buf := make([]byte, 4*testBS)
+			for i := range buf {
+				buf[i] = byte(10*(p.Rank()+1) + call)
+			}
+			// Both ranks write blocks [0,4).
+			if err := col.WriteAll(p, []VecReq{{File: 0, Vec: blockio.Vec{{Block: 0, N: 4}}}}, buf); err != nil {
+				t.Errorf("rank %d call %d: %v", p.Rank(), call, err)
+			}
+		}
+	})
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := readAllBlocks(t, g)
+	for i := int64(0); i < 4*testBS; i++ {
+		if got[i] != 21 { // rank 1, call 1
+			t.Fatalf("byte %d = %d, want rank 1's last write (21)", i, got[i])
+		}
+	}
+}
+
+// TestCollectiveExchangeStatsRead checks LastStats on the read path and
+// that reads and writes of one footprint report the same split.
+func TestCollectiveExchangeStatsRead(t *testing.T) {
+	const nRanks = 2
+	e, g, _ := collectiveFixture(t, storeDirect, testPlacements[0].spec)
+	col, err := Open(g, nRanks, Options{Aggregators: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 touches blocks [4,8), rank 1 blocks [0,4): under round-robin
+	// assignment domain 0 ([0,4), read by rank 1) belongs to rank 0 and
+	// vice versa, so every byte crosses the link.
+	_, join := mpp.Run(e, nRanks, "rw", func(p *mpp.Proc) {
+		lo := int64(4 * (1 - p.Rank()))
+		buf := make([]byte, 4*testBS)
+		reqs := []VecReq{{File: 0, Vec: blockio.Vec{{Block: lo, N: 4}}}}
+		if err := col.WriteAll(p, reqs, buf); err != nil {
+			t.Errorf("rank %d write: %v", p.Rank(), err)
+		}
+		wst := col.LastStats()
+		if err := col.ReadAll(p, reqs, buf); err != nil {
+			t.Errorf("rank %d read: %v", p.Rank(), err)
+		}
+		if rst := col.LastStats(); rst != wst {
+			t.Errorf("rank %d: read stats %+v != write stats %+v", p.Rank(), rst, wst)
+		}
+	})
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := col.LastStats()
+	if want := int64(8 * testBS); st.BytesMoved != want || st.BytesLocal != 0 {
+		t.Fatalf("stats = %+v, want %d moved / 0 local", st, want)
 	}
 }

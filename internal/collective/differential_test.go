@@ -1,0 +1,432 @@
+// Randomized differential test harness: seeded workload generators
+// drive collective, vectored and extent writes and reads across the
+// full store-kind × layout matrix, and every scenario's final byte
+// image — plus every mid-run read buffer — is checked against a simple
+// serial reference model (a flat byte array updated phase by phase).
+//
+// The reference model is deliberately dumb: it knows nothing about
+// domains, aggregators, exchange payloads, coalescing or redundancy, so
+// any divergence localizes a bug in the optimized data path. Failures
+// print the scenario seed; replay with
+//
+//	go test -run 'TestDifferential/seed=N' ./internal/collective
+package collective
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/blockio"
+	"repro/internal/mpp"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// diffContent is the deterministic byte written at offset i of global
+// block gb by rank in phase — the generator fills buffers with it and
+// the reference model records it, so matching is exact.
+func diffContent(seed int64, phase, rank int, gb, i int64) byte {
+	return byte(seed*131 + int64(phase)*31 + int64(rank)*17 + gb*7 + i*3 + 1)
+}
+
+// Phase kinds. Collective phases go through the two-phase engine;
+// vectored and extent phases go through the independent per-rank paths,
+// so the harness cross-checks all three generations of the data path
+// against one reference.
+const (
+	diffCollectiveWrite = iota
+	diffCollectiveRead
+	diffVectoredWrite
+	diffExtentWrite
+	diffExtentRead
+	diffKinds
+)
+
+var diffKindNames = [...]string{"cwrite", "cread", "vwrite", "ewrite", "eread"}
+
+// diffPhase is one precomputed phase: per-rank request lists and
+// buffers (pre-filled for writes, pre-sized with expected images for
+// reads). Everything is generated up front from the seed; execution
+// only moves bytes.
+type diffPhase struct {
+	kind   int
+	reqs   [][]VecReq
+	bufs   [][]byte
+	expect [][]byte // read kinds: wanted buffer contents after the phase
+}
+
+// diffScenario is one generated workload plus its reference image.
+type diffScenario struct {
+	seed     int64
+	kind     storeKind
+	place    int
+	nRanks   int
+	opts     Options
+	linkMode int // 0 free, 1 per-process, 2 per-process + bisection
+	geom     *fileGroupInfo
+	phases   []diffPhase
+	ref      []byte // expected final image of the whole group
+}
+
+// rankSegments converts a per-block writer assignment into each rank's
+// VecReqs: consecutive blocks owned by the same rank coalesce into
+// segments, segments split at file boundaries, and buffer offsets are
+// assigned in shuffled segment order so logical order and buffer order
+// differ. Returns the reqs and each rank's (unfilled) buffer.
+func rankSegments(rng *rand.Rand, g *fileGroupInfo, owners [][]int, nRanks int) ([][]VecReq, [][]byte) {
+	type seg struct{ gb, n int64 }
+	perRank := make([][]seg, nRanks)
+	for r := 0; r < nRanks; r++ {
+		var cur *seg
+		for gb := int64(0); gb < g.total; gb++ {
+			mine := false
+			for _, w := range owners[gb] {
+				if w == r {
+					mine = true
+				}
+			}
+			// Segments must not straddle file boundaries (VecReqs are
+			// per-file), so force a break on each file's first block.
+			if mine && cur != nil && cur.gb+cur.n == gb && !g.isFileStart(gb) {
+				cur.n++
+				continue
+			}
+			cur = nil
+			if mine {
+				perRank[r] = append(perRank[r], seg{gb: gb, n: 1})
+				cur = &perRank[r][len(perRank[r])-1]
+			}
+		}
+	}
+	reqs := make([][]VecReq, nRanks)
+	bufs := make([][]byte, nRanks)
+	for r := 0; r < nRanks; r++ {
+		segs := perRank[r]
+		order := rng.Perm(len(segs))
+		offs := make([]int64, len(segs))
+		var off int64
+		for _, si := range order {
+			offs[si] = off
+			off += segs[si].n * testBS
+		}
+		bufs[r] = make([]byte, off)
+		byFile := make(map[int]blockio.Vec)
+		for si, sg := range segs {
+			file, blk := g.locate(sg.gb)
+			byFile[file] = append(byFile[file], blockio.VecSeg{Block: blk, N: sg.n, BufOff: offs[si]})
+		}
+		for f := 0; f < g.nFiles; f++ {
+			if v := byFile[f]; len(v) > 0 {
+				reqs[r] = append(reqs[r], VecReq{File: f, Vec: v})
+			}
+		}
+	}
+	return reqs, bufs
+}
+
+// fileGroupInfo carries just the geometry the generator needs, so
+// generation never touches simulator state.
+type fileGroupInfo struct {
+	nFiles int
+	sizes  []int64
+	offs   []int64
+	total  int64
+}
+
+func (g *fileGroupInfo) locate(gb int64) (file int, block int64) {
+	for f := g.nFiles - 1; f >= 0; f-- {
+		if gb >= g.offs[f] {
+			return f, gb - g.offs[f]
+		}
+	}
+	return 0, gb
+}
+
+func (g *fileGroupInfo) isFileStart(gb int64) bool {
+	for _, off := range g.offs {
+		if gb == off {
+			return true
+		}
+	}
+	return false
+}
+
+// genScenario derives a full scenario from its seed: machine shape,
+// collective options, and a phase list whose effects are folded into
+// the serial reference image as they are generated.
+func genScenario(seed int64) *diffScenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := &diffScenario{
+		seed:   seed,
+		kind:   storeKind(seed % 3), // seeds 0..8 sweep the 3×3 matrix
+		place:  int(seed/3) % 3,
+		nRanks: 2 + rng.Intn(7),
+	}
+	sc.opts = Options{
+		Aggregators:    rng.Intn(7), // 0 = default (device count)
+		Locality:       rng.Intn(2) == 1,
+		LastWriterWins: rng.Intn(2) == 1,
+	}
+	sc.linkMode = rng.Intn(3)
+	g := &fileGroupInfo{nFiles: 1 + rng.Intn(3)}
+	for f := 0; f < g.nFiles; f++ {
+		g.offs = append(g.offs, g.total)
+		size := int64(8 + rng.Intn(40))
+		g.sizes = append(g.sizes, size)
+		g.total += size
+	}
+	sc.geom = g
+	sc.ref = make([]byte, g.total*testBS)
+
+	nPhases := 3 + rng.Intn(3)
+	for ph := 0; ph < nPhases; ph++ {
+		kind := rng.Intn(diffKinds)
+		if ph == 0 {
+			kind = diffCollectiveWrite // every scenario exercises the tentpole path
+		}
+		switch kind {
+		case diffCollectiveWrite, diffVectoredWrite:
+			sc.genAssignedWrite(rng, g, ph, kind)
+		case diffCollectiveRead:
+			sc.genCollectiveRead(rng, g, ph)
+		case diffExtentWrite:
+			sc.genExtentWrite(rng, g, ph)
+		case diffExtentRead:
+			sc.genExtentRead(rng, g, ph)
+		}
+	}
+	return sc
+}
+
+// genAssignedWrite generates a per-block writer assignment (cross-rank
+// overlaps only for collective writes under LastWriterWins), fills the
+// buffers, and applies rank-order-wins to the reference image.
+func (sc *diffScenario) genAssignedWrite(rng *rand.Rand, g *fileGroupInfo, ph, kind int) {
+	overlaps := kind == diffCollectiveWrite && sc.opts.LastWriterWins
+	density := 0.2 + 0.6*rng.Float64()
+	owners := make([][]int, g.total)
+	for gb := int64(0); gb < g.total; gb++ {
+		if rng.Float64() >= density {
+			continue
+		}
+		r := rng.Intn(sc.nRanks)
+		owners[gb] = []int{r}
+		if overlaps && rng.Float64() < 0.25 {
+			if r2 := rng.Intn(sc.nRanks); r2 != r {
+				owners[gb] = append(owners[gb], r2)
+			}
+		}
+	}
+	reqs, bufs := rankSegments(rng, g, owners, sc.nRanks)
+	for r := range reqs {
+		for _, q := range reqs[r] {
+			for _, sg := range q.Vec {
+				gb0 := g.offs[q.File] + sg.Block
+				for b := int64(0); b < sg.N; b++ {
+					for i := int64(0); i < testBS; i++ {
+						bufs[r][sg.BufOff+b*testBS+i] = diffContent(sc.seed, ph, r, gb0+b, i)
+					}
+				}
+			}
+		}
+	}
+	for gb := int64(0); gb < g.total; gb++ {
+		if len(owners[gb]) == 0 {
+			continue
+		}
+		winner := owners[gb][0] // last writer in rank order wins
+		for _, w := range owners[gb] {
+			if w > winner {
+				winner = w
+			}
+		}
+		for i := int64(0); i < testBS; i++ {
+			sc.ref[gb*testBS+i] = diffContent(sc.seed, ph, winner, gb, i)
+		}
+	}
+	sc.phases = append(sc.phases, diffPhase{kind: kind, reqs: reqs, bufs: bufs})
+}
+
+// genCollectiveRead generates per-rank read requests — cross-rank and
+// even same-rank block overlaps are legal for reads — and snapshots the
+// expected buffers from the current reference image.
+func (sc *diffScenario) genCollectiveRead(rng *rand.Rand, g *fileGroupInfo, ph int) {
+	reqs := make([][]VecReq, sc.nRanks)
+	bufs := make([][]byte, sc.nRanks)
+	expect := make([][]byte, sc.nRanks)
+	for r := 0; r < sc.nRanks; r++ {
+		nSegs := rng.Intn(4)
+		var off int64
+		for s := 0; s < nSegs; s++ {
+			f := rng.Intn(g.nFiles)
+			blk := rng.Int63n(g.sizes[f])
+			n := 1 + rng.Int63n(4)
+			if blk+n > g.sizes[f] {
+				n = g.sizes[f] - blk
+			}
+			reqs[r] = append(reqs[r], VecReq{File: f, Vec: blockio.Vec{{Block: blk, N: n, BufOff: off}}})
+			off += n * testBS
+		}
+		bufs[r] = make([]byte, off)
+		expect[r] = make([]byte, off)
+		for _, q := range reqs[r] {
+			for _, sg := range q.Vec {
+				gb0 := (g.offs[q.File] + sg.Block) * testBS
+				copy(expect[r][sg.BufOff:sg.BufOff+sg.N*testBS], sc.ref[gb0:gb0+sg.N*testBS])
+			}
+		}
+	}
+	sc.phases = append(sc.phases, diffPhase{kind: diffCollectiveRead, reqs: reqs, bufs: bufs, expect: expect})
+}
+
+// genExtentWrite gives each rank one contiguous, cross-rank-disjoint
+// range inside one file (WriteRange's shape), with per-file cursors
+// guaranteeing disjointness.
+func (sc *diffScenario) genExtentWrite(rng *rand.Rand, g *fileGroupInfo, ph int) {
+	reqs := make([][]VecReq, sc.nRanks)
+	bufs := make([][]byte, sc.nRanks)
+	cursor := make([]int64, g.nFiles)
+	for r := 0; r < sc.nRanks; r++ {
+		f := rng.Intn(g.nFiles)
+		n := 1 + rng.Int63n(6)
+		if cursor[f]+n > g.sizes[f] {
+			continue // file exhausted; rank sits this phase out
+		}
+		blk := cursor[f]
+		cursor[f] += n + rng.Int63n(3) // gap keeps ranges disjoint
+		reqs[r] = []VecReq{{File: f, Vec: blockio.Vec{{Block: blk, N: n, BufOff: 0}}}}
+		bufs[r] = make([]byte, n*testBS)
+		gb0 := g.offs[f] + blk
+		for b := int64(0); b < n; b++ {
+			for i := int64(0); i < testBS; i++ {
+				v := diffContent(sc.seed, ph, r, gb0+b, i)
+				bufs[r][b*testBS+i] = v
+				sc.ref[(gb0+b)*testBS+i] = v
+			}
+		}
+	}
+	sc.phases = append(sc.phases, diffPhase{kind: diffExtentWrite, reqs: reqs, bufs: bufs})
+}
+
+// genExtentRead gives each rank one contiguous in-file range to read
+// back through ReadRange, expected from the current reference image.
+func (sc *diffScenario) genExtentRead(rng *rand.Rand, g *fileGroupInfo, ph int) {
+	reqs := make([][]VecReq, sc.nRanks)
+	bufs := make([][]byte, sc.nRanks)
+	expect := make([][]byte, sc.nRanks)
+	for r := 0; r < sc.nRanks; r++ {
+		f := rng.Intn(g.nFiles)
+		blk := rng.Int63n(g.sizes[f])
+		n := 1 + rng.Int63n(6)
+		if blk+n > g.sizes[f] {
+			n = g.sizes[f] - blk
+		}
+		reqs[r] = []VecReq{{File: f, Vec: blockio.Vec{{Block: blk, N: n, BufOff: 0}}}}
+		bufs[r] = make([]byte, n*testBS)
+		gb0 := (g.offs[f] + blk) * testBS
+		expect[r] = append([]byte(nil), sc.ref[gb0:gb0+n*testBS]...)
+	}
+	sc.phases = append(sc.phases, diffPhase{kind: diffExtentRead, reqs: reqs, bufs: bufs, expect: expect})
+}
+
+// run executes the scenario on a fresh simulated machine and diffs
+// every read buffer and the final image against the reference model.
+func (sc *diffScenario) run(t *testing.T) {
+	e := sim.NewEngine()
+	store, _ := newTestStore(t, e, sc.kind)
+	vol := pfs.NewVolume(store)
+	names := make([]string, sc.geom.nFiles)
+	for f := 0; f < sc.geom.nFiles; f++ {
+		names[f] = fmt.Sprintf("f%d", f)
+		if _, err := vol.Create(testPlacements[sc.place].spec(names[f], sc.geom.sizes[f])); err != nil {
+			t.Fatalf("seed %d: %v", sc.seed, err)
+		}
+	}
+	g, err := vol.OpenGroup(names...)
+	if err != nil {
+		t.Fatalf("seed %d: %v", sc.seed, err)
+	}
+	col, err := Open(g, sc.nRanks, sc.opts)
+	if err != nil {
+		t.Fatalf("seed %d: %v", sc.seed, err)
+	}
+	mg, join := mpp.Run(e, sc.nRanks, "diff", func(p *mpp.Proc) {
+		r := p.Rank()
+		for pi, ph := range sc.phases {
+			switch ph.kind {
+			case diffCollectiveWrite:
+				if err := col.WriteAll(p, ph.reqs[r], ph.bufs[r]); err != nil {
+					t.Errorf("seed %d phase %d (%s) rank %d: %v", sc.seed, pi, diffKindNames[ph.kind], r, err)
+				}
+			case diffCollectiveRead:
+				if err := col.ReadAll(p, ph.reqs[r], ph.bufs[r]); err != nil {
+					t.Errorf("seed %d phase %d (%s) rank %d: %v", sc.seed, pi, diffKindNames[ph.kind], r, err)
+				} else if !bytes.Equal(ph.bufs[r], ph.expect[r]) {
+					t.Errorf("seed %d phase %d (%s) rank %d: read diverged from reference model",
+						sc.seed, pi, diffKindNames[ph.kind], r)
+				}
+			case diffVectoredWrite:
+				for _, q := range ph.reqs[r] {
+					if err := g.File(q.File).Set().WriteVec(p.Proc, q.Vec, ph.bufs[r]); err != nil {
+						t.Errorf("seed %d phase %d (%s) rank %d: %v", sc.seed, pi, diffKindNames[ph.kind], r, err)
+					}
+				}
+			case diffExtentWrite:
+				for _, q := range ph.reqs[r] {
+					sg := q.Vec[0]
+					if err := g.File(q.File).Set().WriteRange(p.Proc, sg.Block, sg.N, ph.bufs[r]); err != nil {
+						t.Errorf("seed %d phase %d (%s) rank %d: %v", sc.seed, pi, diffKindNames[ph.kind], r, err)
+					}
+				}
+			case diffExtentRead:
+				for _, q := range ph.reqs[r] {
+					sg := q.Vec[0]
+					if err := g.File(q.File).Set().ReadRange(p.Proc, sg.Block, sg.N, ph.bufs[r]); err != nil {
+						t.Errorf("seed %d phase %d (%s) rank %d: %v", sc.seed, pi, diffKindNames[ph.kind], r, err)
+					} else if !bytes.Equal(ph.bufs[r], ph.expect[r]) {
+						t.Errorf("seed %d phase %d (%s) rank %d: extent read diverged from reference model",
+							sc.seed, pi, diffKindNames[ph.kind], r)
+					}
+				}
+			}
+			// Serialize phases so the reference model's sequential
+			// semantics hold across independent-path phases too.
+			p.Barrier()
+		}
+	})
+	switch sc.linkMode {
+	case 1:
+		mg.SetLink(10*time.Microsecond, 50e6)
+	case 2:
+		mg.SetLink(10*time.Microsecond, 50e6)
+		mg.SetBisection(100e6)
+	}
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("seed %d: %v", sc.seed, err)
+	}
+	if got := readAllBlocks(t, g); !bytes.Equal(got, sc.ref) {
+		for gb := int64(0); gb < int64(len(got))/testBS; gb++ {
+			if !bytes.Equal(got[gb*testBS:(gb+1)*testBS], sc.ref[gb*testBS:(gb+1)*testBS]) {
+				t.Errorf("seed %d: final image diverges from reference model at global block %d (first of possibly many)",
+					sc.seed, gb)
+				break
+			}
+		}
+	}
+}
+
+// TestDifferential runs the fixed seed matrix: 60 scenarios covering
+// every store kind × layout at least 6 times each (seed mod 9 walks the
+// 3×3 matrix), with randomized rank counts, aggregator counts, locality
+// and overlap policies, link models, and phase mixes.
+func TestDifferential(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			genScenario(seed).run(t)
+		})
+	}
+}

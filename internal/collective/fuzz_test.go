@@ -1,0 +1,209 @@
+// Fuzz target for the planner's domain splitting. The fuzzer decodes
+// arbitrary bytes into request lists over the planFixture group and, on
+// every accepted plan, checks the invariants the two-phase engine
+// relies on:
+//
+//   - domains are contiguous, disjoint, and cover the covered-index
+//     space [0, total) exactly, with only the final nonempty domain
+//     ragged;
+//   - every requested block lands in exactly one domain (each rank's
+//     clips across all domains sum to its requested blocks);
+//   - forEachDomainSpan tiles each domain exactly, ascending, with
+//     contiguous domain-buffer offsets;
+//   - the locality assignment always picks a participating rank — the
+//     one with the largest byte share, lowest rank on ties — and
+//     round-robin assignment is untouched when Locality is off.
+//
+// Run as `go test -fuzz=FuzzPlanDomains ./internal/collective` for
+// coverage-guided exploration; the seed corpus keeps it exercised as a
+// plain test (CI runs a -fuzztime=10s smoke on top).
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/blockio"
+)
+
+// fuzzPlanInput decodes data into (nRanks, naggs, locality, write,
+// reqs, bufs). Segment triples are (rank, start, n) bytes over the
+// 12-block planFixture group; buffer offsets are assigned sequentially
+// per rank so buffer validation never rejects what block validation
+// would accept.
+func fuzzPlanInput(data []byte) (nRanks, naggs int, opts Options, write bool, reqs [][]VecReq, bufs [][]byte) {
+	if len(data) < 3 {
+		return 0, 0, Options{}, false, nil, nil
+	}
+	nRanks = int(data[0])%8 + 1
+	naggs = int(data[1])%8 + 1
+	if naggs > nRanks {
+		naggs = nRanks
+	}
+	opts = Options{Locality: data[2]&1 != 0, LastWriterWins: data[2]&2 != 0}
+	write = data[2]&4 != 0
+	reqs = make([][]VecReq, nRanks)
+	bufs = make([][]byte, nRanks)
+	offs := make([]int64, nRanks)
+	const bs = 64
+	for p := 3; p+3 <= len(data); p += 3 {
+		r := int(data[p]) % nRanks
+		gb := int64(data[p+1]) % 12
+		n := int64(data[p+2])%4 + 1
+		if gb+n > 12 {
+			n = 12 - gb
+		}
+		// Global [0,12) = file 0 [0,8) ++ file 1 [0,4); split at the
+		// boundary like real request builders do.
+		for n > 0 {
+			file, blk, lim := 0, gb, int64(8)
+			if gb >= 8 {
+				file, blk, lim = 1, gb-8, 4
+			}
+			take := n
+			if blk+take > lim {
+				take = lim - blk
+			}
+			reqs[r] = append(reqs[r], VecReq{File: file, Vec: blockio.Vec{{Block: blk, N: take, BufOff: offs[r]}}})
+			offs[r] += take * bs
+			gb += take
+			n -= take
+		}
+	}
+	for r := range bufs {
+		bufs[r] = make([]byte, offs[r])
+	}
+	return nRanks, naggs, opts, write, reqs, bufs
+}
+
+func FuzzPlanDomains(f *testing.F) {
+	g := planFixture(f)
+	// Seed corpus: empty, single-rank dense, strided multi-rank, ragged
+	// tails, overlapping writers, locality + LWW flag mixes.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{1, 4, 1, 0, 0, 3, 1, 4, 3, 2, 9, 1})
+	f.Add([]byte{8, 3, 5, 0, 0, 0, 1, 1, 0, 2, 2, 0, 3, 3, 0, 4, 4, 0})
+	f.Add([]byte{4, 8, 7, 0, 0, 3, 1, 2, 3, 2, 4, 3, 3, 6, 3})
+	f.Add([]byte{2, 2, 3, 0, 0, 3, 1, 1, 3}) // cross-rank overlap, LWW write
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nRanks, naggs, opts, write, reqs, bufs := fuzzPlanInput(data)
+		if nRanks == 0 {
+			return
+		}
+		pl, err := buildPlan(g, reqs, bufs, naggs, write, opts)
+		if err != nil {
+			return // rejected input: the validator at work, not a plan
+		}
+
+		// Domains: contiguous, disjoint, exact cover, ragged only at the
+		// tail of the nonempty prefix.
+		var covered int64
+		prevHi := int64(0)
+		for a := 0; a < naggs; a++ {
+			lo, hi := pl.domain(a)
+			if lo != prevHi {
+				t.Fatalf("domain %d starts at %d, want %d (gap or overlap)", a, lo, prevHi)
+			}
+			if hi < lo {
+				t.Fatalf("domain %d inverted: [%d,%d)", a, lo, hi)
+			}
+			if hi-lo > pl.domBlocks {
+				t.Fatalf("domain %d has %d blocks > domBlocks %d", a, hi-lo, pl.domBlocks)
+			}
+			if hi-lo < pl.domBlocks && hi != pl.total {
+				t.Fatalf("domain %d short (%d blocks) but not the ragged tail", a, hi-lo)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != pl.total || prevHi != pl.total {
+			t.Fatalf("domains cover %d of %d covered blocks", covered, pl.total)
+		}
+
+		// The one-pass share table agrees with clip enumeration.
+		for r := 0; r < nRanks; r++ {
+			for a := 0; a < naggs; a++ {
+				if pl.shares[r][a] != pl.clipBytes(r, a) {
+					t.Fatalf("shares[%d][%d] = %d, clip enumeration says %d",
+						r, a, pl.shares[r][a], pl.clipBytes(r, a))
+				}
+			}
+		}
+
+		// Every requested block lands in exactly one domain.
+		for r := 0; r < nRanks; r++ {
+			var want int64
+			for _, q := range reqs[r] {
+				for _, sg := range q.Vec {
+					want += sg.N
+				}
+			}
+			var got int64
+			for a := 0; a < naggs; a++ {
+				pl.forEachClip(r, a, func(c clip) { got += c.n })
+			}
+			if got != want {
+				t.Fatalf("rank %d: clips cover %d blocks, requested %d", r, got, want)
+			}
+		}
+
+		// Domain spans tile each domain exactly with contiguous buffer
+		// offsets, inside the covered footprint.
+		for a := 0; a < naggs; a++ {
+			lo, hi := pl.domain(a)
+			var n, nextOff int64
+			lastEnd := int64(-1)
+			pl.forEachDomainSpan(a, func(gb, cnt, domOff int64) {
+				if cnt <= 0 {
+					t.Fatalf("domain %d: empty span at %d", a, gb)
+				}
+				if gb <= lastEnd {
+					t.Fatalf("domain %d: spans not ascending/disjoint at %d", a, gb)
+				}
+				if domOff != nextOff {
+					t.Fatalf("domain %d: span at %d has domOff %d, want %d", a, gb, domOff, nextOff)
+				}
+				lastEnd = gb + cnt - 1
+				n += cnt
+				nextOff += cnt * pl.bs
+			})
+			if n != hi-lo {
+				t.Fatalf("domain %d spans %d blocks, want %d", a, n, hi-lo)
+			}
+		}
+
+		// Ownership: always a valid rank; locality picks the
+		// largest-share participant (lowest rank on ties) for nonempty
+		// domains; round-robin stays identity.
+		if len(pl.owner) != naggs {
+			t.Fatalf("owner table has %d entries, want %d", len(pl.owner), naggs)
+		}
+		for a := 0; a < naggs; a++ {
+			own := pl.owner[a]
+			if own < 0 || own >= nRanks {
+				t.Fatalf("domain %d owned by rank %d of %d", a, own, nRanks)
+			}
+			if !opts.Locality {
+				if own != a {
+					t.Fatalf("round-robin domain %d owned by %d", a, own)
+				}
+				continue
+			}
+			lo, hi := pl.domain(a)
+			if lo >= hi {
+				continue // empty domains keep their round-robin rank
+			}
+			ownBytes := pl.clipBytes(own, a)
+			if ownBytes <= 0 {
+				t.Fatalf("locality domain %d owner %d holds no bytes of it", a, own)
+			}
+			for r := 0; r < nRanks; r++ {
+				b := pl.clipBytes(r, a)
+				if b > ownBytes || (b == ownBytes && r < own) {
+					t.Fatalf("locality domain %d owned by %d (%d bytes) but rank %d holds %d",
+						a, own, ownBytes, r, b)
+				}
+			}
+		}
+	})
+}

@@ -3,16 +3,24 @@
 // request lists.
 //
 // All coordinates are global fs blocks — the pfs.FileGroup concatenation
-// of the member files' block spaces. The plan holds three things:
+// of the member files' block spaces. The plan holds four things:
 //
 //   - the per-rank segment lists (each rank's requests flattened into
 //     sorted global-block segments),
+//
 //   - the union access footprint (the merged covered spans, with prefix
-//     sums assigning every covered block a dense "covered index"), and
+//     sums assigning every covered block a dense "covered index"),
+//
 //   - the file-domain split: the covered index space divided into naggs
-//     contiguous domains of ⌈total/naggs⌉ blocks, domain a belonging to
-//     aggregator rank a (the final domain is ragged when the footprint
-//     does not divide evenly).
+//     contiguous domains of ⌈total/naggs⌉ blocks (the final domain is
+//     ragged when the footprint does not divide evenly), and
+//
+//   - the domain→aggregator assignment (owner): by default domain a
+//     belongs to rank a (round-robin rank order, the historical PR 3
+//     behavior); with Options.Locality the domain is instead assigned to
+//     the participating rank owning the largest share of its footprint
+//     (ties to the lowest rank), so nearly-aligned access patterns keep
+//     most bytes local and only the stragglers cross the interconnect.
 //
 // Because domains are contiguous in covered-index space, each
 // aggregator's device accesses are as sequential as the footprint
@@ -53,17 +61,20 @@ type clip struct {
 type plan struct {
 	bs        int64
 	naggs     int
-	segs      [][]rseg // per rank, sorted by gb
-	covered   []span   // merged union footprint, sorted by gb
-	cbase     []int64  // covered-index of covered[i].gb
-	total     int64    // total covered blocks
-	domBlocks int64    // blocks per domain (last one ragged)
+	segs      [][]rseg  // per rank, sorted by gb
+	covered   []span    // merged union footprint, sorted by gb
+	cbase     []int64   // covered-index of covered[i].gb
+	total     int64     // total covered blocks
+	domBlocks int64     // blocks per domain (last one ragged)
+	owner     []int     // domain index → aggregator rank
+	shares    [][]int64 // shares[rank][domain]: exchange payload bytes
 }
 
-// buildPlan validates every rank's requests and computes the footprint
-// and domain split. write additionally rejects cross-rank overlaps,
-// whose store order would be ambiguous.
-func buildPlan(group *pfs.FileGroup, reqs [][]VecReq, bufs [][]byte, naggs int, write bool) (*plan, error) {
+// buildPlan validates every rank's requests and computes the footprint,
+// domain split and domain→aggregator assignment. write additionally
+// rejects cross-rank overlaps, whose store order would be ambiguous —
+// unless opts.LastWriterWins selects MPI-IO rank-order semantics.
+func buildPlan(group *pfs.FileGroup, reqs [][]VecReq, bufs [][]byte, naggs int, write bool, opts Options) (*plan, error) {
 	bs := int64(group.Store().BlockSize())
 	pl := &plan{bs: bs, naggs: naggs, segs: make([][]rseg, len(reqs))}
 	type owned struct {
@@ -125,11 +136,12 @@ func buildPlan(group *pfs.FileGroup, reqs [][]VecReq, bufs [][]byte, naggs int, 
 	sort.Slice(all, func(i, j int) bool { return all[i].gb < all[j].gb })
 	for i, sg := range all {
 		if i > 0 && all[i-1].gb+all[i-1].n > sg.gb {
-			if write {
+			if write && !opts.LastWriterWins {
 				return nil, fmt.Errorf("collective: ranks %d and %d write overlapping blocks at global block %d",
 					all[i-1].rank, sg.rank, sg.gb)
 			}
-			// Reads may share blocks; the union merge below absorbs them.
+			// Reads may share blocks, and LastWriterWins resolves write
+			// overlaps in rank order; the union merge below absorbs both.
 		}
 		if k := len(pl.covered) - 1; k >= 0 && pl.covered[k].gb+pl.covered[k].n >= sg.gb {
 			if end := sg.gb + sg.n; end > pl.covered[k].gb+pl.covered[k].n {
@@ -147,7 +159,69 @@ func buildPlan(group *pfs.FileGroup, reqs [][]VecReq, bufs [][]byte, naggs int, 
 	if pl.total > 0 {
 		pl.domBlocks = (pl.total + int64(naggs) - 1) / int64(naggs)
 	}
+	// One pass over all segments fills the rank×domain share table
+	// (equal to clipBytes at every cell) — it drives the locality
+	// election, the exchange stats, and payload-buffer sizing without
+	// rescanning segment lists per domain.
+	pl.shares = make([][]int64, len(reqs))
+	for r := range pl.shares {
+		pl.shares[r] = make([]int64, naggs)
+		if pl.domBlocks == 0 {
+			continue
+		}
+		for _, sg := range pl.segs[r] {
+			ci := pl.coveredIndex(sg.gb)
+			for a := ci / pl.domBlocks; a <= (ci+sg.n-1)/pl.domBlocks; a++ {
+				lo, hi := a*pl.domBlocks, (a+1)*pl.domBlocks
+				if lo < ci {
+					lo = ci
+				}
+				if hi > ci+sg.n {
+					hi = ci + sg.n
+				}
+				pl.shares[r][a] += (hi - lo) * pl.bs
+			}
+		}
+	}
+	pl.owner = make([]int, naggs)
+	for a := range pl.owner {
+		pl.owner[a] = a // round-robin rank order, the bit-identical default
+	}
+	if opts.Locality {
+		for a := range pl.owner {
+			// The rank with the largest byte share of the domain
+			// aggregates it; strict > keeps the lowest rank on ties. A
+			// nonempty domain always has a participating rank (domains
+			// tile the covered footprint, and every covered block was
+			// requested by someone), so best stays the round-robin rank
+			// only for empty (past-the-footprint) domains.
+			bestBytes := int64(0)
+			for r := range reqs {
+				if b := pl.shares[r][a]; b > bestBytes {
+					pl.owner[a], bestBytes = r, b
+				}
+			}
+		}
+	}
 	return pl, nil
+}
+
+// exchangeStats totals the exchange-phase payload bytes by destination:
+// a rank's pieces for a domain it aggregates itself are a local copy
+// (self-message, free under both link models); everything else crosses
+// the interconnect.
+func (pl *plan) exchangeStats(nranks int) (st ExchangeStats) {
+	for a := 0; a < pl.naggs; a++ {
+		for r := 0; r < nranks; r++ {
+			b := pl.shares[r][a]
+			if r == pl.owner[a] {
+				st.BytesLocal += b
+			} else {
+				st.BytesMoved += b
+			}
+		}
+	}
+	return st
 }
 
 // coveredIndex maps a covered global block to its dense covered index.
@@ -201,7 +275,9 @@ func (pl *plan) forEachClip(rank, agg int, fn func(c clip)) {
 	}
 }
 
-// clipBytes reports the exchange payload size between rank and agg.
+// clipBytes reports the exchange payload size between rank and agg by
+// enumerating clips — the reference implementation of shares[rank][agg],
+// kept for the fuzz target's independent cross-check.
 func (pl *plan) clipBytes(rank, agg int) int64 {
 	var n int64
 	pl.forEachClip(rank, agg, func(c clip) { n += c.n })

@@ -11,7 +11,7 @@ import (
 
 // planFixture builds a 2-file group (8 + 4 fs blocks) over 2 untimed
 // devices.
-func planFixture(t *testing.T) *pfs.FileGroup {
+func planFixture(t testing.TB) *pfs.FileGroup {
 	t.Helper()
 	disks := make([]*device.Disk, 2)
 	for i := range disks {
@@ -52,7 +52,7 @@ func TestPlanFootprintAndDomains(t *testing.T) {
 		{{File: 0, Vec: blockio.Vec{{Block: 2, N: 2, BufOff: 0}}}, {File: 1, Vec: blockio.Vec{{Block: 1, N: 2, BufOff: 2 * bs}}}},
 	}
 	bufs := [][]byte{make([]byte, 4*bs), make([]byte, 4*bs)}
-	pl, err := buildPlan(g, reqs, bufs, 3, true)
+	pl, err := buildPlan(g, reqs, bufs, 3, true, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,6 +93,106 @@ func TestPlanFootprintAndDomains(t *testing.T) {
 	}
 }
 
+// slabReqs builds one rank request covering global blocks [lo, hi) of
+// file 0 with buffer offset 0 (planFixture's file a is 8 blocks).
+func slabReqs(lo, hi int64) []VecReq {
+	return []VecReq{{File: 0, Vec: blockio.Vec{{Block: lo, N: hi - lo, BufOff: 0}}}}
+}
+
+func TestPlanLocalityAssignment(t *testing.T) {
+	g := planFixture(t)
+	bs := int64(64)
+	mkBufs := func(reqs [][]VecReq) [][]byte {
+		bufs := make([][]byte, len(reqs))
+		for i := range bufs {
+			bufs[i] = make([]byte, 8*bs)
+		}
+		return bufs
+	}
+
+	t.Run("default is round-robin", func(t *testing.T) {
+		reqs := [][]VecReq{slabReqs(6, 8), slabReqs(3, 6), slabReqs(0, 3)}
+		pl, err := buildPlan(g, reqs, mkBufs(reqs), 3, true, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a, r := range pl.owner {
+			if r != a {
+				t.Fatalf("default owner[%d] = %d, want %d", a, r, a)
+			}
+		}
+	})
+
+	t.Run("majority owner wins", func(t *testing.T) {
+		// Reversed slabs: domain 0 = blocks [0,3) written by rank 2 (2
+		// blocks) and rank 1 (1 block); domain 1 all rank 1; domain 2 all
+		// rank 0.
+		reqs := [][]VecReq{slabReqs(6, 8), slabReqs(2, 6), slabReqs(0, 2)}
+		pl, err := buildPlan(g, reqs, mkBufs(reqs), 3, true, Options{Locality: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := []int{2, 1, 0}; pl.owner[0] != want[0] || pl.owner[1] != want[1] || pl.owner[2] != want[2] {
+			t.Fatalf("locality owners = %v, want %v", pl.owner, want)
+		}
+		st := pl.exchangeStats(3)
+		// Only rank 1's block 2 lands in a domain (0) it does not own.
+		if st.BytesMoved != 1*bs || st.BytesLocal != 7*bs {
+			t.Fatalf("stats = %+v, want 1 block moved, 7 local", st)
+		}
+	})
+
+	t.Run("tie goes to the lower rank", func(t *testing.T) {
+		// One 4-block domain, ranks 1 and 2 own two blocks each.
+		reqs := [][]VecReq{nil, slabReqs(0, 2), slabReqs(2, 4)}
+		pl, err := buildPlan(g, reqs, mkBufs(reqs), 1, true, Options{Locality: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.owner[0] != 1 {
+			t.Fatalf("tied domain owner = %d, want rank 1", pl.owner[0])
+		}
+	})
+
+	t.Run("empty domains keep round-robin ranks", func(t *testing.T) {
+		// 2 covered blocks over 3 domains of 1: the third domain is empty.
+		reqs := [][]VecReq{slabReqs(0, 2), nil, nil}
+		pl, err := buildPlan(g, reqs, mkBufs(reqs), 3, true, Options{Locality: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := []int{0, 0, 2}; pl.owner[0] != want[0] || pl.owner[1] != want[1] || pl.owner[2] != want[2] {
+			t.Fatalf("owners = %v, want %v", pl.owner, want)
+		}
+	})
+}
+
+func TestPlanLastWriterWinsOverlap(t *testing.T) {
+	g := planFixture(t)
+	bs := int64(64)
+	buf := make([]byte, 8*bs)
+	reqs := [][]VecReq{slabReqs(0, 4), slabReqs(2, 6)}
+	bufs := [][]byte{buf, buf}
+	if _, err := buildPlan(g, reqs, bufs, 2, true, Options{}); err == nil {
+		t.Fatal("cross-rank write overlap accepted without LastWriterWins")
+	}
+	pl, err := buildPlan(g, reqs, bufs, 2, true, Options{LastWriterWins: true})
+	if err != nil {
+		t.Fatalf("LastWriterWins rejected the overlap: %v", err)
+	}
+	if pl.total != 6 {
+		t.Fatalf("overlap footprint = %d blocks, want 6", pl.total)
+	}
+	// Same-rank overlaps stay rejected: their outcome has no rank order.
+	self := [][]VecReq{{
+		{File: 0, Vec: blockio.Vec{{Block: 0, N: 3, BufOff: 0}}},
+		{File: 0, Vec: blockio.Vec{{Block: 2, N: 2, BufOff: 4 * bs}}},
+	}}
+	if _, err := buildPlan(g, self, [][]byte{buf}, 2, true, Options{LastWriterWins: true}); err == nil {
+		t.Fatal("same-rank overlap accepted under LastWriterWins")
+	}
+}
+
 func TestPlanValidation(t *testing.T) {
 	g := planFixture(t)
 	bs := int64(64)
@@ -126,7 +226,7 @@ func TestPlanValidation(t *testing.T) {
 			for i := range bufs {
 				bufs[i] = buf
 			}
-			_, err := buildPlan(g, tc.reqs, bufs, 2, tc.write)
+			_, err := buildPlan(g, tc.reqs, bufs, 2, tc.write, Options{})
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("buildPlan = %v, want error containing %q", err, tc.want)
 			}
@@ -137,7 +237,7 @@ func TestPlanValidation(t *testing.T) {
 		{{File: 0, Vec: blockio.Vec{{Block: 0, N: 4, BufOff: 0}}}},
 		{{File: 0, Vec: blockio.Vec{{Block: 2, N: 2, BufOff: 0}}}},
 	}
-	pl, err := buildPlan(g, reqs, [][]byte{buf, buf}, 2, false)
+	pl, err := buildPlan(g, reqs, [][]byte{buf, buf}, 2, false, Options{})
 	if err != nil {
 		t.Fatalf("read overlap rejected: %v", err)
 	}
@@ -148,7 +248,7 @@ func TestPlanValidation(t *testing.T) {
 
 func TestPlanEmptyFootprint(t *testing.T) {
 	g := planFixture(t)
-	pl, err := buildPlan(g, [][]VecReq{nil, nil}, [][]byte{nil, nil}, 2, true)
+	pl, err := buildPlan(g, [][]VecReq{nil, nil}, [][]byte{nil, nil}, 2, true, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,133 @@
+// Fuzz target for the Alltoallv exchange and its link models. Arbitrary
+// bytes decode into a group size, a payload-size matrix and a link
+// configuration; invariants:
+//
+//   - delivery: every rank receives exactly the bytes each source sent
+//     it, absent entries stay nil;
+//   - self-messages are never charged: with only self payloads the
+//     clock stays at zero under every model;
+//   - the shared pool charges exactly the exchange's cross volume once
+//     (bisection-only runs finish at crossVol/BW);
+//   - traffic accounting matches the payload matrix.
+//
+// Run as `go test -fuzz=FuzzAlltoallv ./internal/mpp`; the seed corpus
+// keeps it exercised as a plain test (CI runs a -fuzztime=10s smoke).
+package mpp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func FuzzAlltoallv(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 1, 0, 0, 5})                   // 3 ranks, free link
+	f.Add([]byte{1, 3, 0, 200, 0})                 // self-only payloads
+	f.Add([]byte{3, 2, 1, 2, 3, 4, 5, 6, 7, 8, 9}) // 4 ranks, bisection
+	f.Add([]byte{5, 3, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		size := int(data[0])%6 + 1
+		mode := data[1] % 3 // 0 free, 1 bisection only, 2 per-process + bisection
+		// sizes[src][dst]: payload length; 0 = nil (nothing sent).
+		sizes := make([][]int, size)
+		p := 2
+		for src := range sizes {
+			sizes[src] = make([]int, size)
+			for dst := range sizes[src] {
+				if p < len(data) {
+					sizes[src][dst] = int(data[p]) % 64
+					p++
+				}
+			}
+		}
+		var crossVol int64
+		var crossMsgs int64
+		for src := range sizes {
+			for dst, n := range sizes[src] {
+				if src != dst && n > 0 {
+					crossVol += int64(n)
+					crossMsgs++
+				}
+			}
+		}
+
+		const bw = 1e6
+		e := sim.NewEngine()
+		g, join := Run(e, size, "f", func(pr *Proc) {
+			send := make([][]byte, size)
+			for dst, n := range sizes[pr.Rank()] {
+				if n == 0 {
+					continue
+				}
+				pl := make([]byte, n)
+				for i := range pl {
+					pl[i] = byte(7*pr.Rank() + 3*dst + i)
+				}
+				send[dst] = pl
+			}
+			recv := pr.Alltoallv(send)
+			for src := 0; src < size; src++ {
+				n := sizes[src][pr.Rank()]
+				if n == 0 {
+					if recv[src] != nil {
+						t.Errorf("rank %d: ghost payload from %d", pr.Rank(), src)
+					}
+					continue
+				}
+				want := make([]byte, n)
+				for i := range want {
+					want[i] = byte(7*src + 3*pr.Rank() + i)
+				}
+				if !bytes.Equal(recv[src], want) {
+					t.Errorf("rank %d: corrupted payload from %d", pr.Rank(), src)
+				}
+			}
+		})
+		switch mode {
+		case 1:
+			g.SetBisection(bw)
+		case 2:
+			g.SetLink(time.Microsecond, bw)
+			g.SetBisection(bw)
+		}
+		e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		if msgs, bytes := g.Traffic(); msgs != crossMsgs || bytes != crossVol {
+			t.Fatalf("Traffic() = %d msgs / %d bytes, want %d / %d", msgs, bytes, crossMsgs, crossVol)
+		}
+		switch {
+		case crossVol == 0:
+			// Self-only (or silent) exchange: no model may charge time.
+			if e.Now() != 0 {
+				t.Fatalf("mode %d: self-only exchange charged %v", mode, e.Now())
+			}
+		case mode == 0:
+			if e.Now() != 0 {
+				t.Fatalf("free link charged %v", e.Now())
+			}
+		case mode == 1:
+			// Pool-only: every rank pays exactly crossVol/bw between the
+			// two barriers, so the run ends at that instant.
+			want := time.Duration(float64(crossVol) / bw * float64(time.Second))
+			if e.Now() != want {
+				t.Fatalf("bisection-only exchange ended at %v, want %v (crossVol %d)", e.Now(), want, crossVol)
+			}
+		case mode == 2:
+			// Composed: at least the pool charge, plus nonnegative
+			// per-process time.
+			min := time.Duration(float64(crossVol) / bw * float64(time.Second))
+			if e.Now() < min {
+				t.Fatalf("composed exchange ended at %v, below the pool charge %v", e.Now(), min)
+			}
+		}
+	})
+}

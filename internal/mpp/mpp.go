@@ -3,6 +3,32 @@
 // A Run launches P processes (goroutines under the simulation engine),
 // giving each a rank and collective operations (barrier, reductions,
 // gather) in the style parallel programs of the era used.
+//
+// # Interconnect models
+//
+// Collectives (Gather, Alltoallv) can charge modeled communication time
+// under two composable models, both off by default so communication is
+// free and existing programs' timings are bit-identical:
+//
+//   - Per-process link (SetLink): every message a process injects or
+//     receives costs a fixed per-message time plus its bytes at the
+//     process's link bandwidth. Exchange time is governed by the busiest
+//     process and is independent of how many other processes communicate
+//     at once — an uncontended, full-bisection network.
+//
+//   - Shared link (SetBisection): the group shares one bisection
+//     bandwidth pool. Each collective charges every process the total
+//     cross-link volume of the whole exchange against the pool, so
+//     exchange time grows with rank count × message volume — P ranks
+//     exchanging pairwise messages of m bytes cost O(P²·m/B) rather than
+//     the per-process model's O(P·m/b). This is the contention real
+//     machines exhibit, and what makes aggregator placement matter for
+//     collective I/O (package collective's locality-aware domains).
+//
+// Under both models a self-message (rank → itself) is a local copy and
+// is never charged. Traffic reports the accumulated cross-link volume,
+// counted whether or not a model is configured, so tests can measure
+// how many bytes an algorithm moved over the interconnect.
 package mpp
 
 import (
@@ -37,9 +63,21 @@ type Group struct {
 	size    int
 	barrier *sim.Barrier
 	// interconnect model (zero: communication is free, the historical
-	// default — see SetLink)
+	// default — see SetLink and SetBisection)
 	linkMsg   time.Duration
-	linkBytes float64 // bytes per second; 0 = infinite
+	linkBytes float64 // per-process bytes per second; 0 = infinite
+	bisection float64 // shared-pool bytes per second; 0 = uncontended
+	// cross-link traffic accounting (self-messages excluded)
+	trafMsgs  int64
+	trafBytes int64
+	// crossVol accumulates the current collective's cross-link volume:
+	// each process adds its contribution before the entry barrier and
+	// subtracts it after the exit barrier, so between the barriers the
+	// field holds the whole exchange's total (identical for every
+	// reader) and it drains back to zero with no designated resetter —
+	// a process can only re-enter the next collective once its own
+	// subtraction has run, and add/subtract commute.
+	crossVol int64
 	// reduction scratch
 	redVals  []float64
 	redCount int
@@ -102,13 +140,24 @@ func (p *Proc) ReduceMax(v float64) float64 {
 // Gather collects each process's payload; rank 0's slice of all payloads
 // is returned to every process (valid until the next collective). With a
 // link model configured (SetLink) each process is charged for injecting
-// its payload and receiving the other processes' payloads.
+// its payload and receiving the other processes' payloads; under a shared
+// link (SetBisection) the whole exchange volume is additionally charged
+// against the pool. A single-process group gathers locally and crosses no
+// link.
 func (p *Proc) Gather(payload []byte) [][]byte {
 	g := p.group
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
 	g.gather[p.rank] = cp
-	p.chargeLink(1, int64(len(payload)))
+	cross := int64(g.size-1) * int64(len(payload))
+	if g.size > 1 {
+		// The payload reaches size-1 remote processes; the process's own
+		// copy is local. A 1-process gather is pure copy: no link charge.
+		p.chargeLink(1, int64(len(payload)))
+		g.trafMsgs += int64(g.size - 1)
+		g.trafBytes += cross
+		g.crossVol += cross
+	}
 	p.Barrier()
 	out := g.gather
 	var in int64
@@ -118,7 +167,11 @@ func (p *Proc) Gather(payload []byte) [][]byte {
 		}
 	}
 	p.chargeLink(g.size-1, in)
+	p.chargeBisection(g.crossVol)
 	p.Barrier()
+	if g.size > 1 {
+		g.crossVol -= cross
+	}
 	return out
 }
 
@@ -130,6 +183,26 @@ func (p *Proc) Gather(payload []byte) [][]byte {
 func (g *Group) SetLink(msg time.Duration, bytesPerSec float64) {
 	g.linkMsg = msg
 	g.linkBytes = bytesPerSec
+}
+
+// SetBisection configures the shared-link (contention) model: the whole
+// group shares one pool of bytesPerSec aggregate bisection bandwidth,
+// and every collective charges each process the exchange's total
+// cross-link volume against the pool. Zero (the default) keeps the
+// network uncontended. Composes with SetLink: per-process injection and
+// receive costs are charged in addition to the pool. Configure before
+// the group's processes start communicating.
+func (g *Group) SetBisection(bytesPerSec float64) {
+	g.bisection = bytesPerSec
+}
+
+// Traffic reports the cross-link volume the group's collectives have
+// moved so far: messages and bytes that actually crossed a link, with
+// each message counted once at its source and self-messages excluded.
+// Accumulated whether or not a link model is configured (accounting
+// only — it never charges time).
+func (g *Group) Traffic() (msgs, bytes int64) {
+	return g.trafMsgs, g.trafBytes
 }
 
 // chargeLink models msgs messages totalling bytes crossing this process's
@@ -149,6 +222,18 @@ func (p *Proc) chargeLink(msgs int, bytes int64) {
 	}
 }
 
+// chargeBisection models vol total bytes crossing the group's shared
+// bisection pool. Every process of the collective calls it with the same
+// volume (a pure function of the exchange's payloads), so all pay the
+// same contention delay. A no-op when the shared model is off.
+func (p *Proc) chargeBisection(vol int64) {
+	g := p.group
+	if g.bisection <= 0 || vol <= 0 {
+		return
+	}
+	p.Sleep(time.Duration(float64(vol) / g.bisection * float64(time.Second)))
+}
+
 // Alltoallv performs a personalized all-to-all exchange: send[dst] is the
 // payload (possibly nil) this process sends to rank dst, and the returned
 // slice holds at recv[src] the payload rank src sent to this process
@@ -156,8 +241,10 @@ func (p *Proc) chargeLink(msgs int, bytes int64) {
 // time, so the caller may reuse its buffers immediately). len(send) may
 // be shorter than the group; absent entries send nothing. With a link
 // model configured (SetLink), each process is charged for injecting its
-// outgoing payloads and receiving its incoming ones; the self payload
-// (send[rank]) is a local copy and crosses no link.
+// outgoing payloads and receiving its incoming ones, and with a shared
+// link (SetBisection) the exchange's total cross-link volume is
+// additionally charged against the pool; the self payload (send[rank])
+// is a local copy and crosses no link under either model.
 //
 // This is the data-exchange primitive of two-phase collective I/O
 // (package collective): ranks ship their pieces to aggregators, or
@@ -185,7 +272,13 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 		}
 	}
 	p.chargeLink(outMsgs, out)
+	g.trafMsgs += int64(outMsgs)
+	g.trafBytes += out
+	g.crossVol += out
 	p.Barrier()
+	// Between the barriers crossVol holds every rank's contribution —
+	// the whole exchange's cross-link volume (self payloads excluded),
+	// identical for all readers.
 	recv := make([][]byte, g.size)
 	var in int64
 	inMsgs := 0
@@ -197,6 +290,8 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 		}
 	}
 	p.chargeLink(inMsgs, in)
+	p.chargeBisection(g.crossVol)
 	p.Barrier()
+	g.crossVol -= out
 	return recv
 }

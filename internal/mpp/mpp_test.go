@@ -221,6 +221,169 @@ func TestGatherLinkCost(t *testing.T) {
 	}
 }
 
+func TestBisectionContention(t *testing.T) {
+	// Shared pool of 1000 B/s; 2 ranks exchange 500 bytes each way →
+	// total cross volume 1000 bytes → every rank pays exactly 1 s, on
+	// top of nothing else (no per-process model configured).
+	e := sim.NewEngine()
+	g, join := Run(e, 2, "w", func(p *Proc) {
+		pl := make([]byte, 500)
+		send := [][]byte{nil, nil}
+		send[1-p.Rank()] = pl
+		p.Alltoallv(send)
+		if want := time.Second; p.Now() != want {
+			t.Errorf("rank %d finished at %v, want %v", p.Rank(), p.Now(), want)
+		}
+	})
+	g.SetBisection(1000)
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBisectionScalesWithRanks(t *testing.T) {
+	// Fixed pairwise message size, growing group: under the shared model
+	// the exchange time grows ~P² (P ranks × (P-1) destinations), where
+	// the per-process model would stay ~linear in P. This is the
+	// contention signature the model exists to capture.
+	elapsed := func(ranks int) time.Duration {
+		e := sim.NewEngine()
+		g, join := Run(e, ranks, "w", func(p *Proc) {
+			send := make([][]byte, ranks)
+			for dst := 0; dst < ranks; dst++ {
+				send[dst] = make([]byte, 100) // self entry is free
+			}
+			p.Alltoallv(send)
+		})
+		g.SetBisection(1e6)
+		e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	t2, t4, t8 := elapsed(2), elapsed(4), elapsed(8)
+	// Cross volumes: 2·1, 4·3, 8·7 hundred bytes → ratios 6× and 28×.
+	if t4 != 6*t2 || t8 != 28*t2 {
+		t.Fatalf("bisection scaling: %v, %v, %v (want 1:6:28)", t2, t4, t8)
+	}
+}
+
+func TestBisectionComposesWithLink(t *testing.T) {
+	// Both models on: per-process charges (inject + receive) and the
+	// shared-pool charge add up.
+	e := sim.NewEngine()
+	g, join := Run(e, 2, "w", func(p *Proc) {
+		send := [][]byte{nil, nil}
+		send[1-p.Rank()] = make([]byte, 500)
+		p.Alltoallv(send)
+		// Per-process: 2 × (1 ms + 0.5 s); pool: 1000 bytes / 1000 B/s.
+		want := 2*(time.Millisecond+500*time.Millisecond) + time.Second
+		if p.Now() != want {
+			t.Errorf("rank %d finished at %v, want %v", p.Rank(), p.Now(), want)
+		}
+	})
+	g.SetLink(time.Millisecond, 1000)
+	g.SetBisection(1000)
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfMessagesNeverCharged(t *testing.T) {
+	// A rank sending only to itself crosses no link under either model;
+	// a 1-process Gather likewise. The clock must not move at all.
+	e := sim.NewEngine()
+	g, join := Run(e, 2, "w", func(p *Proc) {
+		send := make([][]byte, 2)
+		send[p.Rank()] = make([]byte, 1<<20)
+		recv := p.Alltoallv(send)
+		if len(recv[p.Rank()]) != 1<<20 {
+			t.Errorf("rank %d: self payload lost", p.Rank())
+		}
+		if p.Now() != 0 {
+			t.Errorf("rank %d: self-only exchange charged %v", p.Rank(), p.Now())
+		}
+	})
+	g.SetLink(time.Millisecond, 1000)
+	g.SetBisection(1000)
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if msgs, bytes := g.Traffic(); msgs != 0 || bytes != 0 {
+		t.Fatalf("self-only exchange counted traffic: %d msgs, %d bytes", msgs, bytes)
+	}
+
+	e2 := sim.NewEngine()
+	g2, join2 := Run(e2, 1, "w", func(p *Proc) {
+		all := p.Gather(make([]byte, 1<<20))
+		if len(all) != 1 || len(all[0]) != 1<<20 {
+			t.Error("1-process gather lost its payload")
+		}
+		if p.Now() != 0 {
+			t.Errorf("1-process gather charged %v", p.Now())
+		}
+	})
+	g2.SetLink(time.Millisecond, 1000)
+	g2.SetBisection(1000)
+	e2.Go("join", func(sp *sim.Proc) { join2.Wait(sp) })
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if msgs, bytes := g2.Traffic(); msgs != 0 || bytes != 0 {
+		t.Fatalf("1-process gather counted traffic: %d msgs, %d bytes", msgs, bytes)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	// Traffic counts cross-link volume even with no link model set (and
+	// charges nothing). 3 ranks: rank 0 sends 10 bytes to each other
+	// rank and 99 to itself; then everyone gathers 7 bytes.
+	e := sim.NewEngine()
+	g, join := Run(e, 3, "w", func(p *Proc) {
+		send := make([][]byte, 3)
+		if p.Rank() == 0 {
+			send[0] = make([]byte, 99)
+			send[1] = make([]byte, 10)
+			send[2] = make([]byte, 10)
+		}
+		p.Alltoallv(send)
+		p.Gather(make([]byte, 7))
+		if p.Now() != 0 {
+			t.Errorf("rank %d: accounting charged time %v", p.Rank(), p.Now())
+		}
+	})
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Alltoallv: 2 msgs / 20 bytes. Gather: each of 3 ranks' 7 bytes
+	// reaches 2 remotes → 6 msgs / 42 bytes.
+	if msgs, bytes := g.Traffic(); msgs != 8 || bytes != 62 {
+		t.Fatalf("Traffic() = %d msgs, %d bytes, want 8, 62", msgs, bytes)
+	}
+}
+
+func TestGatherBisectionCost(t *testing.T) {
+	// 2 ranks gather 100 bytes each over a 1000 B/s pool: cross volume =
+	// 2 payloads × 1 remote receiver × 100 bytes = 200 bytes → 0.2 s.
+	e := sim.NewEngine()
+	g, join := Run(e, 2, "w", func(p *Proc) {
+		p.Gather(make([]byte, 100))
+		if want := 200 * time.Millisecond; p.Now() != want {
+			t.Errorf("rank %d finished at %v, want %v", p.Rank(), p.Now(), want)
+		}
+	})
+	g.SetBisection(1000)
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestComputeAdvancesClock(t *testing.T) {
 	e := sim.NewEngine()
 	_, join := Run(e, 1, "w", func(p *Proc) {
