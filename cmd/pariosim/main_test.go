@@ -7,9 +7,9 @@ import (
 )
 
 func TestScenarios(t *testing.T) {
-	for _, sc := range []string{"seek", "service", "stripe", "extent", "noncontig", "collective", "contended"} {
+	for _, sc := range []string{"seek", "service", "stripe", "extent", "noncontig", "collective", "contended", "pipeline", "profile"} {
 		var out bytes.Buffer
-		if err := run(sc, &out); err != nil {
+		if err := run(sc, "", &out); err != nil {
 			t.Fatalf("%s: %v", sc, err)
 		}
 		if out.Len() == 0 {
@@ -20,11 +20,11 @@ func TestScenarios(t *testing.T) {
 
 func TestAllScenario(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("all", &out); err != nil {
+	if err := run("all", "", &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
-	for _, want := range []string{"Seek curve", "service time", "striped scan", "Extent coalescing", "Vectored I/O", "Collective I/O", "Contention-aware"} {
+	for _, want := range []string{"Seek curve", "service time", "striped scan", "Extent coalescing", "Vectored I/O", "Collective I/O", "Contention-aware", "Pipelined collective", "Cross-layer profiles"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("missing %q in:\n%s", want, s)
 		}
@@ -33,7 +33,7 @@ func TestAllScenario(t *testing.T) {
 
 func TestSeekTableMonotone(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("seek", &out); err != nil {
+	if err := run("seek", "", &out); err != nil {
 		t.Fatal(err)
 	}
 	// The longest seek row (899 cylinders) must appear.
@@ -44,7 +44,21 @@ func TestSeekTableMonotone(t *testing.T) {
 
 func TestUnknownScenario(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("wat", &out); err == nil {
+	if err := run("wat", "", &out); err == nil {
 		t.Fatal("unknown scenario accepted")
+	}
+	if err := run("profile", "wat", &out); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestProfileFlagSelects(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("profile", "tuned", &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "\ntuned ") || strings.Contains(s, "\npaper ") {
+		t.Fatalf("-profile tuned did not narrow the table:\n%s", s)
 	}
 }

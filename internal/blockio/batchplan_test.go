@@ -1,0 +1,192 @@
+package blockio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestBatchPlanWindowedEquivalence: writing a batch window by window
+// through a plan (with windows issued out of order and staged through
+// per-window buffers) must land exactly the bytes one whole-batch
+// BatchVec write lands, across stripe units, and reading the windows
+// back must reproduce them.
+func TestBatchPlanWindowedEquivalence(t *testing.T) {
+	for _, unit := range []int64{1, 2, 8} {
+		const devs, perDev = 2, 32
+		const blocks = 48 // across 2 files of 24
+		sets, _ := newBatchStore(t, devs, unit, perDev, 2)
+		bs := int64(sets[0].BlockSize())
+		ctx := sim.NewWall()
+		rng := rand.New(rand.NewSource(unit))
+		whole := make([]byte, blocks*bs)
+		rng.Read(whole)
+		// Both files fully covered, with buffer offsets permuted
+		// relative to block order (7 and 5 are coprime to 24) so plan
+		// windows cut across scrambled piece order.
+		mkBatch := func(buf []byte) BatchVec {
+			var v0, v1 Vec
+			for b := int64(0); b < 24; b++ {
+				v0 = append(v0, VecSeg{Block: b, N: 1, BufOff: (b * 7 % 24) * bs})
+				v1 = append(v1, VecSeg{Block: b, N: 1, BufOff: (24 + b*5%24) * bs})
+			}
+			return BatchVec{
+				{Set: sets[0], Vec: v0, Buf: buf},
+				{Set: sets[1], Vec: v1, Buf: buf},
+			}
+		}
+		// Reference: whole-batch write on a twin store.
+		refSets, _ := newBatchStore(t, devs, unit, perDev, 2)
+		refBatch := mkBatch(whole)
+		for i := range refBatch {
+			refBatch[i].Set = refSets[i]
+		}
+		if err := refBatch.Write(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		// Plan with 3 uneven windows, issued out of order through
+		// staging copies.
+		cuts := []int64{10 * bs, 31 * bs}
+		plan, err := mkBatch(nil).Plan(cuts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Windows() != 3 {
+			t.Fatalf("Windows = %d, want 3", plan.Windows())
+		}
+		bounds := [][2]int64{{0, 10 * bs}, {10 * bs, 31 * bs}, {31 * bs, blocks * bs}}
+		var totalBlocks int64
+		for w := range bounds {
+			totalBlocks += plan.WindowBlocks(w)
+		}
+		if totalBlocks != blocks {
+			t.Fatalf("windows cover %d blocks, want %d", totalBlocks, blocks)
+		}
+		for _, w := range []int{2, 0, 1} {
+			lo, hi := bounds[w][0], bounds[w][1]
+			stage := make([]byte, hi-lo)
+			copy(stage, whole[lo:hi])
+			if err := plan.WriteWindow(ctx, w, stage, lo); err != nil {
+				t.Fatal(err)
+			}
+		}
+		read := func(ss []*Set) []byte {
+			out := make([]byte, blocks*bs)
+			for f, s := range ss {
+				if err := s.ReadVec(ctx, Vec{{Block: 0, N: 24}}, out[int64(f)*24*bs:(int64(f)+1)*24*bs]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return out
+		}
+		if got, want := read(sets), read(refSets); !bytes.Equal(got, want) {
+			t.Fatalf("unit %d: windowed writes diverge from whole-batch write", unit)
+		}
+
+		// Read the windows back through the plan, again out of order.
+		for _, w := range []int{1, 2, 0} {
+			lo, hi := bounds[w][0], bounds[w][1]
+			stage := make([]byte, hi-lo)
+			if err := plan.ReadWindow(ctx, w, stage, lo); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(stage, whole[lo:hi]) {
+				t.Fatalf("unit %d: window %d read back wrong bytes", unit, w)
+			}
+		}
+	}
+}
+
+// TestBatchPlanNoReMerge: a contiguous 2-file batch plans to one run per
+// device per window — the merge happens once at Plan time, and cutting
+// only splits runs at the window edges.
+func TestBatchPlanNoReMerge(t *testing.T) {
+	// perDev 8 = exactly the blocks each 16-block file puts on each of
+	// the 2 devices, so the two files' extents abut physically.
+	const devs, perDev = 2, 8
+	sets, disks := newBatchStore(t, devs, 1, perDev, 2)
+	bs := int64(sets[0].BlockSize())
+	batch := BatchVec{
+		{Set: sets[0], Vec: Vec{{Block: 0, N: 16}}},
+		{Set: sets[1], Vec: Vec{{Block: 0, N: 16, BufOff: 16 * bs}}},
+	}
+	// Whole batch: one merged cross-file run per device.
+	plan, err := batch.Plan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.WindowRuns(0); got != devs {
+		t.Fatalf("unwindowed plan has %d runs, want %d", got, devs)
+	}
+	// Four windows: one run per device per window, no other inflation.
+	plan4, err := batch.Plan([]int64{8 * bs, 16 * bs, 24 * bs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < plan4.Windows(); w++ {
+		if got := plan4.WindowRuns(w); got != devs {
+			t.Fatalf("window %d has %d runs, want %d", w, got, devs)
+		}
+	}
+	ctx := sim.NewWall()
+	buf := make([]byte, 8*bs)
+	for w := 0; w < plan4.Windows(); w++ {
+		if err := plan4.WriteWindow(ctx, w, buf, int64(w)*8*bs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var reqs int64
+	for _, d := range disks {
+		reqs += d.Stats().Requests()
+	}
+	if want := int64(4 * devs); reqs != want {
+		t.Fatalf("windowed writes issued %d requests, want %d", reqs, want)
+	}
+}
+
+// TestBatchPlanErrors covers the validation surface: misaligned and
+// unordered cuts, cross-store items, physical overlap across windows,
+// and out-of-range staging buffers at issue time.
+func TestBatchPlanErrors(t *testing.T) {
+	sets, _ := newBatchStore(t, 2, 1, 16, 2)
+	bs := int64(sets[0].BlockSize())
+	batch := BatchVec{{Set: sets[0], Vec: Vec{{Block: 0, N: 8}}}}
+	if _, err := batch.Plan([]int64{bs + 1}); err == nil || !strings.Contains(err.Error(), "block size") {
+		t.Errorf("misaligned cut: err = %v", err)
+	}
+	if _, err := batch.Plan([]int64{4 * bs, 2 * bs}); err == nil || !strings.Contains(err.Error(), "ascending") {
+		t.Errorf("descending cuts: err = %v", err)
+	}
+	overlap := BatchVec{
+		{Set: sets[0], Vec: Vec{{Block: 0, N: 8}}},
+		{Set: sets[0], Vec: Vec{{Block: 4, N: 4, BufOff: 8 * bs}}},
+	}
+	if _, err := overlap.Plan([]int64{8 * bs}); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("physical overlap across windows: err = %v", err)
+	}
+	plan, err := batch.Plan([]int64{4 * bs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewWall()
+	if err := plan.WriteWindow(ctx, 2, nil, 0); err == nil || !strings.Contains(err.Error(), "window") {
+		t.Errorf("out-of-range window: err = %v", err)
+	}
+	// Window 1 covers plan bytes [4bs, 8bs): a 2-block buffer at base
+	// 4bs cannot hold it.
+	if err := plan.WriteWindow(ctx, 1, make([]byte, 2*bs), 4*bs); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("short staging buffer: err = %v", err)
+	}
+	// Empty batches plan and issue as no-ops.
+	empty, err := BatchVec{}.Plan([]int64{bs})
+	if err != nil || empty.Windows() != 2 {
+		t.Fatalf("empty batch: %v, windows %d", err, empty.Windows())
+	}
+	if err := empty.ReadWindow(ctx, 1, nil, 0); err != nil {
+		t.Errorf("empty window read: %v", err)
+	}
+}

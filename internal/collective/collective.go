@@ -32,6 +32,7 @@ package collective
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/blockio"
 	"repro/internal/mpp"
@@ -75,16 +76,54 @@ type Options struct {
 	// replaces. Off (default) rejects overlapping collective writes.
 	// Overlaps within one rank's request list remain errors either way.
 	LastWriterWins bool
+
+	// ChunkBytes bounds each aggregator's staging memory and turns the
+	// collective into a software pipeline (ROMIO's cb_buffer_size): every
+	// file domain is cut into ChunkBytes-sized chunks and the exchange of
+	// chunk k+1 proceeds concurrently with the device access of chunk k
+	// (reads mirror this: the access of chunk k+1 overlaps the delivery
+	// of chunk k), so the interconnect and the drives work at the same
+	// time instead of strictly alternating. Each aggregator stages at
+	// most two chunks per owned domain (double buffering). Sub-block
+	// values round up to one block per chunk; values above the domain
+	// size degenerate to a single round. 0 (the default) keeps the
+	// unbounded single-shot two-phase schedule, whose modeled timings
+	// are bit-identical to earlier releases.
+	ChunkBytes int64
 }
 
 // ExchangeStats reports where one collective call's exchange-phase bytes
-// went: BytesMoved crossed the interconnect (rank ≠ domain aggregator),
+// went — BytesMoved crossed the interconnect (rank ≠ domain aggregator),
 // BytesLocal stayed on the aggregating rank (self-messages, free under
-// both link models). Payload bytes are counted once per direction —
-// reads and writes of the same footprint report the same split.
+// both link models) — and how the call's two phases spent their time.
+// Payload bytes are counted once per direction, so reads and writes of
+// the same footprint report the same split.
+//
+// The time fields are unions of busy intervals across all ranks in the
+// call's virtual-time window: ExchangeTime is the time at least one rank
+// was inside the exchange (Alltoallv or a pipelined round, including the
+// collective's rendezvous waits), AccessTime the time at least one
+// aggregator had device requests in flight, and Overlap the time both
+// were true at once. The single-shot schedule (ChunkBytes 0) reports
+// zero Overlap on writes — its phases are barrier-separated — and on
+// reads can report only rendezvous overlap (ranks parked at the
+// exchange while aggregators finish reading); real exchange/access
+// concurrency needs the pipelined schedule, which reports it here.
+// 1 - ExchangeTime/elapsed is the link idle fraction.
 type ExchangeStats struct {
 	BytesMoved int64
 	BytesLocal int64
+
+	ExchangeTime time.Duration
+	AccessTime   time.Duration
+	Overlap      time.Duration
+}
+
+// SameBytes reports whether two calls moved the same exchange split
+// (the timing fields differ between reads and writes of one footprint;
+// the byte split may not).
+func (st ExchangeStats) SameBytes(o ExchangeStats) bool {
+	return st.BytesMoved == o.BytesMoved && st.BytesLocal == o.BytesLocal
 }
 
 // Collective is a collective-I/O handle over a group of files sharing
@@ -108,6 +147,11 @@ type Collective struct {
 	pl    *plan
 	plErr error
 	stats ExchangeStats
+	// per-call phase busy intervals, appended by every rank (strict
+	// alternation again) and folded into stats by rank 0 at the end.
+	// Recording is pure Now() reads, so it never perturbs the schedule.
+	commIv []iv
+	ioIv   []iv
 }
 
 // Open builds a collective handle for a size-rank group over the file
@@ -184,14 +228,22 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 		if c.plErr == nil {
 			c.stats = c.pl.exchangeStats(c.size)
 		}
+		c.commIv, c.ioIv = c.commIv[:0], c.ioIv[:0]
 	}
 	p.Barrier()
 	if c.plErr != nil {
 		return c.plErr
 	}
 	pl := c.pl
-	if write {
+	switch {
+	case pl.rounds > 0:
+		// Chunked staging buffers configured (Options.ChunkBytes): the
+		// pipelined schedule overlapping exchange with device access.
+		c.runPipelined(p, pl, write, buf)
+	case write:
+		t0 := p.Now()
 		recv := p.Alltoallv(c.packRankPieces(pl, rank, buf))
+		c.commIv = append(c.commIv, iv{t0, p.Now()})
 		var cur []int64
 		var aggErrs []error
 		for a := 0; a < pl.naggs; a++ {
@@ -204,12 +256,14 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 			dombuf := c.assembleDomain(pl, a, recv, cur)
 			// p.Proc, not p: sim.Par recognizes the underlying engine
 			// process, so the domain's per-device runs issue in parallel.
+			t0 := p.Now()
 			if err := c.domainBatch(pl, a, dombuf).Write(p.Proc); err != nil {
 				aggErrs = append(aggErrs, err)
 			}
+			c.ioIv = append(c.ioIv, iv{t0, p.Now()})
 		}
 		c.errs[rank] = errors.Join(aggErrs...)
-	} else {
+	default:
 		var send [][]byte
 		var aggErrs []error
 		for a := 0; a < pl.naggs; a++ {
@@ -221,16 +275,25 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 			}
 			lo, hi := pl.domain(a)
 			dombuf := make([]byte, (hi-lo)*pl.bs)
+			t0 := p.Now()
 			if err := c.domainBatch(pl, a, dombuf).Read(p.Proc); err != nil {
 				aggErrs = append(aggErrs, err)
 			}
+			c.ioIv = append(c.ioIv, iv{t0, p.Now()})
 			c.packDomainPieces(pl, a, dombuf, send)
 		}
 		c.errs[rank] = errors.Join(aggErrs...)
+		t0 := p.Now()
 		recv := p.Alltoallv(send)
+		c.commIv = append(c.commIv, iv{t0, p.Now()})
 		c.scatterRankPieces(pl, rank, recv, buf)
 	}
 	p.Barrier()
+	if rank == 0 {
+		c.stats.ExchangeTime = busyUnion(c.commIv)
+		c.stats.AccessTime = busyUnion(c.ioIv)
+		c.stats.Overlap = busyOverlap(c.commIv, c.ioIv)
+	}
 	var errs []error
 	for r, err := range c.errs {
 		if err != nil {
@@ -324,34 +387,14 @@ func (c *Collective) scatterRankPieces(pl *plan, rank int, recv [][]byte, buf []
 	}
 }
 
-// domainBatch assembles domain a's cross-file batch: the domain's
-// covered spans split at file boundaries, each file contributing one
-// BatchItem whose segments scatter/gather directly on the domain buffer.
+// domainBatch assembles domain a's cross-file batch with every item
+// scatter/gathering directly on the domain buffer — the single-shot
+// schedule's form of the batch shape domainBatchVec builds.
 func (c *Collective) domainBatch(pl *plan, a int, dombuf []byte) blockio.BatchVec {
-	var batch blockio.BatchVec
-	fileIdx := -1
-	pl.forEachDomainSpan(a, func(gb, n, domOff int64) {
-		for n > 0 {
-			file, block, err := c.group.Locate(gb)
-			if err != nil {
-				// Unreachable: validated segments lie inside the group.
-				panic(err)
-			}
-			seg := c.group.Offset(file+1) - gb // blocks left in this file
-			if seg > n {
-				seg = n
-			}
-			if file != fileIdx {
-				batch = append(batch, blockio.BatchItem{Set: c.group.File(file).Set(), Buf: dombuf})
-				fileIdx = file
-			}
-			it := &batch[len(batch)-1]
-			it.Vec = append(it.Vec, blockio.VecSeg{Block: block, N: seg, BufOff: domOff})
-			gb += seg
-			domOff += seg * pl.bs
-			n -= seg
-		}
-	})
+	batch := c.domainBatchVec(pl, a)
+	for i := range batch {
+		batch[i].Buf = dombuf
+	}
 	return batch
 }
 

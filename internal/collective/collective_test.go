@@ -691,7 +691,7 @@ func TestCollectiveExchangeStatsRead(t *testing.T) {
 		if err := col.ReadAll(p, reqs, buf); err != nil {
 			t.Errorf("rank %d read: %v", p.Rank(), err)
 		}
-		if rst := col.LastStats(); rst != wst {
+		if rst := col.LastStats(); !rst.SameBytes(wst) {
 			t.Errorf("rank %d: read stats %+v != write stats %+v", p.Rank(), rst, wst)
 		}
 	})

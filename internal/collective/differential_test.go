@@ -32,20 +32,24 @@ func diffContent(seed int64, phase, rank int, gb, i int64) byte {
 	return byte(seed*131 + int64(phase)*31 + int64(rank)*17 + gb*7 + i*3 + 1)
 }
 
-// Phase kinds. Collective phases go through the two-phase engine;
-// vectored and extent phases go through the independent per-rank paths,
-// so the harness cross-checks all three generations of the data path
-// against one reference.
+// Phase kinds. Collective phases go through the two-phase engine —
+// single-shot, or pipelined through a chunked handle (the scenario's
+// randomized ChunkBytes, including single-block chunks and chunks
+// larger than any domain) — while vectored and extent phases go through
+// the independent per-rank paths, so the harness cross-checks every
+// generation of the data path against one reference.
 const (
 	diffCollectiveWrite = iota
 	diffCollectiveRead
+	diffPipelinedWrite
+	diffPipelinedRead
 	diffVectoredWrite
 	diffExtentWrite
 	diffExtentRead
 	diffKinds
 )
 
-var diffKindNames = [...]string{"cwrite", "cread", "vwrite", "ewrite", "eread"}
+var diffKindNames = [...]string{"cwrite", "cread", "pwrite", "pread", "vwrite", "ewrite", "eread"}
 
 // diffPhase is one precomputed phase: per-rank request lists and
 // buffers (pre-filled for writes, pre-sized with expected images for
@@ -60,15 +64,16 @@ type diffPhase struct {
 
 // diffScenario is one generated workload plus its reference image.
 type diffScenario struct {
-	seed     int64
-	kind     storeKind
-	place    int
-	nRanks   int
-	opts     Options
-	linkMode int // 0 free, 1 per-process, 2 per-process + bisection
-	geom     *fileGroupInfo
-	phases   []diffPhase
-	ref      []byte // expected final image of the whole group
+	seed       int64
+	kind       storeKind
+	place      int
+	nRanks     int
+	opts       Options
+	chunkBytes int64 // pipelined phases' ChunkBytes
+	linkMode   int   // 0 free, 1 per-process, 2 per-process + bisection
+	geom       *fileGroupInfo
+	phases     []diffPhase
+	ref        []byte // expected final image of the whole group
 }
 
 // rankSegments converts a per-block writer assignment into each rank's
@@ -170,6 +175,10 @@ func genScenario(seed int64) *diffScenario {
 		Locality:       rng.Intn(2) == 1,
 		LastWriterWins: rng.Intn(2) == 1,
 	}
+	// Chunk sizes for the pipelined phases: sub-block (degenerates to
+	// single-block chunks), tiny, odd multi-block, and far larger than
+	// any domain (degenerates to one round).
+	sc.chunkBytes = []int64{1, testBS, 2*testBS + 7, 5 * testBS, 1 << 20}[rng.Intn(5)]
 	sc.linkMode = rng.Intn(3)
 	g := &fileGroupInfo{nFiles: 1 + rng.Intn(3)}
 	for f := 0; f < g.nFiles; f++ {
@@ -185,13 +194,13 @@ func genScenario(seed int64) *diffScenario {
 	for ph := 0; ph < nPhases; ph++ {
 		kind := rng.Intn(diffKinds)
 		if ph == 0 {
-			kind = diffCollectiveWrite // every scenario exercises the tentpole path
+			kind = diffPipelinedWrite // every scenario exercises the tentpole path
 		}
 		switch kind {
-		case diffCollectiveWrite, diffVectoredWrite:
+		case diffCollectiveWrite, diffPipelinedWrite, diffVectoredWrite:
 			sc.genAssignedWrite(rng, g, ph, kind)
-		case diffCollectiveRead:
-			sc.genCollectiveRead(rng, g, ph)
+		case diffCollectiveRead, diffPipelinedRead:
+			sc.genCollectiveRead(rng, g, ph, kind)
 		case diffExtentWrite:
 			sc.genExtentWrite(rng, g, ph)
 		case diffExtentRead:
@@ -205,7 +214,7 @@ func genScenario(seed int64) *diffScenario {
 // overlaps only for collective writes under LastWriterWins), fills the
 // buffers, and applies rank-order-wins to the reference image.
 func (sc *diffScenario) genAssignedWrite(rng *rand.Rand, g *fileGroupInfo, ph, kind int) {
-	overlaps := kind == diffCollectiveWrite && sc.opts.LastWriterWins
+	overlaps := (kind == diffCollectiveWrite || kind == diffPipelinedWrite) && sc.opts.LastWriterWins
 	density := 0.2 + 0.6*rng.Float64()
 	owners := make([][]int, g.total)
 	for gb := int64(0); gb < g.total; gb++ {
@@ -252,8 +261,9 @@ func (sc *diffScenario) genAssignedWrite(rng *rand.Rand, g *fileGroupInfo, ph, k
 
 // genCollectiveRead generates per-rank read requests — cross-rank and
 // even same-rank block overlaps are legal for reads — and snapshots the
-// expected buffers from the current reference image.
-func (sc *diffScenario) genCollectiveRead(rng *rand.Rand, g *fileGroupInfo, ph int) {
+// expected buffers from the current reference image. kind selects the
+// single-shot or the pipelined handle.
+func (sc *diffScenario) genCollectiveRead(rng *rand.Rand, g *fileGroupInfo, ph, kind int) {
 	reqs := make([][]VecReq, sc.nRanks)
 	bufs := make([][]byte, sc.nRanks)
 	expect := make([][]byte, sc.nRanks)
@@ -279,7 +289,7 @@ func (sc *diffScenario) genCollectiveRead(rng *rand.Rand, g *fileGroupInfo, ph i
 			}
 		}
 	}
-	sc.phases = append(sc.phases, diffPhase{kind: diffCollectiveRead, reqs: reqs, bufs: bufs, expect: expect})
+	sc.phases = append(sc.phases, diffPhase{kind: kind, reqs: reqs, bufs: bufs, expect: expect})
 }
 
 // genExtentWrite gives each rank one contiguous, cross-rank-disjoint
@@ -353,16 +363,30 @@ func (sc *diffScenario) run(t *testing.T) {
 	if err != nil {
 		t.Fatalf("seed %d: %v", sc.seed, err)
 	}
+	popts := sc.opts
+	popts.ChunkBytes = sc.chunkBytes
+	piped, err := Open(g, sc.nRanks, popts)
+	if err != nil {
+		t.Fatalf("seed %d: %v", sc.seed, err)
+	}
 	mg, join := mpp.Run(e, sc.nRanks, "diff", func(p *mpp.Proc) {
 		r := p.Rank()
 		for pi, ph := range sc.phases {
 			switch ph.kind {
-			case diffCollectiveWrite:
-				if err := col.WriteAll(p, ph.reqs[r], ph.bufs[r]); err != nil {
+			case diffCollectiveWrite, diffPipelinedWrite:
+				h := col
+				if ph.kind == diffPipelinedWrite {
+					h = piped
+				}
+				if err := h.WriteAll(p, ph.reqs[r], ph.bufs[r]); err != nil {
 					t.Errorf("seed %d phase %d (%s) rank %d: %v", sc.seed, pi, diffKindNames[ph.kind], r, err)
 				}
-			case diffCollectiveRead:
-				if err := col.ReadAll(p, ph.reqs[r], ph.bufs[r]); err != nil {
+			case diffCollectiveRead, diffPipelinedRead:
+				h := col
+				if ph.kind == diffPipelinedRead {
+					h = piped
+				}
+				if err := h.ReadAll(p, ph.reqs[r], ph.bufs[r]); err != nil {
 					t.Errorf("seed %d phase %d (%s) rank %d: %v", sc.seed, pi, diffKindNames[ph.kind], r, err)
 				} else if !bytes.Equal(ph.bufs[r], ph.expect[r]) {
 					t.Errorf("seed %d phase %d (%s) rank %d: read diverged from reference model",
@@ -422,7 +446,8 @@ func (sc *diffScenario) run(t *testing.T) {
 // TestDifferential runs the fixed seed matrix: 60 scenarios covering
 // every store kind × layout at least 6 times each (seed mod 9 walks the
 // 3×3 matrix), with randomized rank counts, aggregator counts, locality
-// and overlap policies, link models, and phase mixes.
+// and overlap policies, link models, chunk sizes for the pipelined
+// phases, and phase mixes.
 func TestDifferential(t *testing.T) {
 	for seed := int64(0); seed < 60; seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {

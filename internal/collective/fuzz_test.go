@@ -207,3 +207,137 @@ func FuzzPlanDomains(f *testing.F) {
 		}
 	})
 }
+
+// FuzzChunkDomains fuzzes the chunk splitting layered on the domain
+// split: decoded like FuzzPlanDomains plus a chunk-size byte, it checks
+// that chunk windows preserve the exact cover/disjointness invariants
+// of the domains they tile:
+//
+//   - every domain's chunks are contiguous, disjoint, and cover the
+//     domain exactly, ragged only at the domain's tail;
+//   - every chunk is at most chunkBlocks blocks, and chunkBlocks bytes
+//     never exceed ChunkBytes except for the single-oversized-segment
+//     degenerations (sub-block ChunkBytes → one block; chunk larger
+//     than a domain → clamped to the domain);
+//   - rounds is exactly the chunk count of the largest domain, and
+//     every domain is exhausted within it;
+//   - per (rank, domain), the clips of the domain's chunk windows sum
+//     to the domain's clips, with chunk-relative offsets tiling each
+//     window in canonical order — the invariant the pipelined payload
+//     cursors rely on;
+//   - span windows tile each chunk exactly, like domain spans.
+func FuzzChunkDomains(f *testing.F) {
+	g := planFixture(f)
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{7, 1, 4, 1, 0, 0, 3, 1, 4, 3, 2, 9, 1})   // 1-block chunks
+	f.Add([]byte{1, 8, 3, 5, 0, 0, 0, 1, 1, 0, 2, 2, 0})   // sub-block ChunkBytes
+	f.Add([]byte{255, 4, 8, 7, 0, 0, 3, 1, 2, 3, 2, 4, 3}) // chunk > domain
+	f.Add([]byte{130, 2, 2, 3, 0, 0, 3, 1, 1, 3})          // odd chunk, LWW overlap
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		// Chunk sizes sweep sub-block, exact-block, odd multiples and
+		// larger-than-footprint (bs = 64 in the fixture).
+		chunkBytes := []int64{1, 7, 63, 64, 65, 128, 130, 3 * 64, 1 << 20}[int(data[0])%9]
+		nRanks, naggs, opts, write, reqs, bufs := fuzzPlanInput(data[1:])
+		if nRanks == 0 {
+			return
+		}
+		opts.ChunkBytes = chunkBytes
+		pl, err := buildPlan(g, reqs, bufs, naggs, write, opts)
+		if err != nil {
+			return // rejected input: the validator at work, not a plan
+		}
+		if pl.total == 0 {
+			if pl.rounds != 0 {
+				t.Fatalf("empty footprint planned %d rounds", pl.rounds)
+			}
+			return
+		}
+		if pl.chunkBlocks < 1 {
+			t.Fatalf("chunkBlocks = %d with ChunkBytes %d", pl.chunkBlocks, chunkBytes)
+		}
+		// Chunk size honors ChunkBytes except the two documented
+		// oversized degenerations.
+		maxBytes := chunkBytes
+		if maxBytes < pl.bs {
+			maxBytes = pl.bs // sub-block chunks round up to one block
+		}
+		if pl.chunkBlocks*pl.bs > maxBytes && pl.chunkBlocks != pl.domBlocks {
+			t.Fatalf("chunkBlocks %d (%d bytes) exceeds ChunkBytes %d without domain clamp",
+				pl.chunkBlocks, pl.chunkBlocks*pl.bs, chunkBytes)
+		}
+		wantRounds := int((pl.domBlocks + pl.chunkBlocks - 1) / pl.chunkBlocks)
+		if pl.rounds != wantRounds {
+			t.Fatalf("rounds = %d, want %d (domBlocks %d, chunkBlocks %d)",
+				pl.rounds, wantRounds, pl.domBlocks, pl.chunkBlocks)
+		}
+		for a := 0; a < naggs; a++ {
+			dLo, dHi := pl.domain(a)
+			prevHi := dLo
+			sawShort := false
+			for c := 0; c < pl.rounds; c++ {
+				lo, hi := pl.chunkWindow(a, c)
+				if lo != prevHi {
+					t.Fatalf("domain %d chunk %d starts at %d, want %d (gap or overlap)", a, c, lo, prevHi)
+				}
+				if hi < lo || hi-lo > pl.chunkBlocks {
+					t.Fatalf("domain %d chunk %d spans [%d,%d), chunkBlocks %d", a, c, lo, hi, pl.chunkBlocks)
+				}
+				if sawShort && hi > lo {
+					t.Fatalf("domain %d chunk %d nonempty after a short chunk", a, c)
+				}
+				if hi-lo < pl.chunkBlocks {
+					sawShort = true
+				}
+				prevHi = hi
+
+				// Span windows tile the chunk with contiguous offsets.
+				var n, nextOff int64
+				pl.forEachSpanWin(lo, hi, func(gb, cnt, off int64) {
+					if cnt <= 0 {
+						t.Fatalf("domain %d chunk %d: empty span", a, c)
+					}
+					if off != nextOff {
+						t.Fatalf("domain %d chunk %d: span offset %d, want %d", a, c, off, nextOff)
+					}
+					n += cnt
+					nextOff += cnt * pl.bs
+				})
+				if n != hi-lo {
+					t.Fatalf("domain %d chunk %d spans %d blocks, want %d", a, c, n, hi-lo)
+				}
+			}
+			if prevHi != dHi {
+				t.Fatalf("domain %d chunks end at %d, domain ends at %d", a, prevHi, dHi)
+			}
+
+			// Chunk clips refine domain clips exactly, per rank.
+			for r := 0; r < nRanks; r++ {
+				var domBlocksClipped, chunkBlocksClipped int64
+				pl.forEachClip(r, a, func(cl clip) { domBlocksClipped += cl.n })
+				for c := 0; c < pl.rounds; c++ {
+					lo, hi := pl.chunkWindow(a, c)
+					var prevOff int64 = -1
+					pl.forEachClipWin(r, lo, hi, func(cl clip) {
+						chunkBlocksClipped += cl.n
+						if cl.domOff < 0 || cl.domOff+cl.n*pl.bs > (hi-lo)*pl.bs {
+							t.Fatalf("domain %d chunk %d rank %d: clip outside the window", a, c, r)
+						}
+						// Nondecreasing, not strictly increasing: a read
+						// may name one block in several segments.
+						if cl.domOff < prevOff {
+							t.Fatalf("domain %d chunk %d rank %d: clips out of order", a, c, r)
+						}
+						prevOff = cl.domOff
+					})
+				}
+				if domBlocksClipped != chunkBlocksClipped {
+					t.Fatalf("domain %d rank %d: chunk clips cover %d blocks, domain clips %d",
+						a, r, chunkBlocksClipped, domBlocksClipped)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,385 @@
+// The pipelined two-phase schedule (Options.ChunkBytes > 0): chunked
+// aggregator staging buffers that overlap the exchange phase with the
+// device-access phase, in the style of ROMIO's collective buffering
+// (cb_buffer_size) and PVFS listio chunk pipelining.
+//
+// The single-shot schedule is a hard barrier: plan → whole exchange →
+// whole access, so the interconnect idles while the drives work and the
+// drives idle while bytes cross the link. Here each file domain is cut
+// into chunk-aligned sub-domains (plan.chunkWindow) and the collective
+// runs plan.rounds lockstep exchange rounds (mpp.Exchange — per-pair
+// setup charged once for the whole collective), with every aggregator's
+// device access running in a companion process fed through a depth-1
+// sim.Queue:
+//
+//	write: main   pack(k) → Round(k) ──→ queue ──→ companion: assemble(k) → WriteWindow(k)
+//	read:  companion ReadWindow(k) → pack(k) ──→ queue ──→ main: Round(k) → scatter(k)
+//
+// So while chunk k sits in the drives (writes) the main process is
+// already exchanging chunk k+1, and while chunk k is being delivered to
+// the ranks (reads) the companion is already reading chunk k+2's data —
+// bounded by the double-buffered staging (the queue holds one round,
+// the companion works on another). Device access goes through a
+// blockio.BatchPlan prepared once per domain, so chunking never
+// re-sorts or re-merges the physical pieces.
+
+package collective
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/blockio"
+	"repro/internal/mpp"
+	"repro/internal/sim"
+)
+
+// iv is one busy interval of a phase, in virtual time.
+type iv struct{ from, to time.Duration }
+
+// runPipelined executes the chunked schedule for one rank, leaving its
+// error in c.errs[rank]. Called with pl.rounds > 0.
+func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte) {
+	rank := p.Rank()
+	var owned []int
+	for a := 0; a < pl.naggs; a++ {
+		if pl.owner[a] == rank {
+			owned = append(owned, a)
+		}
+	}
+	ex := p.NewExchange()
+	if len(owned) == 0 {
+		// Pure compute rank: it only feeds (or drains) the exchange
+		// rounds — no device work, no companion process.
+		for k := 0; k < pl.rounds; k++ {
+			if write {
+				send := c.packRankChunk(pl, rank, k, buf)
+				t0 := p.Now()
+				ex.Round(send)
+				c.commIv = append(c.commIv, iv{t0, p.Now()})
+			} else {
+				t0 := p.Now()
+				recv := ex.Round(nil)
+				c.commIv = append(c.commIv, iv{t0, p.Now()})
+				c.scatterRankChunk(pl, rank, k, recv, buf)
+			}
+		}
+		c.errs[rank] = nil
+		return
+	}
+
+	agg, err := c.newAggState(pl, owned)
+	if err != nil {
+		// Unreachable in practice (the plan's windows are valid by
+		// construction), but surface it on every round's schedule anyway:
+		// the rank still must participate in the exchanges.
+		for k := 0; k < pl.rounds; k++ {
+			var send [][]byte
+			if write {
+				send = c.packRankChunk(pl, rank, k, buf)
+			}
+			recv := ex.Round(send)
+			if !write {
+				c.scatterRankChunk(pl, rank, k, recv, buf)
+			}
+		}
+		c.errs[rank] = err
+		return
+	}
+
+	type round struct {
+		k    int
+		data [][]byte // write: received payloads; read: payloads to send
+	}
+	if write {
+		c.errs[rank] = sim.Pipe(p.Proc, "collective-io", 1,
+			func(q *sim.Queue) error { // exchange stage, on the rank
+				defer q.Close(p.Proc)
+				for k := 0; k < pl.rounds; k++ {
+					send := c.packRankChunk(pl, rank, k, buf)
+					t0 := p.Now()
+					recv := ex.Round(send)
+					c.commIv = append(c.commIv, iv{t0, p.Now()})
+					q.Put(p.Proc, round{k: k, data: recv})
+				}
+				return nil
+			},
+			func(cp *sim.Proc, q *sim.Queue) error { // access stage
+				var errs []error
+				for {
+					v, ok := q.Get(cp)
+					if !ok {
+						return errors.Join(errs...)
+					}
+					r := v.(round)
+					t0 := cp.Now()
+					if err := agg.writeChunk(cp, r.k, r.data); err != nil {
+						errs = append(errs, err)
+					}
+					c.ioIv = append(c.ioIv, iv{t0, cp.Now()})
+				}
+			})
+		return
+	}
+	c.errs[rank] = sim.Pipe(p.Proc, "collective-io", 1,
+		func(q *sim.Queue) error { // delivery stage, on the rank
+			for k := 0; k < pl.rounds; k++ {
+				var send [][]byte
+				if v, ok := q.Get(p.Proc); ok {
+					send = v.(round).data
+				}
+				t0 := p.Now()
+				recv := ex.Round(send)
+				c.commIv = append(c.commIv, iv{t0, p.Now()})
+				c.scatterRankChunk(pl, rank, k, recv, buf)
+			}
+			return nil
+		},
+		func(cp *sim.Proc, q *sim.Queue) error { // access stage, reads ahead
+			defer q.Close(cp)
+			var errs []error
+			for k := 0; k < pl.rounds; k++ {
+				t0 := cp.Now()
+				send, err := agg.readChunk(cp, k)
+				if err != nil {
+					errs = append(errs, err)
+				}
+				c.ioIv = append(c.ioIv, iv{t0, cp.Now()})
+				q.Put(cp, round{k: k, data: send})
+			}
+			return errors.Join(errs...)
+		})
+}
+
+// aggState is one aggregator rank's pipelined device-access state: a
+// prepared batch plan per owned domain (mapped, sorted and merged once,
+// cut at the chunk boundaries) and two staging buffers per domain — the
+// bounded memory the whole feature is named for.
+type aggState struct {
+	c     *Collective
+	pl    *plan
+	owned []int
+	plans []*blockio.BatchPlan
+	stage [][2][]byte
+}
+
+func (c *Collective) newAggState(pl *plan, owned []int) (*aggState, error) {
+	s := &aggState{c: c, pl: pl, owned: owned}
+	for _, a := range owned {
+		lo, hi := pl.domain(a)
+		var cuts []int64
+		for off := pl.chunkBlocks; off < hi-lo; off += pl.chunkBlocks {
+			cuts = append(cuts, off*pl.bs)
+		}
+		plan, err := c.domainBatchVec(pl, a).Plan(cuts)
+		if err != nil {
+			return nil, err
+		}
+		s.plans = append(s.plans, plan)
+		n := pl.chunkBlocks * pl.bs
+		s.stage = append(s.stage, [2][]byte{make([]byte, n), make([]byte, n)})
+	}
+	return s, nil
+}
+
+// chunkBuf returns the staging buffer for chunk k of owned domain i,
+// sized to the chunk. Buffers alternate per round; buffer k%2 is free
+// again by round k+2 because the access stage is sequential.
+func (s *aggState) chunkBuf(i, k int, lo, hi int64) []byte {
+	return s.stage[i][k%2][:(hi-lo)*s.pl.bs]
+}
+
+// writeChunk assembles round k's received payloads into each owned
+// domain's chunk staging buffer and issues the chunk's window of the
+// prepared plan. Payload cursors advance across the owned domains in
+// ascending order, mirroring packRankChunk's concatenation; sources
+// apply in rank order, so LastWriterWins overlaps resolve exactly as in
+// the single-shot schedule.
+func (s *aggState) writeChunk(ctx sim.Context, k int, recv [][]byte) error {
+	pl := s.pl
+	cur := make([]int64, s.c.size)
+	var errs []error
+	for i, a := range s.owned {
+		lo, hi := pl.chunkWindow(a, k)
+		if lo >= hi {
+			continue
+		}
+		buf := s.chunkBuf(i, k, lo, hi)
+		for src := 0; src < s.c.size; src++ {
+			pay := recv[src]
+			pl.forEachClipWin(src, lo, hi, func(cl clip) {
+				n := cl.n * pl.bs
+				copy(buf[cl.domOff:cl.domOff+n], pay[cur[src]:cur[src]+n])
+				cur[src] += n
+			})
+		}
+		if err := s.plans[i].WriteWindow(ctx, k, buf, (lo-dlo(pl, a))*pl.bs); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// readChunk reads chunk k of every owned domain through the prepared
+// plans and packs the ranks' round-k payloads from the fresh staging
+// buffers — the read mirror of writeChunk.
+func (s *aggState) readChunk(ctx sim.Context, k int) ([][]byte, error) {
+	pl := s.pl
+	send := make([][]byte, s.c.size)
+	var errs []error
+	for i, a := range s.owned {
+		lo, hi := pl.chunkWindow(a, k)
+		if lo >= hi {
+			continue
+		}
+		buf := s.chunkBuf(i, k, lo, hi)
+		if err := s.plans[i].ReadWindow(ctx, k, buf, (lo-dlo(pl, a))*pl.bs); err != nil {
+			errs = append(errs, err)
+		}
+		for r := 0; r < s.c.size; r++ {
+			pl.forEachClipWin(r, lo, hi, func(cl clip) {
+				if send[r] == nil {
+					send[r] = []byte{}
+				}
+				send[r] = append(send[r], buf[cl.domOff:cl.domOff+cl.n*pl.bs]...)
+			})
+		}
+	}
+	return send, errors.Join(errs...)
+}
+
+// dlo is domain a's covered-index start.
+func dlo(pl *plan, a int) int64 {
+	lo, _ := pl.domain(a)
+	return lo
+}
+
+// packRankChunk builds rank's round-k write payloads, keyed by
+// destination rank: for each domain in ascending order, the rank's
+// clips against that domain's chunk-k window concatenated onto the
+// domain owner's payload — the chunked analogue of packRankPieces, with
+// the same canonical (domain asc, clip asc) order.
+func (c *Collective) packRankChunk(pl *plan, rank, k int, buf []byte) [][]byte {
+	var send [][]byte
+	for a := 0; a < pl.naggs; a++ {
+		lo, hi := pl.chunkWindow(a, k)
+		dst := pl.owner[a]
+		pl.forEachClipWin(rank, lo, hi, func(cl clip) {
+			if send == nil {
+				send = make([][]byte, c.size)
+			}
+			if send[dst] == nil {
+				send[dst] = []byte{}
+			}
+			send[dst] = append(send[dst], buf[cl.bufOff:cl.bufOff+cl.n*pl.bs]...)
+		})
+	}
+	return send
+}
+
+// scatterRankChunk delivers round k's read payloads into rank's buffer,
+// consuming each aggregator's payload with a per-round cursor across its
+// owned domains in ascending order (matching readChunk's packing).
+func (c *Collective) scatterRankChunk(pl *plan, rank, k int, recv [][]byte, buf []byte) {
+	var cur []int64
+	for a := 0; a < pl.naggs; a++ {
+		src := pl.owner[a]
+		lo, hi := pl.chunkWindow(a, k)
+		pl.forEachClipWin(rank, lo, hi, func(cl clip) {
+			if cur == nil {
+				cur = make([]int64, c.size)
+			}
+			pay := recv[src]
+			n := cl.n * pl.bs
+			copy(buf[cl.bufOff:cl.bufOff+n], pay[cur[src]:cur[src]+n])
+			cur[src] += n
+		})
+	}
+}
+
+// domainBatchVec assembles domain a's cross-file batch shape with no
+// buffers bound — the input to blockio's prepared, windowed batch plan.
+func (c *Collective) domainBatchVec(pl *plan, a int) blockio.BatchVec {
+	var batch blockio.BatchVec
+	fileIdx := -1
+	pl.forEachDomainSpan(a, func(gb, n, domOff int64) {
+		for n > 0 {
+			file, block, err := c.group.Locate(gb)
+			if err != nil {
+				// Unreachable: validated segments lie inside the group.
+				panic(err)
+			}
+			seg := c.group.Offset(file+1) - gb // blocks left in this file
+			if seg > n {
+				seg = n
+			}
+			if file != fileIdx {
+				batch = append(batch, blockio.BatchItem{Set: c.group.File(file).Set()})
+				fileIdx = file
+			}
+			it := &batch[len(batch)-1]
+			it.Vec = append(it.Vec, blockio.VecSeg{Block: block, N: seg, BufOff: domOff})
+			gb += seg
+			domOff += seg * pl.bs
+			n -= seg
+		}
+	})
+	return batch
+}
+
+// busyUnion reports the total time covered by at least one interval
+// (sorts ivs in place).
+func busyUnion(ivs []iv) time.Duration {
+	merged := mergeIvs(ivs)
+	var total time.Duration
+	for _, x := range merged {
+		total += x.to - x.from
+	}
+	return total
+}
+
+// busyOverlap reports the total time covered by both interval sets.
+func busyOverlap(a, b []iv) time.Duration {
+	am, bm := mergeIvs(a), mergeIvs(b)
+	var total time.Duration
+	i, j := 0, 0
+	for i < len(am) && j < len(bm) {
+		lo, hi := am[i].from, am[i].to
+		if bm[j].from > lo {
+			lo = bm[j].from
+		}
+		if bm[j].to < hi {
+			hi = bm[j].to
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+		if am[i].to < bm[j].to {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+// mergeIvs sorts the intervals in place and returns their merged,
+// disjoint cover.
+func mergeIvs(ivs []iv) []iv {
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].from < ivs[j].from })
+	var out []iv
+	for _, x := range ivs {
+		if x.to <= x.from {
+			continue
+		}
+		if k := len(out) - 1; k >= 0 && x.from <= out[k].to {
+			if x.to > out[k].to {
+				out[k].to = x.to
+			}
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}

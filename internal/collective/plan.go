@@ -68,6 +68,22 @@ type plan struct {
 	domBlocks int64     // blocks per domain (last one ragged)
 	owner     []int     // domain index → aggregator rank
 	shares    [][]int64 // shares[rank][domain]: exchange payload bytes
+	// Chunking (Options.ChunkBytes): each domain is cut into
+	// chunkBlocks-block chunks (the final chunk of a domain ragged), and
+	// the collective runs as `rounds` pipelined exchange/access rounds —
+	// round k moving chunk k of every domain at once. Zero chunkBlocks /
+	// rounds selects the unchunked single-shot path.
+	chunkBlocks int64
+	rounds      int
+	// Per-rank covered-index ranges of segs (cstart[r][i] = covered
+	// index of segs[r][i].gb, cend its end) and the running maximum of
+	// cend — precomputed once so window clipping can binary-search its
+	// first candidate segment instead of rescanning the whole list per
+	// chunk. maxEnd is monotone by construction even when a rank's read
+	// segments overlap (cend alone need not be).
+	cstart [][]int64
+	cend   [][]int64
+	maxEnd [][]int64
 }
 
 // buildPlan validates every rank's requests and computes the footprint,
@@ -159,6 +175,24 @@ func buildPlan(group *pfs.FileGroup, reqs [][]VecReq, bufs [][]byte, naggs int, 
 	if pl.total > 0 {
 		pl.domBlocks = (pl.total + int64(naggs) - 1) / int64(naggs)
 	}
+	pl.cstart = make([][]int64, len(reqs))
+	pl.cend = make([][]int64, len(reqs))
+	pl.maxEnd = make([][]int64, len(reqs))
+	for r, segs := range pl.segs {
+		pl.cstart[r] = make([]int64, len(segs))
+		pl.cend[r] = make([]int64, len(segs))
+		pl.maxEnd[r] = make([]int64, len(segs))
+		var max int64
+		for i, sg := range segs {
+			ci := pl.coveredIndex(sg.gb)
+			pl.cstart[r][i] = ci
+			pl.cend[r][i] = ci + sg.n
+			if ci+sg.n > max {
+				max = ci + sg.n
+			}
+			pl.maxEnd[r][i] = max
+		}
+	}
 	// One pass over all segments fills the rank×domain share table
 	// (equal to clipBytes at every cell) — it drives the locality
 	// election, the exchange stats, and payload-buffer sizing without
@@ -182,6 +216,21 @@ func buildPlan(group *pfs.FileGroup, reqs [][]VecReq, bufs [][]byte, naggs int, 
 				pl.shares[r][a] += (hi - lo) * pl.bs
 			}
 		}
+	}
+	if opts.ChunkBytes > 0 && pl.total > 0 {
+		// A chunk is ChunkBytes worth of whole blocks — at least one (a
+		// sub-block ChunkBytes degenerates to single-block chunks) and at
+		// most a whole domain (a chunk larger than the domain degenerates
+		// to one round, the pipelined code path with nothing to overlap).
+		cb := opts.ChunkBytes / bs
+		if cb < 1 {
+			cb = 1
+		}
+		if cb > pl.domBlocks {
+			cb = pl.domBlocks
+		}
+		pl.chunkBlocks = cb
+		pl.rounds = int((pl.domBlocks + cb - 1) / cb)
 	}
 	pl.owner = make([]int, naggs)
 	for a := range pl.owner {
@@ -247,17 +296,36 @@ func (pl *plan) domain(a int) (lo, hi int64) {
 
 // forEachClip enumerates rank's segments clipped to aggregator agg's
 // domain, in ascending global-block order — the canonical payload order
-// of the exchange phase. A segment is always contained in one covered
-// span, so its covered indexes are consecutive and each segment yields
-// at most one clip per domain.
+// of the exchange phase.
 func (pl *plan) forEachClip(rank, agg int, fn func(c clip)) {
 	lo, hi := pl.domain(agg)
+	pl.forEachClipWin(rank, lo, hi, fn)
+}
+
+// forEachClipWin is forEachClip over an arbitrary covered-index window
+// [lo, hi) — a whole domain, or one chunk of one (chunkWindow). domOff
+// is relative to the window start, so chunk clips address chunk-sized
+// staging buffers directly. A segment is always contained in one
+// covered span, so its covered indexes are consecutive and each segment
+// yields at most one clip per window. The precomputed covered ranges
+// bound the scan to the intersecting segments (O(log S + clips)), which
+// is what keeps the pipelined path affordable when tiny chunks make the
+// window count large.
+func (pl *plan) forEachClipWin(rank int, lo, hi int64, fn func(c clip)) {
 	if lo >= hi {
 		return
 	}
-	for _, sg := range pl.segs[rank] {
-		ci := pl.coveredIndex(sg.gb)
-		cLo, cHi := ci, ci+sg.n
+	segs := pl.segs[rank]
+	maxEnd := pl.maxEnd[rank]
+	// First segment that can reach the window: maxEnd is monotone, so
+	// everything before this index ends at or before lo.
+	i := sort.Search(len(segs), func(i int) bool { return maxEnd[i] > lo })
+	for ; i < len(segs); i++ {
+		cLo, cHi := pl.cstart[rank][i], pl.cend[rank][i]
+		if cLo >= hi {
+			break // cstart ascends: nothing later intersects either
+		}
+		ci := cLo
 		if cLo < lo {
 			cLo = lo
 		}
@@ -269,10 +337,26 @@ func (pl *plan) forEachClip(rank, agg int, fn func(c clip)) {
 		}
 		fn(clip{
 			n:      cHi - cLo,
-			bufOff: sg.bufOff + (cLo-ci)*pl.bs,
+			bufOff: segs[i].bufOff + (cLo-ci)*pl.bs,
 			domOff: (cLo - lo) * pl.bs,
 		})
 	}
+}
+
+// chunkWindow reports chunk c of aggregator a's domain as a
+// covered-index range; empty once the domain runs out (ragged domains
+// have fewer nonempty chunks than plan.rounds).
+func (pl *plan) chunkWindow(a, c int) (lo, hi int64) {
+	dlo, dhi := pl.domain(a)
+	lo = dlo + int64(c)*pl.chunkBlocks
+	hi = lo + pl.chunkBlocks
+	if lo > dhi {
+		lo = dhi
+	}
+	if hi > dhi {
+		hi = dhi
+	}
+	return lo, hi
 }
 
 // clipBytes reports the exchange payload size between rank and agg by
@@ -289,6 +373,12 @@ func (pl *plan) clipBytes(rank, agg int) int64 {
 // the domain, ascending.
 func (pl *plan) forEachDomainSpan(a int, fn func(gb, n, domOff int64)) {
 	lo, hi := pl.domain(a)
+	pl.forEachSpanWin(lo, hi, fn)
+}
+
+// forEachSpanWin is forEachDomainSpan over an arbitrary covered-index
+// window, with offsets relative to the window start.
+func (pl *plan) forEachSpanWin(lo, hi int64, fn func(gb, n, domOff int64)) {
 	if lo >= hi {
 		return
 	}

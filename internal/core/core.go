@@ -78,6 +78,25 @@ func DefaultOptions() Options {
 	}
 }
 
+// TunedOptions is the access-method half of the "modern defaults"
+// profile: everything the layers grown since the paper recommend
+// turning on. Streams move 32-block extents through four buffers (the
+// vectored path coalesces them to one gather request per device per
+// extent) and the direct-access cache grows to match. DefaultOptions
+// remains the paper's configuration, whose modeled shapes stay
+// bit-identical; see the top-level package's TunedProfile for the
+// machine- and collective-level half (SCAN scheduling, queue merging, a
+// modeled interconnect, chunked collective buffering).
+func TunedOptions() Options {
+	return Options{
+		NBufs:        4,
+		ExtentBlocks: 32,
+		IOProcs:      1,
+		EarlyRelease: true,
+		CacheBlocks:  64,
+	}
+}
+
 // norm clamps an Options value into a usable state.
 func (o Options) norm() Options {
 	if o.NBufs < 1 {

@@ -1,14 +1,20 @@
 // Fuzz target for the Alltoallv exchange and its link models. Arbitrary
-// bytes decode into a group size, a payload-size matrix and a link
-// configuration; invariants:
+// bytes decode into a group size, a payload-size matrix, a link
+// configuration, a chunked-round count, and optionally a second group
+// issuing an overlapping exchange on a shared pool; invariants:
 //
 //   - delivery: every rank receives exactly the bytes each source sent
-//     it, absent entries stay nil;
+//     it, absent entries stay nil — whether the exchange moves in one
+//     Alltoallv or in chunked Exchange rounds;
 //   - self-messages are never charged: with only self payloads the
 //     clock stays at zero under every model;
 //   - the shared pool charges exactly the exchange's cross volume once
-//     (bisection-only runs finish at crossVol/BW);
-//   - traffic accounting matches the payload matrix.
+//     (bisection-only runs finish at crossVol/BW, chunked or not), and
+//     two overlapping exchanges on one shared pool serialize: the run
+//     ends at (crossVol+crossVol2)/BW, never earlier (no
+//     double-counting of the pool's bandwidth);
+//   - traffic accounting matches the payload matrix, with a chunked
+//     exchange counting one message per communicating pair.
 //
 // Run as `go test -fuzz=FuzzAlltoallv ./internal/mpp`; the seed corpus
 // keeps it exercised as a plain test (CI runs a -fuzztime=10s smoke).
@@ -24,19 +30,25 @@ import (
 
 func FuzzAlltoallv(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{2, 1, 0, 0, 5})                   // 3 ranks, free link
-	f.Add([]byte{1, 3, 0, 200, 0})                 // self-only payloads
-	f.Add([]byte{3, 2, 1, 2, 3, 4, 5, 6, 7, 8, 9}) // 4 ranks, bisection
-	f.Add([]byte{5, 3, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Add([]byte{2, 1, 0, 0, 0, 5})                      // 3 ranks, free link
+	f.Add([]byte{1, 3, 0, 0, 200, 0})                    // self-only payloads
+	f.Add([]byte{3, 2, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8})    // 4 ranks, bisection
+	f.Add([]byte{3, 1, 2, 0, 1, 2, 3, 4, 5, 6, 7, 8})    // same, 3 chunked rounds
+	f.Add([]byte{1, 1, 0, 9, 40, 40, 40, 40})            // overlapping second group
+	f.Add([]byte{3, 2, 3, 17, 9, 9, 9, 9, 9, 9, 9, 9})   // chunked + overlap + link
+	f.Add([]byte{5, 3, 1, 0, 9, 9, 9, 9, 9, 9, 9, 9, 9}) // big group
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if len(data) < 2 {
+		if len(data) < 4 {
 			return
 		}
 		size := int(data[0])%6 + 1
-		mode := data[1] % 3 // 0 free, 1 bisection only, 2 per-process + bisection
+		mode := data[1] % 3          // 0 free, 1 bisection only, 2 per-process + bisection
+		rounds := int(data[2])%4 + 1 // 1 = single Alltoallv, >1 = chunked Exchange
+		overlap := data[3]%2 == 1    // second group exchanging on the same pool
+		vol2 := int(data[3]) % 128   // second group's per-rank payload
 		// sizes[src][dst]: payload length; 0 = nil (nothing sent).
 		sizes := make([][]int, size)
-		p := 2
+		p := 4
 		for src := range sizes {
 			sizes[src] = make([]int, size)
 			for dst := range sizes[src] {
@@ -56,26 +68,51 @@ func FuzzAlltoallv(f *testing.F) {
 				}
 			}
 		}
+		if mode == 0 {
+			overlap = false // no pool to contend for
+		}
+		var crossVol2 int64
+		if overlap {
+			crossVol2 = 2 * int64(vol2) // 2 ranks, vol2 each way
+		}
 
 		const bw = 1e6
 		e := sim.NewEngine()
 		g, join := Run(e, size, "f", func(pr *Proc) {
-			send := make([][]byte, size)
-			for dst, n := range sizes[pr.Rank()] {
-				if n == 0 {
-					continue
+			got := make([][]byte, size)
+			if rounds == 1 {
+				recv := pr.Alltoallv(make2(sizes, pr.Rank()))
+				for src := 0; src < size; src++ {
+					if recv[src] != nil {
+						got[src] = append([]byte(nil), recv[src]...)
+					}
 				}
-				pl := make([]byte, n)
-				for i := range pl {
-					pl[i] = byte(7*pr.Rank() + 3*dst + i)
+			} else {
+				ex := pr.NewExchange()
+				whole := make2(sizes, pr.Rank())
+				for k := 0; k < rounds; k++ {
+					send := make([][]byte, size)
+					for dst, pl := range whole {
+						if pl == nil {
+							continue
+						}
+						send[dst] = pl[k*len(pl)/rounds : (k+1)*len(pl)/rounds]
+					}
+					recv := ex.Round(send)
+					for src := 0; src < size; src++ {
+						if recv[src] != nil {
+							if got[src] == nil {
+								got[src] = []byte{}
+							}
+							got[src] = append(got[src], recv[src]...)
+						}
+					}
 				}
-				send[dst] = pl
 			}
-			recv := pr.Alltoallv(send)
 			for src := 0; src < size; src++ {
 				n := sizes[src][pr.Rank()]
 				if n == 0 {
-					if recv[src] != nil {
+					if got[src] != nil {
 						t.Errorf("rank %d: ghost payload from %d", pr.Rank(), src)
 					}
 					continue
@@ -84,11 +121,20 @@ func FuzzAlltoallv(f *testing.F) {
 				for i := range want {
 					want[i] = byte(7*src + 3*pr.Rank() + i)
 				}
-				if !bytes.Equal(recv[src], want) {
+				if !bytes.Equal(got[src], want) {
 					t.Errorf("rank %d: corrupted payload from %d", pr.Rank(), src)
 				}
 			}
 		})
+		var g2 *Group
+		var join2 *sim.Group
+		if overlap {
+			g2, join2 = Run(e, 2, "f2", func(pr *Proc) {
+				send := make([][]byte, 2)
+				send[1-pr.Rank()] = make([]byte, vol2)
+				pr.Alltoallv(send)
+			})
+		}
 		switch mode {
 		case 1:
 			g.SetBisection(bw)
@@ -96,17 +142,29 @@ func FuzzAlltoallv(f *testing.F) {
 			g.SetLink(time.Microsecond, bw)
 			g.SetBisection(bw)
 		}
-		e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+		if overlap {
+			// Both groups contend for group 1's pool: their exchanges
+			// must serialize on its timeline.
+			g2.SetBisectionPool(g.bisection)
+		}
+		e.Go("join", func(sp *sim.Proc) {
+			join.Wait(sp)
+			if join2 != nil {
+				join2.Wait(sp)
+			}
+		})
 		if err := e.Run(); err != nil {
 			t.Fatal(err)
 		}
 
 		if msgs, bytes := g.Traffic(); msgs != crossMsgs || bytes != crossVol {
-			t.Fatalf("Traffic() = %d msgs / %d bytes, want %d / %d", msgs, bytes, crossMsgs, crossVol)
+			t.Fatalf("Traffic() = %d msgs / %d bytes, want %d / %d (rounds %d)",
+				msgs, bytes, crossMsgs, crossVol, rounds)
 		}
+		total := crossVol + crossVol2
 		switch {
-		case crossVol == 0:
-			// Self-only (or silent) exchange: no model may charge time.
+		case total == 0:
+			// Self-only (or silent) exchanges: no model may charge time.
 			if e.Now() != 0 {
 				t.Fatalf("mode %d: self-only exchange charged %v", mode, e.Now())
 			}
@@ -115,19 +173,42 @@ func FuzzAlltoallv(f *testing.F) {
 				t.Fatalf("free link charged %v", e.Now())
 			}
 		case mode == 1:
-			// Pool-only: every rank pays exactly crossVol/bw between the
-			// two barriers, so the run ends at that instant.
-			want := time.Duration(float64(crossVol) / bw * float64(time.Second))
-			if e.Now() != want {
-				t.Fatalf("bisection-only exchange ended at %v, want %v (crossVol %d)", e.Now(), want, crossVol)
+			// Pool-only: the pool drains every exchange's volume exactly
+			// once and overlapping exchanges serialize, so the run ends
+			// when the summed volume has drained — chunked or not, one
+			// group or two. Each reservation's duration conversion may
+			// truncate below a nanosecond, so the chained end time may
+			// trail the one-shot conversion by up to one ns per charge.
+			want := time.Duration(float64(total) / bw * float64(time.Second))
+			slack := time.Duration(rounds + 1)
+			if e.Now() > want+slack || e.Now() < want-slack {
+				t.Fatalf("bisection-only run ended at %v, want %v (±%dns; vol %d+%d, rounds %d)",
+					e.Now(), want, slack, crossVol, crossVol2, rounds)
 			}
 		case mode == 2:
-			// Composed: at least the pool charge, plus nonnegative
-			// per-process time.
-			min := time.Duration(float64(crossVol) / bw * float64(time.Second))
+			// Composed: at least the summed pool charge (same per-charge
+			// truncation slack), plus nonnegative per-process time.
+			min := time.Duration(float64(total)/bw*float64(time.Second)) - time.Duration(rounds+1)
 			if e.Now() < min {
-				t.Fatalf("composed exchange ended at %v, below the pool charge %v", e.Now(), min)
+				t.Fatalf("composed run ended at %v, below the pool charge %v", e.Now(), min)
 			}
 		}
 	})
+}
+
+// make2 builds a rank's send payloads from the size matrix with the
+// deterministic per-pair fill the delivery check expects.
+func make2(sizes [][]int, rank int) [][]byte {
+	send := make([][]byte, len(sizes))
+	for dst, n := range sizes[rank] {
+		if n == 0 {
+			continue
+		}
+		pl := make([]byte, n)
+		for i := range pl {
+			pl[i] = byte(7*rank + 3*dst + i)
+		}
+		send[dst] = pl
+	}
+	return send
 }

@@ -25,6 +25,24 @@
 //     machines exhibit, and what makes aggregator placement matter for
 //     collective I/O (package collective's locality-aware domains).
 //
+// The pool is a reservation timeline (Bisection): each exchange reserves
+// its cross volume once, and a reservation issued while an earlier one
+// is still draining queues behind it, so two in-flight exchanges share
+// the pool's bandwidth instead of each seeing the full pool. Serialized
+// exchanges (the only kind a single group can produce, since collectives
+// are barrier-bracketed) are charged exactly as before; the queueing
+// matters when several groups share one pool (SetBisectionPool) or when
+// chunked exchanges from a pipelined collective land back to back.
+//
+// Chunked exchanges (NewExchange / Exchange.Round) split one logical
+// personalized exchange into several rounds so a consumer can overlap
+// round k's delivery with other work — the exchange engine of package
+// collective's pipelined two-phase I/O. A chunked exchange charges the
+// same totals as the equivalent single Alltoallv: per-message setup time
+// (SetLink's msg cost) is charged once per communicating pair for the
+// whole exchange, not once per round, and Traffic counts one message per
+// pair; bytes are charged as they move.
+//
 // Under both models a self-message (rank → itself) is a local copy and
 // is never charged. Traffic reports the accumulated cross-link volume,
 // counted whether or not a model is configured, so tests can measure
@@ -58,6 +76,38 @@ func (p *Proc) Barrier() { p.group.barrier.Wait(p.Proc) }
 // Compute models work for the given duration of virtual time.
 func (p *Proc) Compute(d time.Duration) { p.Sleep(d) }
 
+// Bisection is a shared-link bandwidth pool: a reservation timeline over
+// one pool of aggregate bisection bandwidth. Exchanges reserve their
+// cross-link volume in FIFO order, so a reservation issued while an
+// earlier one is still draining starts only when the pool frees up —
+// concurrent exchanges share the pool rather than each seeing its full
+// bandwidth. A pool may be shared by several groups (SetBisectionPool)
+// to model jobs contending for one interconnect. Only engine-managed
+// processes may drive a pool (strict alternation is its locking).
+type Bisection struct {
+	bw   float64 // bytes per second
+	free time.Duration
+}
+
+// NewBisection returns a pool of bytesPerSec aggregate bandwidth.
+// bytesPerSec <= 0 yields a pool that never charges (uncontended).
+func NewBisection(bytesPerSec float64) *Bisection {
+	return &Bisection{bw: bytesPerSec}
+}
+
+// reserve books vol bytes on the pool starting no earlier than now and
+// no earlier than the end of every prior reservation, returning the time
+// the reservation drains. The FIFO queueing is what makes two in-flight
+// exchanges share the pool instead of double-counting its bandwidth.
+func (b *Bisection) reserve(now time.Duration, vol int64) time.Duration {
+	start := now
+	if b.free > start {
+		start = b.free
+	}
+	b.free = start + time.Duration(float64(vol)/b.bw*float64(time.Second))
+	return b.free
+}
+
 // Group is a set of processes executing one parallel program.
 type Group struct {
 	size    int
@@ -65,8 +115,8 @@ type Group struct {
 	// interconnect model (zero: communication is free, the historical
 	// default — see SetLink and SetBisection)
 	linkMsg   time.Duration
-	linkBytes float64 // per-process bytes per second; 0 = infinite
-	bisection float64 // shared-pool bytes per second; 0 = uncontended
+	linkBytes float64    // per-process bytes per second; 0 = infinite
+	bisection *Bisection // shared pool; nil = uncontended
 	// cross-link traffic accounting (self-messages excluded)
 	trafMsgs  int64
 	trafBytes int64
@@ -78,6 +128,12 @@ type Group struct {
 	// a process can only re-enter the next collective once its own
 	// subtraction has run, and add/subtract commute.
 	crossVol int64
+	// per-exchange pool reservation: the first process to charge the
+	// pool between a collective's barriers makes one reservation for the
+	// whole exchange and stashes its drain time; the others reuse it.
+	// Reset (idempotently) after the exit barrier, like crossVol.
+	exCharged bool
+	exEnd     time.Duration
 	// reduction scratch
 	redVals  []float64
 	redCount int
@@ -167,11 +223,12 @@ func (p *Proc) Gather(payload []byte) [][]byte {
 		}
 	}
 	p.chargeLink(g.size-1, in)
-	p.chargeBisection(g.crossVol)
+	p.chargePool(g.crossVol)
 	p.Barrier()
 	if g.size > 1 {
 		g.crossVol -= cross
 	}
+	g.exCharged = false
 	return out
 }
 
@@ -193,7 +250,23 @@ func (g *Group) SetLink(msg time.Duration, bytesPerSec float64) {
 // receive costs are charged in addition to the pool. Configure before
 // the group's processes start communicating.
 func (g *Group) SetBisection(bytesPerSec float64) {
-	g.bisection = bytesPerSec
+	if bytesPerSec <= 0 {
+		g.bisection = nil
+		return
+	}
+	g.bisection = NewBisection(bytesPerSec)
+}
+
+// SetBisectionPool attaches an existing pool, which may be shared with
+// other groups on the same engine: their exchanges then queue on one
+// reservation timeline, modeling several parallel jobs contending for
+// one interconnect. nil detaches the pool. Configure before the group's
+// processes start communicating.
+func (g *Group) SetBisectionPool(pool *Bisection) {
+	if pool != nil && pool.bw <= 0 {
+		pool = nil
+	}
+	g.bisection = pool
 }
 
 // Traffic reports the cross-link volume the group's collectives have
@@ -207,13 +280,18 @@ func (g *Group) Traffic() (msgs, bytes int64) {
 
 // chargeLink models msgs messages totalling bytes crossing this process's
 // link. A no-op (not even a yield) when no link model is configured, so
-// the default timing stays bit-identical.
+// the default timing stays bit-identical. msgs may be zero with nonzero
+// bytes (later rounds of a chunked exchange, whose setup was already
+// charged): only the byte cost applies then.
 func (p *Proc) chargeLink(msgs int, bytes int64) {
 	g := p.group
-	if msgs <= 0 || (g.linkMsg == 0 && g.linkBytes == 0) {
+	if (msgs <= 0 && bytes <= 0) || (g.linkMsg == 0 && g.linkBytes == 0) {
 		return
 	}
-	d := time.Duration(msgs) * g.linkMsg
+	var d time.Duration
+	if msgs > 0 {
+		d = time.Duration(msgs) * g.linkMsg
+	}
 	if g.linkBytes > 0 && bytes > 0 {
 		d += time.Duration(float64(bytes) / g.linkBytes * float64(time.Second))
 	}
@@ -222,16 +300,32 @@ func (p *Proc) chargeLink(msgs int, bytes int64) {
 	}
 }
 
-// chargeBisection models vol total bytes crossing the group's shared
+// chargePool models vol total bytes crossing the group's shared
 // bisection pool. Every process of the collective calls it with the same
-// volume (a pure function of the exchange's payloads), so all pay the
-// same contention delay. A no-op when the shared model is off.
-func (p *Proc) chargeBisection(vol int64) {
+// volume (a pure function of the exchange's payloads) between the
+// exchange's barriers; the first caller reserves the volume on the pool
+// timeline once, and every caller then waits for the longer of its own
+// drain time (vol at pool bandwidth from its own arrival — the
+// historical per-process charge) and the shared reservation's end (which
+// exceeds it only when an earlier reservation is still draining, i.e.
+// under cross-exchange contention). A no-op when the shared model is
+// off.
+func (p *Proc) chargePool(vol int64) {
 	g := p.group
-	if g.bisection <= 0 || vol <= 0 {
+	if g.bisection == nil || vol <= 0 {
 		return
 	}
-	p.Sleep(time.Duration(float64(vol) / g.bisection * float64(time.Second)))
+	if !g.exCharged {
+		g.exEnd = g.bisection.reserve(p.Now(), vol)
+		g.exCharged = true
+	}
+	until := p.Now() + time.Duration(float64(vol)/g.bisection.bw*float64(time.Second))
+	if g.exEnd > until {
+		until = g.exEnd
+	}
+	if until > p.Now() {
+		p.SleepUntil(until)
+	}
 }
 
 // Alltoallv performs a personalized all-to-all exchange: send[dst] is the
@@ -290,8 +384,94 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 		}
 	}
 	p.chargeLink(inMsgs, in)
-	p.chargeBisection(g.crossVol)
+	p.chargePool(g.crossVol)
 	p.Barrier()
 	g.crossVol -= out
+	g.exCharged = false
+	return recv
+}
+
+// Exchange is a chunked personalized exchange: one logical Alltoallv
+// split into rounds so callers can overlap a round's delivery with other
+// work (the pipelined collective's exchange engine). Every process of
+// the group creates its own handle and all must call Round the same
+// number of times — each Round is a collective, barrier-bracketed like
+// Alltoallv. Per-message setup time (SetLink's msg cost) and Traffic's
+// message count are charged once per communicating pair across the
+// handle's lifetime, so a chunked exchange costs the same modeled time
+// and counts the same traffic as the equivalent single Alltoallv; byte
+// costs (per-process link and shared pool) are charged per round, as the
+// bytes move.
+type Exchange struct {
+	p        *Proc
+	sentTo   []bool // pairs whose setup this process already charged
+	recvFrom []bool
+}
+
+// NewExchange returns this process's handle on a fresh chunked exchange.
+// Handles are per-collective-operation: a new logical exchange (whose
+// per-pair setup should be charged again) needs a new handle.
+func (p *Proc) NewExchange() *Exchange {
+	return &Exchange{
+		p:        p,
+		sentTo:   make([]bool, p.group.size),
+		recvFrom: make([]bool, p.group.size),
+	}
+}
+
+// Round moves one round of the chunked exchange: send[dst] is this
+// round's payload for rank dst (nil sends nothing this round), and the
+// returned slice holds at recv[src] what src sent this process this
+// round — the same contract as Alltoallv, charged per the Exchange
+// rules. All processes of the group must call Round together.
+func (ex *Exchange) Round(send [][]byte) [][]byte {
+	p := ex.p
+	g := p.group
+	row := g.a2a[p.rank]
+	var out int64
+	newOut := 0
+	for dst := 0; dst < g.size; dst++ {
+		var pl []byte
+		if dst < len(send) {
+			pl = send[dst]
+		}
+		if pl == nil {
+			row[dst] = nil
+			continue
+		}
+		cp := make([]byte, len(pl))
+		copy(cp, pl)
+		row[dst] = cp
+		if dst != p.rank {
+			out += int64(len(pl))
+			if !ex.sentTo[dst] {
+				ex.sentTo[dst] = true
+				newOut++
+			}
+		}
+	}
+	p.chargeLink(newOut, out)
+	g.trafMsgs += int64(newOut)
+	g.trafBytes += out
+	g.crossVol += out
+	p.Barrier()
+	recv := make([][]byte, g.size)
+	var in int64
+	newIn := 0
+	for src := 0; src < g.size; src++ {
+		recv[src] = g.a2a[src][p.rank]
+		if src != p.rank && recv[src] != nil {
+			in += int64(len(recv[src]))
+			if !ex.recvFrom[src] {
+				ex.recvFrom[src] = true
+				newIn++
+			}
+		}
+	}
+	p.chargeLink(newIn, in)
+	p.chargePool(g.crossVol)
+	p.Barrier()
+	g.crossVol -= out
+	g.exCharged = false
 	return recv
 }

@@ -397,3 +397,173 @@ func TestComputeAdvancesClock(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestExchangeMatchesAlltoallv: a chunked exchange must cost the same
+// modeled time, count the same traffic, and deliver the same bytes as
+// the equivalent single Alltoallv, for every link configuration. This is
+// the "no re-charged setup" guarantee the pipelined collective relies
+// on: splitting the exchange into rounds may only move time around, not
+// add any.
+func TestExchangeMatchesAlltoallv(t *testing.T) {
+	const ranks = 4
+	const payload = 900 // per pair; splits into 3 rounds of 300
+	configure := []struct {
+		name string
+		cfg  func(*Group)
+	}{
+		{"free", func(*Group) {}},
+		{"link", func(g *Group) { g.SetLink(time.Millisecond, 1e5) }},
+		{"bisection", func(g *Group) { g.SetBisection(1e5) }},
+		{"composed", func(g *Group) {
+			g.SetLink(time.Millisecond, 1e5)
+			g.SetBisection(1e5)
+		}},
+	}
+	fill := func(src, dst int) []byte {
+		pl := make([]byte, payload)
+		for i := range pl {
+			pl[i] = byte(7*src + 3*dst + i)
+		}
+		return pl
+	}
+	run := func(cfg func(*Group), chunked bool) (time.Duration, int64, int64) {
+		e := sim.NewEngine()
+		g, join := Run(e, ranks, "x", func(p *Proc) {
+			got := make([][]byte, ranks)
+			for i := range got {
+				got[i] = []byte{}
+			}
+			if chunked {
+				ex := p.NewExchange()
+				const rounds = 3
+				for k := 0; k < rounds; k++ {
+					send := make([][]byte, ranks)
+					for dst := 0; dst < ranks; dst++ {
+						whole := fill(p.Rank(), dst)
+						send[dst] = whole[k*payload/rounds : (k+1)*payload/rounds]
+					}
+					recv := ex.Round(send)
+					for src := range recv {
+						got[src] = append(got[src], recv[src]...)
+					}
+				}
+			} else {
+				send := make([][]byte, ranks)
+				for dst := 0; dst < ranks; dst++ {
+					send[dst] = fill(p.Rank(), dst)
+				}
+				recv := p.Alltoallv(send)
+				for src := range recv {
+					got[src] = append(got[src], recv[src]...)
+				}
+			}
+			for src := range got {
+				want := fill(src, p.Rank())
+				if len(got[src]) != len(want) {
+					t.Errorf("rank %d: %d bytes from %d, want %d", p.Rank(), len(got[src]), src, len(want))
+					continue
+				}
+				for i := range want {
+					if got[src][i] != want[i] {
+						t.Errorf("rank %d: byte %d from %d corrupted", p.Rank(), i, src)
+						break
+					}
+				}
+			}
+		})
+		cfg(g)
+		e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		msgs, bytes := g.Traffic()
+		return e.Now(), msgs, bytes
+	}
+	for _, tc := range configure {
+		t.Run(tc.name, func(t *testing.T) {
+			oneTime, oneMsgs, oneBytes := run(tc.cfg, false)
+			chTime, chMsgs, chBytes := run(tc.cfg, true)
+			if chTime != oneTime {
+				t.Errorf("chunked exchange took %v, single Alltoallv %v", chTime, oneTime)
+			}
+			if chMsgs != oneMsgs || chBytes != oneBytes {
+				t.Errorf("chunked traffic %d msgs / %d bytes, single %d / %d",
+					chMsgs, chBytes, oneMsgs, oneBytes)
+			}
+		})
+	}
+}
+
+// TestExchangeSetupChargedOncePerHandle: a fresh Exchange handle
+// re-charges per-pair setup; rounds within one handle do not.
+func TestExchangeSetupChargedOncePerHandle(t *testing.T) {
+	elapsed := func(handles, roundsPer int) time.Duration {
+		e := sim.NewEngine()
+		g, join := Run(e, 2, "x", func(p *Proc) {
+			for h := 0; h < handles; h++ {
+				ex := p.NewExchange()
+				for k := 0; k < roundsPer; k++ {
+					send := make([][]byte, 2)
+					send[1-p.Rank()] = make([]byte, 10)
+					ex.Round(send)
+				}
+			}
+		})
+		g.SetLink(time.Millisecond, 0) // setup cost only, bytes free
+		e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	// 1 handle × 4 rounds: one setup (1 ms inject + 1 ms receive).
+	if got, want := elapsed(1, 4), 2*time.Millisecond; got != want {
+		t.Errorf("1 handle × 4 rounds = %v, want %v", got, want)
+	}
+	// 4 handles × 1 round: four setups.
+	if got, want := elapsed(4, 1), 8*time.Millisecond; got != want {
+		t.Errorf("4 handles × 1 round = %v, want %v", got, want)
+	}
+}
+
+// TestSharedPoolSerializes: two groups sharing one Bisection pool and
+// exchanging concurrently must drain in sequence — the pool serves
+// volA+volB in (volA+volB)/BW, not in max(volA,volB)/BW as two private
+// pools would.
+func TestSharedPoolSerializes(t *testing.T) {
+	const bw = 1000.0
+	const volA, volB = 1000, 3000 // cross bytes per group's exchange
+	run := func(shared bool) time.Duration {
+		e := sim.NewEngine()
+		mk := func(name string, vol int) (*Group, *sim.Group) {
+			return Run(e, 2, name, func(p *Proc) {
+				send := make([][]byte, 2)
+				send[1-p.Rank()] = make([]byte, vol/2)
+				p.Alltoallv(send)
+			})
+		}
+		ga, ja := mk("a", volA)
+		gb, jb := mk("b", volB)
+		if shared {
+			pool := NewBisection(bw)
+			ga.SetBisectionPool(pool)
+			gb.SetBisectionPool(pool)
+		} else {
+			ga.SetBisection(bw)
+			gb.SetBisection(bw)
+		}
+		e.Go("join", func(sp *sim.Proc) { ja.Wait(sp); jb.Wait(sp) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	sharedTime := run(true)
+	if want := time.Duration(float64(volA+volB) / bw * float64(time.Second)); sharedTime != want {
+		t.Errorf("shared pool drained at %v, want serialized %v", sharedTime, want)
+	}
+	privateTime := run(false)
+	if want := time.Duration(float64(volB) / bw * float64(time.Second)); privateTime != want {
+		t.Errorf("private pools drained at %v, want %v", privateTime, want)
+	}
+}

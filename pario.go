@@ -100,6 +100,39 @@
 // opt-in; the free, round-robin default stays bit-identical
 // (TestDefaultModelPinned).
 //
+// # Chunked two-phase I/O
+//
+// The single-shot collective is still a barrier: plan, then the WHOLE
+// exchange, then the WHOLE access, so the drives idle while bytes cross
+// the interconnect and the interconnect idles while the drives stream.
+// CollectiveOptions.ChunkBytes bounds each aggregator's staging memory
+// (ROMIO's cb_buffer_size) and turns the collective into a software
+// pipeline: every file domain is cut into chunk-aligned sub-domains and
+// the exchange of chunk k+1 runs concurrently with the device access of
+// chunk k (reads mirror this — the access of chunk k+1 overlaps the
+// delivery of chunk k), double-buffered through two chunk staging
+// buffers per domain. The chunked exchange charges per-message setup
+// once per communicating pair for the whole collective (not per chunk),
+// concurrent exchanges share the bisection pool's reservation timeline
+// instead of each seeing its full bandwidth (pools can even be shared
+// between rank groups via RankGroup.SetBisectionPool), and each
+// domain's device requests come from a BatchPlan prepared once — mapped,
+// sorted and merged up front — so chunking never re-plans. The price is
+// per-chunk request overhead; the win is overlap, reported by
+// Collective.LastStats (ExchangeTime / AccessTime / Overlap) and
+// enforced by TestPipelineWin (≥1.3× modeled time on contended
+// checkpoints, link-bound and disk-bound). `pariosim -scenario
+// pipeline` prints the comparison; ChunkBytes 0 (the default) keeps the
+// single-shot schedule bit-identical.
+//
+// Profiles bundle the knobs grown across all these layers:
+// PaperProfile is the pinned 1989 model, TunedProfile the "modern
+// defaults" (extents, SCAN scheduling with queue merging, a modeled
+// interconnect, locality-aware chunked collectives), and
+// NewProfiledMachine builds a machine under one. `pariosim -scenario
+// profile [-profile tuned|paper]` compares them on the checkpoint
+// scenario; TestTunedProfileWins enforces the tuned win.
+//
 // # Execution model
 //
 // The library runs over a deterministic virtual-time engine (NewEngine):
@@ -130,6 +163,7 @@ package pario
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/blockio"
 	"repro/internal/collective"
@@ -197,6 +231,8 @@ type (
 	Geometry = device.Geometry
 	// Timing is a disk's service-time model.
 	Timing = device.Timing
+	// Sched selects a disk queue's scheduling discipline (FCFS or SCAN).
+	Sched = device.Sched
 	// Backend is a disk's page store; FileBackend keeps pages in a host
 	// file so simulated volumes can exceed RAM.
 	Backend = device.Backend
@@ -226,6 +262,10 @@ type (
 	// BatchVec is a cross-file scatter/gather request list over Sets
 	// sharing one device array, merged physically across files.
 	BatchVec = blockio.BatchVec
+	// BatchPlan is a BatchVec mapped, sorted and merged once and split
+	// into issue windows (BatchVec.Plan) — the prepared form the
+	// pipelined collective issues its per-chunk device requests through.
+	BatchPlan = blockio.BatchPlan
 
 	// Rank is one process of a parallel program (GoRanks), with the
 	// group collectives (Barrier, Alltoallv, reductions).
@@ -234,6 +274,11 @@ type (
 	// SetBisection configure its modeled interconnect (per-process and
 	// shared-pool), Traffic reports measured cross-link volume.
 	RankGroup = mpp.Group
+	// Bisection is a shared-link bandwidth pool — a reservation timeline
+	// concurrent exchanges queue on. Share one between rank groups with
+	// RankGroup.SetBisectionPool to model jobs contending for one
+	// interconnect.
+	Bisection = mpp.Bisection
 	// FileGroup is an ordered set of files opened together for
 	// collective access (Volume.OpenGroup / NewFileGroup).
 	FileGroup = pfs.FileGroup
@@ -280,6 +325,12 @@ const (
 const (
 	SSRead  = core.SSRead
 	SSWrite = core.SSWrite
+)
+
+// Disk queue scheduling disciplines.
+const (
+	SchedFCFS = device.FCFS
+	SchedSCAN = device.SCAN
 )
 
 // NewEngine returns a fresh virtual-time engine.
@@ -343,6 +394,7 @@ var (
 	OpenCollective = collective.Open
 	NewFileGroup   = pfs.NewFileGroup
 	RecordRangeReq = collective.RecordRangeReq
+	NewBisection   = mpp.NewBisection
 )
 
 // SaveVolume persists a volume and its devices to a host directory;
@@ -351,6 +403,71 @@ var (
 	SaveVolume = volio.Save
 	LoadVolume = volio.Load
 )
+
+// Profile bundles the cross-layer tuning knobs into one named
+// configuration, so tools and applications can switch between the
+// paper's model and the grown stack's recommendations in one place.
+// PaperProfile is the 1989 baseline every pinned test enforces;
+// TunedProfile is the ROADMAP's "modern defaults".
+type Profile struct {
+	Name string
+	// Access tunes the stream/direct access methods (core.Options).
+	Access Options
+	// Sched and MergeQueued configure every drive's queue.
+	Sched       Sched
+	MergeQueued bool
+	// LinkMsg/LinkBytes/Bisection configure a rank group's modeled
+	// interconnect (zero values leave the respective model off).
+	LinkMsg   time.Duration
+	LinkBytes float64
+	Bisection float64
+	// Collective tunes collective handles opened under the profile.
+	Collective CollectiveOptions
+}
+
+// PaperProfile is the paper's configuration: block-at-a-time transfers,
+// FCFS queues, a free interconnect, single-shot round-robin collectives.
+// Machines and collectives built from it keep the paper's modeled
+// shapes bit-identical.
+func PaperProfile() Profile {
+	return Profile{Name: "paper", Access: DefaultOptions()}
+}
+
+// TunedProfile is the "modern defaults" profile: 32-block extents
+// through four buffers, SCAN disk scheduling with queue merging, a
+// modeled interconnect (100 MB/s links, 10 µs per message, a 50 MB/s
+// shared bisection pool — generous late-era numbers that make
+// communication real but still cheaper than seeks), and collectives
+// with locality-aware aggregator domains pipelined through 1 MiB
+// chunks. Every knob is one of the opt-in mechanisms grown since PR 1;
+// TestTunedProfileWins enforces that the bundle beats PaperProfile on
+// the checkpoint scenario even though the paper's interconnect is free.
+func TunedProfile() Profile {
+	return Profile{
+		Name:        "tuned",
+		Access:      core.TunedOptions(),
+		Sched:       SchedSCAN,
+		MergeQueued: true,
+		LinkMsg:     10 * time.Microsecond,
+		LinkBytes:   100e6,
+		Bisection:   50e6,
+		Collective: CollectiveOptions{
+			Locality:   true,
+			ChunkBytes: 1 << 20,
+		},
+	}
+}
+
+// ConfigureRanks applies the profile's interconnect model to a rank
+// group (call before the simulation runs the group's collectives).
+func (pf Profile) ConfigureRanks(g *RankGroup) {
+	if pf.LinkMsg != 0 || pf.LinkBytes != 0 {
+		g.SetLink(pf.LinkMsg, pf.LinkBytes)
+	}
+	if pf.Bisection > 0 {
+		g.SetBisection(pf.Bisection)
+	}
+}
 
 // Machine bundles an engine, a homogeneous drive array and one volume —
 // the typical experiment/application setup.
@@ -362,12 +479,23 @@ type Machine struct {
 
 // NewMachine builds a virtual-time machine with n default 1989 drives.
 func NewMachine(n int) *Machine {
+	return NewProfiledMachine(n, PaperProfile())
+}
+
+// NewProfiledMachine builds a virtual-time machine with n default 1989
+// drives whose queues follow the profile (scheduling discipline, queue
+// merging). The profile's access and collective options are for the
+// caller to pass when opening handles; ConfigureRanks applies its
+// interconnect to rank groups.
+func NewProfiledMachine(n int, pf Profile) *Machine {
 	e := sim.NewEngine()
 	disks := make([]*Disk, n)
 	for i := range disks {
 		disks[i] = device.New(device.Config{
-			Name:   fmt.Sprintf("d%d", i),
-			Engine: e,
+			Name:        fmt.Sprintf("d%d", i),
+			Engine:      e,
+			Sched:       pf.Sched,
+			MergeQueued: pf.MergeQueued,
 		})
 	}
 	vol, err := NewVolume(disks)

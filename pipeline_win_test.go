@@ -1,0 +1,168 @@
+// Pipelined-collective acceptance: on a large contended checkpoint, the
+// chunked two-phase schedule (CollectiveOptions.ChunkBytes) must beat
+// the single-shot collective by ≥1.3× modeled time — in a link-bound
+// variant (exchange the larger phase) and a disk-bound one (device
+// access the larger phase) — with LastStats showing genuinely
+// concurrent exchange and access. These are the ISSUE 5 acceptance
+// numbers, enforced so they cannot regress.
+//
+// The single-shot schedule is a hard barrier: while the ~14.7 MB
+// exchange crosses the shared bisection pool the drives idle, and while
+// the aggregators' batches stream the drives the link idles, so the
+// total is exchange + access. The pipelined schedule cuts each
+// 1024-block file domain into 256-block chunks and exchanges chunk k+1
+// while chunk k is in the drives: the total approaches max(exchange,
+// access) plus one pipeline fill, at the price of per-chunk request
+// overhead and a bounded 2-chunk staging buffer per aggregator.
+package pario_test
+
+import (
+	"testing"
+	"time"
+
+	pario "repro"
+)
+
+const (
+	pipeRanks   = 8
+	pipeRecords = 4096 // 4 KiB records = fs blocks, unit-1 declustered
+)
+
+// pipeResult is one measured checkpoint write.
+type pipeResult struct {
+	elapsed  time.Duration
+	requests int64
+	stats    pario.ExchangeStats
+	bytes    int64
+}
+
+// runPipelinedCheckpoint writes the 8-rank strided checkpoint over 4
+// default 1989 drives through a collective with the given chunking, on
+// a contended interconnect (100 MB/s per-process links sharing a
+// bisection pool of the given bandwidth), and verifies the landed
+// bytes.
+func runPipelinedCheckpoint(tb testing.TB, chunkBytes int64, bisection float64) pipeResult {
+	tb.Helper()
+	m := pario.NewMachine(4)
+	f, err := m.Volume.Create(pario.Spec{
+		Name: "ckpt", Org: pario.OrgGlobalDirect,
+		RecordSize: 4096, BlockRecords: 1, NumRecords: pipeRecords,
+		Placement: pario.PlaceStriped, StripeUnitFS: 1,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	group, err := m.Volume.OpenGroup("ckpt")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	col, err := pario.OpenCollective(group, pipeRanks, pario.CollectiveOptions{ChunkBytes: chunkBytes})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rg := m.GoRanks(pipeRanks, "rank", func(r *pario.Rank) {
+		rank := int64(r.Rank())
+		var vec pario.Vec
+		var off int64
+		for b := rank; b < pipeRecords; b += pipeRanks {
+			vec = append(vec, pario.VecSeg{Block: b, N: 1, BufOff: off})
+			off += 4096
+		}
+		buf := make([]byte, off)
+		for i, sg := range vec {
+			buf[int64(i)*4096] = byte(sg.Block)
+			buf[int64(i)*4096+1] = byte(sg.Block >> 8)
+		}
+		if err := col.WriteAll(r, []pario.VecReq{{File: 0, Vec: vec}}, buf); err != nil {
+			tb.Errorf("rank %d: %v", rank, err)
+		}
+	})
+	rg.SetLink(10*time.Microsecond, 100e6)
+	rg.SetBisection(bisection)
+	if err := m.Run(); err != nil {
+		tb.Fatal(err)
+	}
+	var res pipeResult
+	res.elapsed = m.Engine.Now()
+	res.stats = col.LastStats()
+	res.bytes = pipeRecords * 4096
+	for _, d := range m.Disks {
+		res.requests += d.Stats().Requests()
+	}
+	ctx := pario.NewWall()
+	blk := make([]byte, 4096)
+	for b := int64(0); b < pipeRecords; b++ {
+		if err := f.Set().ReadBlock(ctx, b, blk); err != nil {
+			tb.Fatal(err)
+		}
+		if blk[0] != byte(b) || blk[1] != byte(b>>8) {
+			tb.Fatalf("block %d corrupt after checkpoint (chunk=%d)", b, chunkBytes)
+		}
+	}
+	return res
+}
+
+// TestPipelineWin enforces the acceptance criteria in both regimes:
+// ≥1.3× better modeled time for the chunked schedule, nonzero
+// exchange/access overlap in its stats, zero overlap and identical byte
+// split for the single-shot baseline.
+func TestPipelineWin(t *testing.T) {
+	const chunk = 256 * 4096 // 256-block chunks of each 1024-block domain (4 rounds)
+	for _, tc := range []struct {
+		name      string
+		bisection float64
+	}{
+		// ~14.7 MB crosses the link: at 3.5 MB/s the exchange (~4.3 s)
+		// outweighs the ~2.9 s of device streaming; at 6 MB/s (~2.5 s)
+		// the drives dominate.
+		{"link-bound", 3.5e6},
+		{"disk-bound", 6e6},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := runPipelinedCheckpoint(t, 0, tc.bisection)
+			piped := runPipelinedCheckpoint(t, chunk, tc.bisection)
+			ratio := serial.elapsed.Seconds() / piped.elapsed.Seconds()
+			t.Logf("elapsed %v -> %v (%.2fx; %.2f -> %.2f MB/s)",
+				serial.elapsed, piped.elapsed, ratio,
+				float64(serial.bytes)/1e6/serial.elapsed.Seconds(),
+				float64(piped.bytes)/1e6/piped.elapsed.Seconds())
+			t.Logf("requests %d -> %d; piped exchange %v, access %v, overlap %v; link idle %.0f%% -> %.0f%%",
+				serial.requests, piped.requests,
+				piped.stats.ExchangeTime, piped.stats.AccessTime, piped.stats.Overlap,
+				100*(1-serial.stats.ExchangeTime.Seconds()/serial.elapsed.Seconds()),
+				100*(1-piped.stats.ExchangeTime.Seconds()/piped.elapsed.Seconds()))
+			if ratio < 1.3 {
+				t.Errorf("modeled time improvement %.2fx < 1.3x", ratio)
+			}
+			if serial.stats.Overlap != 0 {
+				t.Errorf("single-shot write reported overlap %v, want none", serial.stats.Overlap)
+			}
+			if piped.stats.Overlap <= 0 {
+				t.Errorf("pipelined stats report no exchange/access overlap: %+v", piped.stats)
+			}
+			if !serial.stats.SameBytes(piped.stats) {
+				t.Errorf("schedules moved different bytes: %+v vs %+v", serial.stats, piped.stats)
+			}
+		})
+	}
+}
+
+// BenchmarkPipelinedCheckpoint tracks the pipelined-collective
+// trajectory: modeled MB/s and exchange/access overlap for the
+// single-shot and chunked schedules on the link-bound checkpoint.
+func BenchmarkPipelinedCheckpoint(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		chunk int64
+	}{{"single-shot", 0}, {"pipelined", 256 * 4096}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var res pipeResult
+			for i := 0; i < b.N; i++ {
+				res = runPipelinedCheckpoint(b, mode.chunk, 3.5e6)
+			}
+			b.ReportMetric(float64(res.bytes)/1e6/res.elapsed.Seconds(), "vMB/s")
+			b.ReportMetric(res.stats.Overlap.Seconds(), "overlap-s")
+			b.ReportMetric(float64(res.requests), "requests")
+		})
+	}
+}

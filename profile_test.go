@@ -1,0 +1,114 @@
+// Profile acceptance: the ROADMAP's "modern defaults" bundle
+// (TunedProfile — extents, SCAN, queue merging, a real interconnect,
+// locality-aware chunked collectives) must beat the paper's
+// configuration on the checkpoint scenario, even though the paper's
+// interconnect is free: the pipelined collective hides the tuned
+// profile's real exchange cost behind the drives, and the extent
+// read-back collapses the paper's block-at-a-time scan.
+package pario_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	pario "repro"
+)
+
+const (
+	profRanks   = 8
+	profRecords = 2048 // 4 KiB records = fs blocks, unit-1 declustered
+)
+
+// runProfileCheckpoint runs the checkpoint scenario under a profile: an
+// 8-rank strided collective write of the checkpoint, then one
+// sequential scan validating it (the restart read), all on a 4-drive
+// machine configured by the profile.
+func runProfileCheckpoint(tb testing.TB, pf pario.Profile) time.Duration {
+	tb.Helper()
+	m := pario.NewProfiledMachine(4, pf)
+	f, err := m.Volume.Create(pario.Spec{
+		Name: "ckpt", Org: pario.OrgGlobalDirect,
+		RecordSize: 4096, BlockRecords: 1, NumRecords: profRecords,
+		Placement: pario.PlaceStriped, StripeUnitFS: 1,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	group, err := m.Volume.OpenGroup("ckpt")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	col, err := pario.OpenCollective(group, profRanks, pf.Collective)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rg := m.GoRanks(profRanks, "rank", func(r *pario.Rank) {
+		rank := int64(r.Rank())
+		var vec pario.Vec
+		var off int64
+		for b := rank; b < profRecords; b += profRanks {
+			vec = append(vec, pario.VecSeg{Block: b, N: 1, BufOff: off})
+			off += 4096
+		}
+		buf := make([]byte, off)
+		for i, sg := range vec {
+			buf[int64(i)*4096] = byte(sg.Block)
+			buf[int64(i)*4096+1] = byte(sg.Block >> 8)
+		}
+		if err := col.WriteAll(r, []pario.VecReq{{File: 0, Vec: vec}}, buf); err != nil {
+			tb.Errorf("rank %d: %v", rank, err)
+			return
+		}
+		// All ranks leave WriteAll together; rank 0 performs the restart
+		// scan through the profile's access options.
+		if r.Rank() != 0 {
+			return
+		}
+		rd, err := pario.OpenReader(f, pf.Access)
+		if err != nil {
+			tb.Error(err)
+			return
+		}
+		for b := int64(0); ; b++ {
+			rec, _, err := rd.ReadRecord(r.Proc)
+			if err == io.EOF {
+				if b != profRecords {
+					tb.Errorf("scan ended after %d of %d records", b, profRecords)
+				}
+				break
+			}
+			if err != nil {
+				tb.Error(err)
+				return
+			}
+			if rec[0] != byte(b) || rec[1] != byte(b>>8) {
+				tb.Errorf("record %d corrupt under profile %q", b, pf.Name)
+				return
+			}
+		}
+		if err := rd.Close(r.Proc); err != nil {
+			tb.Error(err)
+		}
+	})
+	pf.ConfigureRanks(rg)
+	if err := m.Run(); err != nil {
+		tb.Fatal(err)
+	}
+	return m.Engine.Now()
+}
+
+// TestTunedProfileWins asserts the modern-defaults bundle beats the
+// paper configuration on the checkpoint scenario.
+func TestTunedProfileWins(t *testing.T) {
+	paper := runProfileCheckpoint(t, pario.PaperProfile())
+	tuned := runProfileCheckpoint(t, pario.TunedProfile())
+	ratio := paper.Seconds() / tuned.Seconds()
+	t.Logf("checkpoint write + restart scan: paper %v -> tuned %v (%.2fx)", paper, tuned, ratio)
+	if tuned >= paper {
+		t.Errorf("tuned profile (%v) does not beat paper defaults (%v)", tuned, paper)
+	}
+	if ratio < 1.5 {
+		t.Errorf("tuned profile wins only %.2fx, want ≥1.5x", ratio)
+	}
+}
