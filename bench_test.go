@@ -9,9 +9,16 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	pario "repro"
+	"repro/internal/blockio"
+	"repro/internal/collective"
+	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/mpp"
+	"repro/internal/pfs"
+	"repro/internal/sim"
 )
 
 // benchExperiment runs one experiment driver per iteration and reports
@@ -237,6 +244,77 @@ func BenchmarkDirectReadRecordAt(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// runScaleScenario models one contended pipelined collective checkpoint
+// at the given scale — every rank writes two strided blocks through a
+// chunked collective over a drives-wide direct store, with per-process
+// links and a shared bisection pool both charged — and returns the final
+// modeled time. This is the shape the engine-scaling work is judged on:
+// ranks × drives up to 4096 × 256 in wall-clock seconds.
+func runScaleScenario(tb testing.TB, ranks, drives int) time.Duration {
+	const bs = 256
+	e := sim.NewEngine()
+	geom := device.Geometry{BlockSize: bs, BlocksPerCyl: 8, Cylinders: 64}
+	disks := make([]*device.Disk, drives)
+	for i := range disks {
+		disks[i] = device.New(device.Config{
+			Name: fmt.Sprintf("d%d", i), Geometry: geom, Engine: e,
+		})
+	}
+	store, err := blockio.NewDirect(disks)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	vol := pfs.NewVolume(store)
+	if _, err := vol.Create(pfs.Spec{
+		Name: "chk", Org: pfs.OrgSequential, RecordSize: bs,
+		NumRecords: int64(2 * ranks), Placement: pfs.PlaceStriped, StripeUnitFS: 1,
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	g, err := vol.OpenGroup("chk")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	col, err := collective.Open(g, ranks, collective.Options{ChunkBytes: 8 * bs})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mg, join := mpp.Run(e, ranks, "w", func(p *mpp.Proc) {
+		r := int64(p.Rank())
+		reqs := []collective.VecReq{{File: 0, Vec: blockio.Vec{
+			{Block: r, N: 1, BufOff: 0},
+			{Block: r + int64(ranks), N: 1, BufOff: bs},
+		}}}
+		buf := make([]byte, 2*bs)
+		for i := range buf {
+			buf[i] = byte(int(r) + i)
+		}
+		if err := col.WriteAll(p, reqs, buf); err != nil {
+			tb.Errorf("rank %d: %v", p.Rank(), err)
+		}
+	})
+	mg.SetLink(2*time.Microsecond, 100e6)
+	mg.SetBisection(500e6)
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		tb.Fatal(err)
+	}
+	return e.Now()
+}
+
+// BenchmarkEngineScale drives the 4096-rank × 256-drive contended
+// pipelined collective and reports how many wall-clock seconds one
+// modeled second costs — the engine-scaling headline metric. The
+// scenario must stay in single-digit seconds per iteration.
+func BenchmarkEngineScale(b *testing.B) {
+	var modeled time.Duration
+	for i := 0; i < b.N; i++ {
+		modeled = runScaleScenario(b, 4096, 256)
+	}
+	b.ReportMetric(modeled.Seconds(), "modeled_s")
+	b.ReportMetric(b.Elapsed().Seconds()/(modeled.Seconds()*float64(b.N)), "wall_s/modeled_s")
 }
 
 // BenchmarkVirtualEngine measures scheduler overhead: processes doing

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	pario "repro"
@@ -22,13 +24,45 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "all", "one of: seek, service, stripe, extent, noncontig, collective, contended, pipeline, profile, all")
+	scenario := flag.String("scenario", "all", "one of: seek, service, stripe, extent, noncontig, collective, contended, pipeline, profile, scale, all")
 	profile := flag.String("profile", "", "profile for the profile scenario: tuned, paper, or empty for both")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
-	if err := run(*scenario, *profile, os.Stdout); err != nil {
+	if err := profiledRun(*scenario, *profile, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintf(os.Stderr, "pariosim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// profiledRun wraps run with the optional pprof captures, so the
+// simulator's own hot paths (the scale scenario, above all) can be
+// profiled without a test harness.
+func profiledRun(scenario, profile, cpuprofile, memprofile string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(scenario, profile, os.Stdout); err != nil {
+		return err
+	}
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // report live heap, not transient garbage
+		return pprof.WriteHeapProfile(f)
+	}
+	return nil
 }
 
 // run executes one scenario; factored out of main for testability.
@@ -52,6 +86,8 @@ func run(scenario, profile string, w io.Writer) error {
 		return pipelineDemo(w)
 	case "profile":
 		return profileDemo(w, profile)
+	case "scale":
+		return scaleDemo(w)
 	case "all":
 		if err := seekTable(w); err != nil {
 			return err
@@ -77,7 +113,10 @@ func run(scenario, profile string, w io.Writer) error {
 		if err := pipelineDemo(w); err != nil {
 			return err
 		}
-		return profileDemo(w, profile)
+		if err := profileDemo(w, profile); err != nil {
+			return err
+		}
+		return scaleDemo(w)
 	default:
 		return fmt.Errorf("unknown scenario %q", scenario)
 	}
@@ -655,6 +694,76 @@ func profileDemo(w io.Writer, which string) error {
 			fmt.Sprintf("%.2fx", float64(base)/float64(elapsed)))
 	}
 	t.Note = "paper = the pinned 1989 model (free link, FCFS, block-at-a-time, single-shot collectives);\ntuned = TunedProfile (extents, SCAN+merge, modeled link, locality + chunked collectives)"
+	fmt.Fprintln(w, t.String())
+	return nil
+}
+
+// scaleDemo sweeps the simulation itself: the same contended pipelined
+// collective checkpoint (every rank writes two strided blocks, 100 MB/s
+// links sharing a 500 MB/s bisection pool, chunked aggregator staging)
+// at growing machine sizes, reporting how much wall-clock time one
+// modeled second costs. This is the engine-scaling scenario the sparse
+// exchange path and the pooled virtual-time engine are sized for:
+// 4096 ranks × 256 drives must stay in single-digit seconds.
+func scaleDemo(w io.Writer) error {
+	t := stats.NewTable("Engine scaling: contended pipelined collective checkpoint, wall-clock cost per modeled second",
+		"ranks", "drives", "modeled", "wall", "wall s / modeled s")
+	for _, cfg := range [][2]int{{256, 16}, {1024, 64}, {4096, 256}} {
+		ranks, drives := cfg[0], cfg[1]
+		const bs = 256
+		e := sim.NewEngine()
+		geom := device.Geometry{BlockSize: bs, BlocksPerCyl: 8, Cylinders: 64}
+		disks := make([]*device.Disk, drives)
+		for i := range disks {
+			disks[i] = device.New(device.Config{
+				Name: fmt.Sprintf("d%d", i), Geometry: geom, Engine: e,
+			})
+		}
+		store, err := blockio.NewDirect(disks)
+		if err != nil {
+			return err
+		}
+		vol := pfs.NewVolume(store)
+		if _, err := vol.Create(pfs.Spec{
+			Name: "chk", Org: pfs.OrgSequential, RecordSize: bs,
+			NumRecords: int64(2 * ranks), Placement: pfs.PlaceStriped, StripeUnitFS: 1,
+		}); err != nil {
+			return err
+		}
+		group, err := vol.OpenGroup("chk")
+		if err != nil {
+			return err
+		}
+		col, err := collective.Open(group, ranks, collective.Options{ChunkBytes: 8 * bs})
+		if err != nil {
+			return err
+		}
+		var rankErr error
+		g, _ := mpp.Run(e, ranks, "rank", func(p *mpp.Proc) {
+			r := int64(p.Rank())
+			reqs := []collective.VecReq{{File: 0, Vec: blockio.Vec{
+				{Block: r, N: 1, BufOff: 0},
+				{Block: r + int64(ranks), N: 1, BufOff: bs},
+			}}}
+			buf := make([]byte, 2*bs)
+			if err := col.WriteAll(p, reqs, buf); err != nil && rankErr == nil {
+				rankErr = err
+			}
+		})
+		g.SetLink(2*time.Microsecond, 100e6)
+		g.SetBisection(500e6)
+		start := time.Now()
+		if err := e.Run(); err != nil {
+			return err
+		}
+		if rankErr != nil {
+			return rankErr
+		}
+		wall := time.Since(start)
+		t.AddRow(ranks, drives, e.Now(), wall.Round(time.Millisecond),
+			fmt.Sprintf("%.3f", wall.Seconds()/e.Now().Seconds()))
+	}
+	t.Note = "wall time is host-dependent; the shape to watch is sub-linear growth in wall s / modeled s\nas ranks × drives grow. BenchmarkEngineScale tracks the 4096 × 256 point in CI (BENCH_scale.json)."
 	fmt.Fprintln(w, t.String())
 	return nil
 }

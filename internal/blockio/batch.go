@@ -18,6 +18,7 @@ package blockio
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -79,8 +80,34 @@ func (r *batchRun) addPiece(pc bpiece, bs int64) {
 	r.iov = append(r.iov, pc.buf[pc.bufOff:pc.bufOff+n])
 }
 
+// batchScratch is mapBatch's pooled mapping state: the unsorted piece
+// list and the per-segment MapRun scratch. The holder doubles as the
+// sort.Interface over its pieces, so the device-major sort allocates
+// nothing (sort.Slice builds a closure and a reflect-based swapper per
+// call — measurable at collective scale, where every domain batch maps
+// through here).
+type batchScratch struct {
+	pieces []bpiece
+	tmp    []Run
+}
+
+func (s *batchScratch) Len() int { return len(s.pieces) }
+func (s *batchScratch) Less(i, j int) bool {
+	if s.pieces[i].dev != s.pieces[j].dev {
+		return s.pieces[i].dev < s.pieces[j].dev
+	}
+	return s.pieces[i].pb < s.pieces[j].pb
+}
+func (s *batchScratch) Swap(i, j int) {
+	s.pieces[i], s.pieces[j] = s.pieces[j], s.pieces[i]
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
 // mapBatch validates the batch and merges it into per-device gather runs
-// in (device, physical block) order.
+// in (device, physical block) order. Only the returned runs survive the
+// call (BatchPlan retains them); all mapping scratch goes back to the
+// pool.
 func (b BatchVec) mapBatch(op string) ([]batchRun, Store, error) {
 	if len(b) == 0 {
 		return nil, nil, nil
@@ -90,8 +117,21 @@ func (b BatchVec) mapBatch(op string) ([]batchRun, Store, error) {
 	}
 	store := b[0].Set.store
 	bs := int64(store.BlockSize())
-	var pieces []bpiece
-	var tmp []Run
+	s := batchPool.Get().(*batchScratch)
+	defer func() {
+		s.pieces = s.pieces[:0]
+		batchPool.Put(s)
+	}()
+	// Preallocate from the footprint: each non-empty segment maps to at
+	// least one piece, so the segment count is a cheap lower bound that
+	// absorbs most of the append growth on first use.
+	nseg := 0
+	for _, it := range b {
+		nseg += len(it.Vec)
+	}
+	if cap(s.pieces) < nseg {
+		s.pieces = make([]bpiece, 0, nseg)
+	}
 	for i, it := range b {
 		if it.Set == nil {
 			return nil, nil, fmt.Errorf("blockio: %s item %d has no Set", op, i)
@@ -106,23 +146,18 @@ func (b BatchVec) mapBatch(op string) ([]batchRun, Store, error) {
 			if sg.N == 0 {
 				continue
 			}
-			tmp = it.Set.layout.MapRun(tmp[:0], sg.Block, sg.N)
-			for _, r := range tmp {
-				pieces = append(pieces, bpiece{
+			s.tmp = it.Set.layout.MapRun(s.tmp[:0], sg.Block, sg.N)
+			for _, r := range s.tmp {
+				s.pieces = append(s.pieces, bpiece{
 					dev: r.Dev, pb: it.Set.base[r.Dev] + r.PBlock, n: r.N,
 					buf: it.Buf, bufOff: sg.BufOff + (r.B-sg.Block)*bs,
 				})
 			}
 		}
 	}
-	sort.Slice(pieces, func(i, j int) bool {
-		if pieces[i].dev != pieces[j].dev {
-			return pieces[i].dev < pieces[j].dev
-		}
-		return pieces[i].pb < pieces[j].pb
-	})
-	runs := make([]batchRun, 0, len(pieces))
-	for _, pc := range pieces {
+	sort.Sort(s)
+	runs := make([]batchRun, 0, len(s.pieces))
+	for _, pc := range s.pieces {
 		if k := len(runs) - 1; k >= 0 && runs[k].dev == pc.dev {
 			last := &runs[k]
 			if last.pb+last.n > pc.pb {

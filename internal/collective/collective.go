@@ -152,6 +152,37 @@ type Collective struct {
 	// Recording is pure Now() reads, so it never perturbs the schedule.
 	commIv []iv
 	ioIv   []iv
+
+	// Sparse-exchange scratch, shared by all ranks under strict
+	// alternation. payPool recycles exchange payload buffers: a sender
+	// packs into a pooled buffer, ownership rides the message, and the
+	// consumer returns it once copied out, so steady-state rounds
+	// allocate nothing. dstIdx (invariant: all -1 outside a pack call)
+	// maps destination rank to its message while one rank packs; a pack
+	// never parks the engine, so one shared array serves every rank.
+	// msgScratch holds per-rank outgoing message lists, reused per call.
+	payPool    [][]byte
+	dstIdx     []int
+	msgScratch [][]mpp.Msg
+}
+
+// getPay pops a recycled payload buffer (length 0, capacity whatever it
+// grew to) or returns nil for append to grow.
+func (c *Collective) getPay() []byte {
+	if n := len(c.payPool); n > 0 {
+		b := c.payPool[n-1]
+		c.payPool[n-1] = nil
+		c.payPool = c.payPool[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// putPay returns a fully consumed payload buffer to the pool.
+func (c *Collective) putPay(b []byte) {
+	if cap(b) > 0 {
+		c.payPool = append(c.payPool, b)
+	}
 }
 
 // Open builds a collective handle for a size-rank group over the file
@@ -170,16 +201,22 @@ func Open(g *pfs.FileGroup, size int, opts Options) (*Collective, error) {
 	if naggs > size {
 		naggs = size
 	}
-	return &Collective{
-		group: g,
-		size:  size,
-		naggs: naggs,
-		bs:    int64(g.Store().BlockSize()),
-		opts:  opts,
-		reqs:  make([][]VecReq, size),
-		bufs:  make([][]byte, size),
-		errs:  make([]error, size),
-	}, nil
+	c := &Collective{
+		group:      g,
+		size:       size,
+		naggs:      naggs,
+		bs:         int64(g.Store().BlockSize()),
+		opts:       opts,
+		reqs:       make([][]VecReq, size),
+		bufs:       make([][]byte, size),
+		errs:       make([]error, size),
+		dstIdx:     make([]int, size),
+		msgScratch: make([][]mpp.Msg, size),
+	}
+	for i := range c.dstIdx {
+		c.dstIdx[i] = -1
+	}
+	return c, nil
 }
 
 // Group returns the underlying file group.
@@ -241,37 +278,47 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 		// pipelined schedule overlapping exchange with device access.
 		c.runPipelined(p, pl, write, buf)
 	case write:
+		send := c.packRankMsgs(pl, rank, buf)
 		t0 := p.Now()
-		recv := p.Alltoallv(c.packRankPieces(pl, rank, buf))
+		recv := p.AlltoallvSparse(send)
 		c.commIv = append(c.commIv, iv{t0, p.Now()})
-		var cur []int64
-		var aggErrs []error
+		// Assemble every owned domain from the delivered payloads, then
+		// issue the device batches. Assembly is pure compute — it costs no
+		// virtual time — so hoisting it above the first batch leaves the
+		// modeled schedule bit-identical to interleaving it per domain.
+		var owned []int
+		var dombufs [][]byte
 		for a := 0; a < pl.naggs; a++ {
-			if pl.owner[a] != rank {
-				continue
+			if pl.owner[a] == rank {
+				lo, hi := pl.domain(a)
+				owned = append(owned, a)
+				dombufs = append(dombufs, make([]byte, (hi-lo)*pl.bs))
 			}
-			if cur == nil {
-				cur = make([]int64, c.size)
-			}
-			dombuf := c.assembleDomain(pl, a, recv, cur)
+		}
+		c.assembleDomains(pl, owned, recv, dombufs)
+		p.RecycleRecv(recv)
+		var aggErrs []error
+		for i, a := range owned {
 			// p.Proc, not p: sim.Par recognizes the underlying engine
 			// process, so the domain's per-device runs issue in parallel.
 			t0 := p.Now()
-			if err := c.domainBatch(pl, a, dombuf).Write(p.Proc); err != nil {
+			if err := c.domainBatch(pl, a, dombufs[i]).Write(p.Proc); err != nil {
 				aggErrs = append(aggErrs, err)
 			}
 			c.ioIv = append(c.ioIv, iv{t0, p.Now()})
 		}
 		c.errs[rank] = errors.Join(aggErrs...)
 	default:
-		var send [][]byte
+		// Read every owned domain, then pack all outgoing payloads in one
+		// non-parking section (the pack shares the handle's scratch, and
+		// packing is free in virtual time — same schedule as packing each
+		// domain right after its read).
+		var owned []int
+		var dombufs [][]byte
 		var aggErrs []error
 		for a := 0; a < pl.naggs; a++ {
 			if pl.owner[a] != rank {
 				continue
-			}
-			if send == nil {
-				send = make([][]byte, c.size)
 			}
 			lo, hi := pl.domain(a)
 			dombuf := make([]byte, (hi-lo)*pl.bs)
@@ -280,13 +327,16 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 				aggErrs = append(aggErrs, err)
 			}
 			c.ioIv = append(c.ioIv, iv{t0, p.Now()})
-			c.packDomainPieces(pl, a, dombuf, send)
+			owned = append(owned, a)
+			dombufs = append(dombufs, dombuf)
 		}
 		c.errs[rank] = errors.Join(aggErrs...)
+		send := c.packDomainMsgs(pl, rank, owned, dombufs)
 		t0 := p.Now()
-		recv := p.Alltoallv(send)
+		recv := p.AlltoallvSparse(send)
 		c.commIv = append(c.commIv, iv{t0, p.Now()})
-		c.scatterRankPieces(pl, rank, recv, buf)
+		c.scatterRankMsgs(pl, rank, recv, buf)
+		p.RecycleRecv(recv)
 	}
 	p.Barrier()
 	if rank == 0 {
@@ -308,82 +358,106 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 	return errors.Join(errs...)
 }
 
-// packRankPieces builds rank's write-phase exchange payloads, keyed by
-// destination rank: for each domain in ascending order, the rank's clips
-// against that domain concatenated onto the domain owner's payload. The
-// (domain asc, clip asc) canonical order is what lets the aggregator
-// side consume payloads with plain per-source cursors.
-func (c *Collective) packRankPieces(pl *plan, rank int, buf []byte) [][]byte {
-	send := make([][]byte, c.size)
-	for a := 0; a < pl.naggs; a++ {
-		if pl.shares[rank][a] == 0 {
-			continue
-		}
+// packRankMsgs builds rank's write-phase exchange messages, one per
+// destination aggregator rank the footprint actually touches: for each
+// touched domain in ascending order, the rank's clips against that
+// domain concatenated onto the domain owner's payload. The (domain asc,
+// clip asc) canonical order is what lets the aggregator side consume a
+// payload with one plain cursor. Payload buffers come from the handle's
+// pool; the consumer recycles them.
+func (c *Collective) packRankMsgs(pl *plan, rank int, buf []byte) []mpp.Msg {
+	msgs := c.msgScratch[rank][:0]
+	for _, a32 := range pl.domsOf[rank] {
+		a := int(a32)
 		dst := pl.owner[a]
-		if send[dst] == nil {
-			// Exact capacity on first touch: this rank's payload to dst
-			// summed across all of dst's domains, so multi-domain owners
-			// (Options.Locality) never reallocate mid-pack.
-			var need int64
-			for b := a; b < pl.naggs; b++ {
-				if pl.owner[b] == dst {
-					need += pl.shares[rank][b]
-				}
-			}
-			send[dst] = make([]byte, 0, need)
+		i := c.dstIdx[dst]
+		if i < 0 {
+			i = len(msgs)
+			msgs = append(msgs, mpp.Msg{Dst: dst, Data: c.getPay()})
+			c.dstIdx[dst] = i
 		}
 		pl.forEachClip(rank, a, func(cl clip) {
-			send[dst] = append(send[dst], buf[cl.bufOff:cl.bufOff+cl.n*pl.bs]...)
+			msgs[i].Data = append(msgs[i].Data, buf[cl.bufOff:cl.bufOff+cl.n*pl.bs]...)
 		})
 	}
-	return send
-}
-
-// assembleDomain builds domain a's buffer from the ranks' write-phase
-// payloads. cur holds the caller's per-source payload cursors, advanced
-// across the caller's owned domains in ascending order — mirroring
-// packRankPieces's concatenation. Sources are applied in rank order, so
-// when the plan admits overlaps (Options.LastWriterWins) the highest
-// overlapping rank's bytes land.
-func (c *Collective) assembleDomain(pl *plan, a int, recv [][]byte, cur []int64) []byte {
-	lo, hi := pl.domain(a)
-	dombuf := make([]byte, (hi-lo)*pl.bs)
-	for src := 0; src < c.size; src++ {
-		pay := recv[src]
-		pl.forEachClip(src, a, func(cl clip) {
-			n := cl.n * pl.bs
-			copy(dombuf[cl.domOff:cl.domOff+n], pay[cur[src]:cur[src]+n])
-			cur[src] += n
-		})
+	for _, m := range msgs {
+		c.dstIdx[m.Dst] = -1
 	}
-	return dombuf
+	c.msgScratch[rank] = msgs
+	return msgs
 }
 
-// packDomainPieces appends domain a's read-phase pieces onto each rank's
-// payload in send: the rank's clips copied out of the freshly read
-// domain buffer. Called for the aggregator's owned domains in ascending
-// order, matching scatterRankPieces's consumption order.
-func (c *Collective) packDomainPieces(pl *plan, a int, dombuf []byte, send [][]byte) {
-	for r := 0; r < c.size; r++ {
-		pl.forEachClip(r, a, func(cl clip) {
-			send[r] = append(send[r], dombuf[cl.domOff:cl.domOff+cl.n*pl.bs]...)
-		})
+// assembleDomains builds the owned domains' buffers from the write-phase
+// receive list. The caller sorts recv by source rank first, so each
+// domain sees its sources applied in rank order and overlap resolution
+// (Options.LastWriterWins) matches the rank-ordered semantics. Each
+// payload is one source's clips across the owned domains in ascending
+// order — packRankMsgs's concatenation — so a single per-message cursor
+// consumes it; consumed payloads return to the pool.
+func (c *Collective) assembleDomains(pl *plan, owned []int, recv []mpp.RecvMsg, dombufs [][]byte) {
+	mpp.SortBySrc(recv)
+	for _, m := range recv {
+		var off int64
+		for i, a := range owned {
+			dombuf := dombufs[i]
+			pl.forEachClip(m.Src, a, func(cl clip) {
+				n := cl.n * pl.bs
+				copy(dombuf[cl.domOff:cl.domOff+n], m.Data[off:off+n])
+				off += n
+			})
+		}
+		c.putPay(m.Data)
 	}
 }
 
-// scatterRankPieces delivers the read-phase payloads into rank's buffer,
-// consuming each aggregator's payload with a cursor across its owned
-// domains in ascending order.
-func (c *Collective) scatterRankPieces(pl *plan, rank int, recv [][]byte, buf []byte) {
-	cur := make([]int64, c.size)
-	for a := 0; a < pl.naggs; a++ {
-		src := pl.owner[a]
-		pay := recv[src]
-		pl.forEachClip(rank, a, func(cl clip) {
-			n := cl.n * pl.bs
-			copy(buf[cl.bufOff:cl.bufOff+n], pay[cur[src]:cur[src]+n])
-			cur[src] += n
-		})
+// packDomainMsgs builds an aggregator's read-phase messages, one per
+// rank with clips in any owned domain: the rank's clips copied out of
+// the freshly read domain buffers, owned domains in ascending order —
+// the order scatterRankMsgs consumes.
+func (c *Collective) packDomainMsgs(pl *plan, rank int, owned []int, dombufs [][]byte) []mpp.Msg {
+	msgs := c.msgScratch[rank][:0]
+	for i, a := range owned {
+		dombuf := dombufs[i]
+		for _, r32 := range pl.ranksIn[a] {
+			r := int(r32)
+			j := c.dstIdx[r]
+			if j < 0 {
+				j = len(msgs)
+				msgs = append(msgs, mpp.Msg{Dst: r, Data: c.getPay()})
+				c.dstIdx[r] = j
+			}
+			pl.forEachClip(r, a, func(cl clip) {
+				msgs[j].Data = append(msgs[j].Data, dombuf[cl.domOff:cl.domOff+cl.n*pl.bs]...)
+			})
+		}
+	}
+	for _, m := range msgs {
+		c.dstIdx[m.Dst] = -1
+	}
+	c.msgScratch[rank] = msgs
+	return msgs
+}
+
+// scatterRankMsgs delivers the read-phase payloads into rank's buffer,
+// consuming each aggregator's payload with a per-message cursor across
+// that aggregator's domains in ascending order (scatter targets are
+// disjoint buffer ranges, so message order is immaterial). Consumed
+// payloads return to the pool.
+func (c *Collective) scatterRankMsgs(pl *plan, rank int, recv []mpp.RecvMsg, buf []byte) {
+	for _, m := range recv {
+		var off int64
+		for _, a32 := range pl.domsOf[rank] {
+			a := int(a32)
+			if pl.owner[a] != m.Src {
+				continue
+			}
+			pl.forEachClip(rank, a, func(cl clip) {
+				n := cl.n * pl.bs
+				copy(buf[cl.bufOff:cl.bufOff+n], m.Data[off:off+n])
+				off += n
+			})
+		}
+		c.putPay(m.Data)
 	}
 }
 

@@ -48,21 +48,22 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 			owned = append(owned, a)
 		}
 	}
-	ex := p.NewExchange()
+	ex := p.NewSparseExchange()
 	if len(owned) == 0 {
 		// Pure compute rank: it only feeds (or drains) the exchange
 		// rounds — no device work, no companion process.
 		for k := 0; k < pl.rounds; k++ {
 			if write {
-				send := c.packRankChunk(pl, rank, k, buf)
+				send := c.packChunkSparse(pl, rank, k, buf)
 				t0 := p.Now()
-				ex.Round(send)
+				p.RecycleRecv(ex.Round(send))
 				c.commIv = append(c.commIv, iv{t0, p.Now()})
 			} else {
 				t0 := p.Now()
 				recv := ex.Round(nil)
 				c.commIv = append(c.commIv, iv{t0, p.Now()})
-				c.scatterRankChunk(pl, rank, k, recv, buf)
+				c.scatterChunkSparse(pl, rank, k, recv, buf)
+				p.RecycleRecv(recv)
 			}
 		}
 		c.errs[rank] = nil
@@ -75,14 +76,15 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 		// construction), but surface it on every round's schedule anyway:
 		// the rank still must participate in the exchanges.
 		for k := 0; k < pl.rounds; k++ {
-			var send [][]byte
+			var send []mpp.Msg
 			if write {
-				send = c.packRankChunk(pl, rank, k, buf)
+				send = c.packChunkSparse(pl, rank, k, buf)
 			}
 			recv := ex.Round(send)
 			if !write {
-				c.scatterRankChunk(pl, rank, k, recv, buf)
+				c.scatterChunkSparse(pl, rank, k, recv, buf)
 			}
+			p.RecycleRecv(recv)
 		}
 		c.errs[rank] = err
 		return
@@ -90,18 +92,19 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 
 	type round struct {
 		k    int
-		data [][]byte // write: received payloads; read: payloads to send
+		recv []mpp.RecvMsg // write: payloads received for the access stage
+		send []mpp.Msg     // read: payloads packed for delivery
 	}
 	if write {
 		c.errs[rank] = sim.Pipe(p.Proc, "collective-io", 1,
 			func(q *sim.Queue) error { // exchange stage, on the rank
 				defer q.Close(p.Proc)
 				for k := 0; k < pl.rounds; k++ {
-					send := c.packRankChunk(pl, rank, k, buf)
+					send := c.packChunkSparse(pl, rank, k, buf)
 					t0 := p.Now()
 					recv := ex.Round(send)
 					c.commIv = append(c.commIv, iv{t0, p.Now()})
-					q.Put(p.Proc, round{k: k, data: recv})
+					q.Put(p.Proc, round{k: k, recv: recv})
 				}
 				return nil
 			},
@@ -114,10 +117,13 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 					}
 					r := v.(round)
 					t0 := cp.Now()
-					if err := agg.writeChunk(cp, r.k, r.data); err != nil {
+					if err := agg.writeChunk(cp, r.k, r.recv); err != nil {
 						errs = append(errs, err)
 					}
 					c.ioIv = append(c.ioIv, iv{t0, cp.Now()})
+					// The companion recycles on the rank's behalf: only
+					// handle memory is touched, never engine state.
+					p.RecycleRecv(r.recv)
 				}
 			})
 		return
@@ -125,14 +131,15 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 	c.errs[rank] = sim.Pipe(p.Proc, "collective-io", 1,
 		func(q *sim.Queue) error { // delivery stage, on the rank
 			for k := 0; k < pl.rounds; k++ {
-				var send [][]byte
+				var send []mpp.Msg
 				if v, ok := q.Get(p.Proc); ok {
-					send = v.(round).data
+					send = v.(round).send
 				}
 				t0 := p.Now()
 				recv := ex.Round(send)
 				c.commIv = append(c.commIv, iv{t0, p.Now()})
-				c.scatterRankChunk(pl, rank, k, recv, buf)
+				c.scatterChunkSparse(pl, rank, k, recv, buf)
+				p.RecycleRecv(recv)
 			}
 			return nil
 		},
@@ -146,7 +153,7 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 					errs = append(errs, err)
 				}
 				c.ioIv = append(c.ioIv, iv{t0, cp.Now()})
-				q.Put(cp, round{k: k, data: send})
+				q.Put(cp, round{k: k, send: send})
 			}
 			return errors.Join(errs...)
 		})
@@ -155,13 +162,17 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 // aggState is one aggregator rank's pipelined device-access state: a
 // prepared batch plan per owned domain (mapped, sorted and merged once,
 // cut at the chunk boundaries) and two staging buffers per domain — the
-// bounded memory the whole feature is named for.
+// bounded memory the whole feature is named for. msgScr holds the read
+// path's two in-flight outgoing message lists: round k's list sits in
+// the stage queue while round k+1 is being packed, and slot k%2 is free
+// again by round k+2 because the delivery stage is sequential.
 type aggState struct {
-	c     *Collective
-	pl    *plan
-	owned []int
-	plans []*blockio.BatchPlan
-	stage [][2][]byte
+	c      *Collective
+	pl     *plan
+	owned  []int
+	plans  []*blockio.BatchPlan
+	stage  [][2][]byte
+	msgScr [2][]mpp.Msg
 }
 
 func (c *Collective) newAggState(pl *plan, owned []int) (*aggState, error) {
@@ -190,15 +201,34 @@ func (s *aggState) chunkBuf(i, k int, lo, hi int64) []byte {
 	return s.stage[i][k%2][:(hi-lo)*s.pl.bs]
 }
 
-// writeChunk assembles round k's received payloads into each owned
-// domain's chunk staging buffer and issues the chunk's window of the
-// prepared plan. Payload cursors advance across the owned domains in
-// ascending order, mirroring packRankChunk's concatenation; sources
-// apply in rank order, so LastWriterWins overlaps resolve exactly as in
-// the single-shot schedule.
-func (s *aggState) writeChunk(ctx sim.Context, k int, recv [][]byte) error {
+// writeChunk assembles round k's received payloads into the owned
+// domains' chunk staging buffers and issues each chunk's window of the
+// prepared plan. A single cursor walks each payload across the owned
+// domains in ascending order, mirroring packChunkSparse's
+// concatenation; the receive list is sorted by source first, so each
+// domain sees its sources in rank order and LastWriterWins overlaps
+// resolve exactly as in the single-shot schedule. Assembly is pure
+// compute, so finishing it before the first WriteWindow leaves the
+// device schedule bit-identical to assembling per domain.
+func (s *aggState) writeChunk(ctx sim.Context, k int, recv []mpp.RecvMsg) error {
 	pl := s.pl
-	cur := make([]int64, s.c.size)
+	mpp.SortBySrc(recv)
+	for _, m := range recv {
+		var off int64
+		for i, a := range s.owned {
+			lo, hi := pl.chunkWindow(a, k)
+			if lo >= hi {
+				continue
+			}
+			buf := s.chunkBuf(i, k, lo, hi)
+			pl.forEachClipWin(m.Src, lo, hi, func(cl clip) {
+				n := cl.n * pl.bs
+				copy(buf[cl.domOff:cl.domOff+n], m.Data[off:off+n])
+				off += n
+			})
+		}
+		s.c.putPay(m.Data)
+	}
 	var errs []error
 	for i, a := range s.owned {
 		lo, hi := pl.chunkWindow(a, k)
@@ -206,14 +236,6 @@ func (s *aggState) writeChunk(ctx sim.Context, k int, recv [][]byte) error {
 			continue
 		}
 		buf := s.chunkBuf(i, k, lo, hi)
-		for src := 0; src < s.c.size; src++ {
-			pay := recv[src]
-			pl.forEachClipWin(src, lo, hi, func(cl clip) {
-				n := cl.n * pl.bs
-				copy(buf[cl.domOff:cl.domOff+n], pay[cur[src]:cur[src]+n])
-				cur[src] += n
-			})
-		}
 		if err := s.plans[i].WriteWindow(ctx, k, buf, (lo-dlo(pl, a))*pl.bs); err != nil {
 			errs = append(errs, err)
 		}
@@ -222,11 +244,13 @@ func (s *aggState) writeChunk(ctx sim.Context, k int, recv [][]byte) error {
 }
 
 // readChunk reads chunk k of every owned domain through the prepared
-// plans and packs the ranks' round-k payloads from the fresh staging
-// buffers — the read mirror of writeChunk.
-func (s *aggState) readChunk(ctx sim.Context, k int) ([][]byte, error) {
+// plans, then packs the ranks' round-k messages from the fresh staging
+// buffers — the read mirror of writeChunk. The pack copies into pooled
+// payload buffers (staging is reused two rounds later, so bytes cannot
+// ride the message by reference) and runs without parking, after all
+// the reads, keeping the handle-shared pack scratch consistent.
+func (s *aggState) readChunk(ctx sim.Context, k int) ([]mpp.Msg, error) {
 	pl := s.pl
-	send := make([][]byte, s.c.size)
 	var errs []error
 	for i, a := range s.owned {
 		lo, hi := pl.chunkWindow(a, k)
@@ -237,16 +261,33 @@ func (s *aggState) readChunk(ctx sim.Context, k int) ([][]byte, error) {
 		if err := s.plans[i].ReadWindow(ctx, k, buf, (lo-dlo(pl, a))*pl.bs); err != nil {
 			errs = append(errs, err)
 		}
-		for r := 0; r < s.c.size; r++ {
+	}
+	c := s.c
+	msgs := s.msgScr[k%2][:0]
+	for i, a := range s.owned {
+		lo, hi := pl.chunkWindow(a, k)
+		if lo >= hi {
+			continue
+		}
+		buf := s.chunkBuf(i, k, lo, hi)
+		for _, r32 := range pl.ranksIn[a] {
+			r := int(r32)
 			pl.forEachClipWin(r, lo, hi, func(cl clip) {
-				if send[r] == nil {
-					send[r] = []byte{}
+				j := c.dstIdx[r]
+				if j < 0 {
+					j = len(msgs)
+					msgs = append(msgs, mpp.Msg{Dst: r, Data: c.getPay()})
+					c.dstIdx[r] = j
 				}
-				send[r] = append(send[r], buf[cl.domOff:cl.domOff+cl.n*pl.bs]...)
+				msgs[j].Data = append(msgs[j].Data, buf[cl.domOff:cl.domOff+cl.n*pl.bs]...)
 			})
 		}
 	}
-	return send, errors.Join(errs...)
+	for _, m := range msgs {
+		c.dstIdx[m.Dst] = -1
+	}
+	s.msgScr[k%2] = msgs
+	return msgs, errors.Join(errs...)
 }
 
 // dlo is domain a's covered-index start.
@@ -255,46 +296,57 @@ func dlo(pl *plan, a int) int64 {
 	return lo
 }
 
-// packRankChunk builds rank's round-k write payloads, keyed by
-// destination rank: for each domain in ascending order, the rank's
-// clips against that domain's chunk-k window concatenated onto the
-// domain owner's payload — the chunked analogue of packRankPieces, with
-// the same canonical (domain asc, clip asc) order.
-func (c *Collective) packRankChunk(pl *plan, rank, k int, buf []byte) [][]byte {
-	var send [][]byte
-	for a := 0; a < pl.naggs; a++ {
+// packChunkSparse builds rank's round-k write messages: for each
+// touched domain in ascending order, the rank's clips against that
+// domain's chunk-k window concatenated onto the domain owner's payload
+// — the chunked analogue of packRankMsgs, with the same canonical
+// (domain asc, clip asc) order. A message is created only when the
+// window actually holds a clip, so round-level pair counts (and the
+// exchange's per-pair setup charges) match the dense schedule exactly.
+func (c *Collective) packChunkSparse(pl *plan, rank, k int, buf []byte) []mpp.Msg {
+	msgs := c.msgScratch[rank][:0]
+	for _, a32 := range pl.domsOf[rank] {
+		a := int(a32)
 		lo, hi := pl.chunkWindow(a, k)
 		dst := pl.owner[a]
 		pl.forEachClipWin(rank, lo, hi, func(cl clip) {
-			if send == nil {
-				send = make([][]byte, c.size)
+			i := c.dstIdx[dst]
+			if i < 0 {
+				i = len(msgs)
+				msgs = append(msgs, mpp.Msg{Dst: dst, Data: c.getPay()})
+				c.dstIdx[dst] = i
 			}
-			if send[dst] == nil {
-				send[dst] = []byte{}
-			}
-			send[dst] = append(send[dst], buf[cl.bufOff:cl.bufOff+cl.n*pl.bs]...)
+			msgs[i].Data = append(msgs[i].Data, buf[cl.bufOff:cl.bufOff+cl.n*pl.bs]...)
 		})
 	}
-	return send
+	for _, m := range msgs {
+		c.dstIdx[m.Dst] = -1
+	}
+	c.msgScratch[rank] = msgs
+	return msgs
 }
 
-// scatterRankChunk delivers round k's read payloads into rank's buffer,
-// consuming each aggregator's payload with a per-round cursor across its
-// owned domains in ascending order (matching readChunk's packing).
-func (c *Collective) scatterRankChunk(pl *plan, rank, k int, recv [][]byte, buf []byte) {
-	var cur []int64
-	for a := 0; a < pl.naggs; a++ {
-		src := pl.owner[a]
-		lo, hi := pl.chunkWindow(a, k)
-		pl.forEachClipWin(rank, lo, hi, func(cl clip) {
-			if cur == nil {
-				cur = make([]int64, c.size)
+// scatterChunkSparse delivers round k's read payloads into rank's
+// buffer, consuming each aggregator's payload with a per-message cursor
+// across that aggregator's domains in ascending order (matching
+// readChunk's packing). Consumed payloads return to the pool; the
+// caller recycles the receive list itself.
+func (c *Collective) scatterChunkSparse(pl *plan, rank, k int, recv []mpp.RecvMsg, buf []byte) {
+	for _, m := range recv {
+		var off int64
+		for _, a32 := range pl.domsOf[rank] {
+			a := int(a32)
+			if pl.owner[a] != m.Src {
+				continue
 			}
-			pay := recv[src]
-			n := cl.n * pl.bs
-			copy(buf[cl.bufOff:cl.bufOff+n], pay[cur[src]:cur[src]+n])
-			cur[src] += n
-		})
+			lo, hi := pl.chunkWindow(a, k)
+			pl.forEachClipWin(rank, lo, hi, func(cl clip) {
+				n := cl.n * pl.bs
+				copy(buf[cl.bufOff:cl.bufOff+n], m.Data[off:off+n])
+				off += n
+			})
+		}
+		c.putPay(m.Data)
 	}
 }
 

@@ -75,6 +75,13 @@ type plan struct {
 	// rounds selects the unchunked single-shot path.
 	chunkBlocks int64
 	rounds      int
+	// Sparse participation indexes, derived from shares: domsOf[r] lists
+	// the domains rank r's footprint touches and ranksIn[a] the ranks
+	// touching domain a (both ascending). The exchange and staging loops
+	// iterate these instead of scanning all ranks × all domains, so a
+	// round's cost follows the communication pattern, not the group size.
+	domsOf  [][]int32
+	ranksIn [][]int32
 	// Per-rank covered-index ranges of segs (cstart[r][i] = covered
 	// index of segs[r][i].gb, cend its end) and the running maximum of
 	// cend — precomputed once so window clipping can binary-search its
@@ -214,6 +221,16 @@ func buildPlan(group *pfs.FileGroup, reqs [][]VecReq, bufs [][]byte, naggs int, 
 					hi = ci + sg.n
 				}
 				pl.shares[r][a] += (hi - lo) * pl.bs
+			}
+		}
+	}
+	pl.domsOf = make([][]int32, len(reqs))
+	pl.ranksIn = make([][]int32, naggs)
+	for r := range pl.shares {
+		for a, b := range pl.shares[r] {
+			if b > 0 {
+				pl.domsOf[r] = append(pl.domsOf[r], int32(a))
+				pl.ranksIn[a] = append(pl.ranksIn[a], int32(r))
 			}
 		}
 	}

@@ -47,6 +47,31 @@
 // is never charged. Traffic reports the accumulated cross-link volume,
 // counted whether or not a model is configured, so tests can measure
 // how many bytes an algorithm moved over the interconnect.
+//
+// # Sparse exchanges
+//
+// The dense forms above take and return rank-indexed slices, so every
+// process touches all P entries per round — O(P²) work and garbage per
+// collective even when a locality-aware plan makes most pairs empty.
+// The sparse forms (AlltoallvSparse, NewSparseExchange) carry the same
+// exchange as explicit (rank, payload) message lists: a process pays
+// only for the pairs it actually communicates with, payloads transfer
+// by reference instead of by copy, and receive lists are recycled
+// through a pool (RecycleRecv). Charging is identical by construction —
+// the same per-message setup, the same byte totals against the link and
+// the pool, the same Traffic counts, the same barrier structure — so a
+// program moved from the dense to the sparse form reports bit-identical
+// modeled times; only the wall-clock cost of simulating it changes.
+//
+// # Topology-aware bisection (optional)
+//
+// SetTopology splits the group into halves. With a topology configured,
+// only traffic that crosses the cut is charged against the bisection
+// pool (self-side messages still pay per-process link costs), and a
+// process whose round moved no cross-cut bytes skips the pool wait
+// entirely — senders that finish early release the pool to others
+// instead of idling until the collective's drain. Off by default;
+// without a topology pool charging is unchanged.
 package mpp
 
 import (
@@ -135,10 +160,18 @@ type Group struct {
 	exCharged bool
 	exEnd     time.Duration
 	// reduction scratch
-	redVals  []float64
-	redCount int
-	gather   [][]byte
-	a2a      [][][]byte // a2a[src][dst]: Alltoallv scratch
+	redVals   []float64
+	redCount  int
+	gather    [][]byte
+	gatherBuf [][]byte   // per-rank retained Gather copies, reused per call
+	a2a       [][][]byte // a2a[src][dst]: dense Alltoallv scratch (lazy)
+	// sparse exchange state: per-rank inboxes plus a free list of
+	// consumed receive lists handed back through RecycleRecv
+	sin       [][]RecvMsg
+	inboxPool [][]RecvMsg
+	// topo, when non-nil, assigns each rank a side of the bisection cut;
+	// only cross-cut traffic then charges the pool (see SetTopology)
+	topo []int
 }
 
 // Run launches fn on size processes under the engine and returns the
@@ -149,10 +182,6 @@ func Run(e *sim.Engine, size int, name string, fn func(p *Proc)) (*Group, *sim.G
 		barrier: sim.NewBarrier(size),
 		redVals: make([]float64, size),
 		gather:  make([][]byte, size),
-		a2a:     make([][][]byte, size),
-	}
-	for i := range g.a2a {
-		g.a2a[i] = make([][]byte, size)
 	}
 	var join sim.Group
 	for r := 0; r < size; r++ {
@@ -202,31 +231,41 @@ func (p *Proc) ReduceMax(v float64) float64 {
 // link.
 func (p *Proc) Gather(payload []byte) [][]byte {
 	g := p.group
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
+	if g.gatherBuf == nil {
+		g.gatherBuf = make([][]byte, g.size)
+	}
+	// Reuse this rank's retained buffer: the result is only promised
+	// valid until the next collective, so the copy from the prior Gather
+	// is dead by the time we overwrite it.
+	cp := append(g.gatherBuf[p.rank][:0], payload...)
+	g.gatherBuf[p.rank] = cp
 	g.gather[p.rank] = cp
 	cross := int64(g.size-1) * int64(len(payload))
+	crossPool := int64(g.othersAcross(p.rank)) * int64(len(payload))
 	if g.size > 1 {
 		// The payload reaches size-1 remote processes; the process's own
 		// copy is local. A 1-process gather is pure copy: no link charge.
 		p.chargeLink(1, int64(len(payload)))
 		g.trafMsgs += int64(g.size - 1)
 		g.trafBytes += cross
-		g.crossVol += cross
+		g.crossVol += crossPool
 	}
 	p.Barrier()
 	out := g.gather
-	var in int64
+	var in, inPool int64
 	for r, pl := range out {
 		if r != p.rank {
 			in += int64(len(pl))
+			if g.crossCut(r, p.rank) {
+				inPool += int64(len(pl))
+			}
 		}
 	}
 	p.chargeLink(g.size-1, in)
-	p.chargePool(g.crossVol)
+	p.chargePool(g.crossVol, crossPool+inPool)
 	p.Barrier()
 	if g.size > 1 {
-		g.crossVol -= cross
+		g.crossVol -= crossPool
 	}
 	g.exCharged = false
 	return out
@@ -267,6 +306,53 @@ func (g *Group) SetBisectionPool(pool *Bisection) {
 		pool = nil
 	}
 	g.bisection = pool
+}
+
+// SetTopology assigns each rank a side of the bisection cut: side[r] is
+// an arbitrary side label for rank r (typically 0 or 1 for the two
+// halves of the machine). With a topology configured, only traffic
+// between ranks on different sides charges the shared bisection pool —
+// same-side messages still pay per-process link costs (SetLink) and
+// still count in Traffic, but they do not cross the cut the pool
+// models. A process that moved no cross-cut bytes in a collective skips
+// the pool wait entirely, and the processes that did wait only until
+// the shared reservation drains, so early finishers release bandwidth
+// within the round. nil restores the default (every non-self message
+// charges the pool). Configure before the group's processes start
+// communicating; len(side) must equal the group size.
+func (g *Group) SetTopology(side []int) {
+	if side != nil && len(side) != g.size {
+		panic("mpp: SetTopology side length != group size")
+	}
+	g.topo = side
+}
+
+// crossCut reports whether a message from rank a to rank b crosses the
+// bisection cut (and so charges the pool). Without a topology every
+// non-self pair crosses; a == b never does.
+func (g *Group) crossCut(a, b int) bool {
+	if a == b {
+		return false
+	}
+	if g.topo == nil {
+		return true
+	}
+	return g.topo[a] != g.topo[b]
+}
+
+// othersAcross counts the ranks a broadcast-style payload from rank r
+// must cross the cut to reach (all other ranks without a topology).
+func (g *Group) othersAcross(r int) int {
+	if g.topo == nil {
+		return g.size - 1
+	}
+	n := 0
+	for o, s := range g.topo {
+		if o != r && s != g.topo[r] {
+			n++
+		}
+	}
+	return n
 }
 
 // Traffic reports the cross-link volume the group's collectives have
@@ -310,18 +396,30 @@ func (p *Proc) chargeLink(msgs int, bytes int64) {
 // exceeds it only when an earlier reservation is still draining, i.e.
 // under cross-exchange contention). A no-op when the shared model is
 // off.
-func (p *Proc) chargePool(vol int64) {
+//
+// own is the caller's personal cross-cut volume (bytes it sent plus
+// bytes it received across the bisection cut). It matters only with a
+// topology configured (SetTopology): a process with own == 0 skips the
+// pool wait, and participating processes wait only for the shared
+// reservation to drain rather than their own full-volume drain —
+// finishing early releases the pool within the round.
+func (p *Proc) chargePool(vol, own int64) {
 	g := p.group
 	if g.bisection == nil || vol <= 0 {
 		return
+	}
+	if g.topo != nil && own <= 0 {
+		return // no cross-cut involvement: the pool is not this process's wait
 	}
 	if !g.exCharged {
 		g.exEnd = g.bisection.reserve(p.Now(), vol)
 		g.exCharged = true
 	}
-	until := p.Now() + time.Duration(float64(vol)/g.bisection.bw*float64(time.Second))
-	if g.exEnd > until {
-		until = g.exEnd
+	until := g.exEnd
+	if g.topo == nil {
+		if mine := p.Now() + time.Duration(float64(vol)/g.bisection.bw*float64(time.Second)); mine > until {
+			until = mine
+		}
 	}
 	if until > p.Now() {
 		p.SleepUntil(until)
@@ -345,8 +443,8 @@ func (p *Proc) chargePool(vol int64) {
 // aggregators ship file domains back to ranks, in one step.
 func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 	g := p.group
-	row := g.a2a[p.rank]
-	var out int64
+	row := g.denseRow(p.rank)
+	var out, outPool int64
 	outMsgs := 0
 	for dst := 0; dst < g.size; dst++ {
 		var pl []byte
@@ -363,32 +461,52 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 		if dst != p.rank {
 			out += int64(len(pl))
 			outMsgs++
+			if g.crossCut(p.rank, dst) {
+				outPool += int64(len(pl))
+			}
 		}
 	}
 	p.chargeLink(outMsgs, out)
 	g.trafMsgs += int64(outMsgs)
 	g.trafBytes += out
-	g.crossVol += out
+	g.crossVol += outPool
 	p.Barrier()
 	// Between the barriers crossVol holds every rank's contribution —
 	// the whole exchange's cross-link volume (self payloads excluded),
 	// identical for all readers.
 	recv := make([][]byte, g.size)
-	var in int64
+	var in, inPool int64
 	inMsgs := 0
 	for src := 0; src < g.size; src++ {
 		recv[src] = g.a2a[src][p.rank]
 		if src != p.rank && recv[src] != nil {
 			in += int64(len(recv[src]))
 			inMsgs++
+			if g.crossCut(src, p.rank) {
+				inPool += int64(len(recv[src]))
+			}
 		}
 	}
 	p.chargeLink(inMsgs, in)
-	p.chargePool(g.crossVol)
+	p.chargePool(g.crossVol, outPool+inPool)
 	p.Barrier()
-	g.crossVol -= out
+	g.crossVol -= outPool
 	g.exCharged = false
 	return recv
+}
+
+// denseRow returns this rank's row of the dense Alltoallv scratch table,
+// allocating the table lazily: programs on the sparse path never pay the
+// O(size²) footprint. Every rank of a dense collective calls this before
+// the entry barrier, so all rows exist by delivery time.
+func (g *Group) denseRow(rank int) [][]byte {
+	if g.a2a == nil {
+		g.a2a = make([][][]byte, g.size)
+	}
+	if g.a2a[rank] == nil {
+		g.a2a[rank] = make([][]byte, g.size)
+	}
+	return g.a2a[rank]
 }
 
 // Exchange is a chunked personalized exchange: one logical Alltoallv
@@ -427,8 +545,8 @@ func (p *Proc) NewExchange() *Exchange {
 func (ex *Exchange) Round(send [][]byte) [][]byte {
 	p := ex.p
 	g := p.group
-	row := g.a2a[p.rank]
-	var out int64
+	row := g.denseRow(p.rank)
+	var out, outPool int64
 	newOut := 0
 	for dst := 0; dst < g.size; dst++ {
 		var pl []byte
@@ -448,15 +566,18 @@ func (ex *Exchange) Round(send [][]byte) [][]byte {
 				ex.sentTo[dst] = true
 				newOut++
 			}
+			if g.crossCut(p.rank, dst) {
+				outPool += int64(len(pl))
+			}
 		}
 	}
 	p.chargeLink(newOut, out)
 	g.trafMsgs += int64(newOut)
 	g.trafBytes += out
-	g.crossVol += out
+	g.crossVol += outPool
 	p.Barrier()
 	recv := make([][]byte, g.size)
-	var in int64
+	var in, inPool int64
 	newIn := 0
 	for src := 0; src < g.size; src++ {
 		recv[src] = g.a2a[src][p.rank]
@@ -466,12 +587,15 @@ func (ex *Exchange) Round(send [][]byte) [][]byte {
 				ex.recvFrom[src] = true
 				newIn++
 			}
+			if g.crossCut(src, p.rank) {
+				inPool += int64(len(recv[src]))
+			}
 		}
 	}
 	p.chargeLink(newIn, in)
-	p.chargePool(g.crossVol)
+	p.chargePool(g.crossVol, outPool+inPool)
 	p.Barrier()
-	g.crossVol -= out
+	g.crossVol -= outPool
 	g.exCharged = false
 	return recv
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mpp
+
+const raceEnabled = false

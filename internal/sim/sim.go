@@ -17,12 +17,28 @@
 //   - Wall, a trivial context for ordinary library use, where device
 //     models complete instantly and Sleep is a no-op unless a scale
 //     factor is configured.
+//
+// # Scalability
+//
+// The engine is built to make a simulated second cheap even at thousands
+// of processes. Each process owns exactly one event slot, embedded in the
+// Proc itself and tracked by an indexed min-heap, so a superseded park or
+// double wake is resolved in place at schedule time and the heap never
+// accumulates stale entries. Events scheduled for the current instant
+// bypass the heap entirely via a FIFO ready list, so a barrier releasing
+// P processes costs P appends, not P heap pushes. Finished process
+// shells — struct, wake channel, and worker goroutine — are recycled
+// through a free list, so spawn-heavy patterns (sim.Par fan-out per
+// device access) stop paying per-spawn allocation and goroutine-creation
+// costs after warm-up. All of this changes wall-clock cost only: the
+// dispatch order, and therefore every modeled timestamp, is bit-identical
+// to a naive heap-of-events scheduler.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -38,35 +54,11 @@ type Context interface {
 	Sleep(d time.Duration)
 }
 
-// event is a scheduled wakeup for a parked process. epoch pairs the event
-// with a particular park: events whose epoch no longer matches the
-// process's current park are stale and dropped, so a double wake or an
-// abandoned timer can never resume the wrong wait.
-type event struct {
-	at    time.Duration
-	seq   uint64 // tie-break: earlier-scheduled events fire first
-	epoch uint64
-	proc  *Proc
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+// Event slot states for Proc.slot. Non-negative values index e.heap.
+const (
+	slotNone  = -1 // no pending event
+	slotReady = -2 // queued on the ready list for the current instant
+)
 
 // Engine is a deterministic discrete-event scheduler for virtual-time
 // processes. Create one with NewEngine, add processes with Go, then call
@@ -78,20 +70,20 @@ func (h *eventHeap) Pop() any {
 // identical. All engine and process methods must be called either from
 // the currently running managed process or (before Run) from the owner.
 type Engine struct {
-	now     time.Duration
-	seq     uint64
-	events  eventHeap
-	procs   map[*Proc]bool // live processes
-	yield   chan struct{}  // process -> scheduler handoff
-	started bool
+	now       time.Duration
+	seq       uint64
+	heap      []*Proc // indexed min-heap on (evAt, evSeq); one slot per proc
+	ready     []*Proc // FIFO of procs whose event time equals now
+	readyHead int
+	live      []*Proc // live processes (order immaterial; swap-removed)
+	free      []*Proc // finished shells available for reuse by Go
+	yield     chan struct{}
+	started   bool
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{
-		procs: make(map[*Proc]bool),
-		yield: make(chan struct{}),
-	}
+	return &Engine{yield: make(chan struct{})}
 }
 
 // Now reports current virtual time. Valid from any managed process and,
@@ -100,12 +92,27 @@ func (e *Engine) Now() time.Duration { return e.now }
 
 // Proc is a virtual-time process. It implements Context. All Proc methods
 // must be called from the goroutine the engine created for it.
+//
+// A Proc value is only valid while its process is live: once the function
+// passed to Go returns, the shell may be recycled for a later Go, so
+// holding a *Proc across its completion and waking it is a protocol
+// error (synchronization primitives and device queues only ever wake
+// processes that are currently parked, which live processes are by
+// construction).
 type Proc struct {
 	e       *Engine
 	name    string
 	wake    chan struct{}
+	fn      func(*Proc)
 	waiting bool
+	dead    bool
 	epoch   uint64
+	// Embedded event slot: each process has at most one pending wakeup,
+	// kept in-place so superseded schedules never leave heap garbage.
+	evAt    time.Duration
+	evSeq   uint64
+	slot    int
+	liveIdx int // index in e.live for O(1) removal
 }
 
 // Name reports the name given to Go.
@@ -119,29 +126,90 @@ func (p *Proc) Now() time.Duration { return p.e.now }
 
 // Go registers fn as a managed process. It may be called before Run or
 // from a running managed process; the new process begins executing at the
-// current virtual time, after the spawner next parks.
+// current virtual time, after the spawner next parks. Finished process
+// shells (and their worker goroutines) are reused, so the returned *Proc
+// must not be retained past fn's return.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{e: e, name: name, wake: make(chan struct{})}
-	e.procs[p] = true
-	p.epoch = 1
-	p.waiting = true // the goroutine below starts blocked on its start event
+	var p *Proc
+	if n := len(e.free); n > 0 {
+		p = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		p.dead = false
+	} else {
+		p = &Proc{e: e, wake: make(chan struct{}), slot: slotNone}
+		go p.loop()
+	}
+	p.name = name
+	p.fn = fn
+	p.liveIdx = len(e.live)
+	e.live = append(e.live, p)
+	p.epoch++
+	p.waiting = true // the worker goroutine is blocked on its start event
 	e.schedule(e.now, p, p.epoch)
-	go func() {
-		<-p.wake // wait for start event
-		fn(p)
-		delete(e.procs, p)
-		e.yield <- struct{}{}
-	}()
 	return p
 }
 
+// loop is the worker goroutine body: run one process function per wake,
+// then return the shell to the engine's free list. The goroutine exits
+// when the engine closes the shell's wake channel after Run completes.
+func (p *Proc) loop() {
+	for {
+		if _, ok := <-p.wake; !ok {
+			return
+		}
+		fn := p.fn
+		p.fn = nil
+		fn(p)
+		e := p.e
+		last := len(e.live) - 1
+		e.live[p.liveIdx] = e.live[last]
+		e.live[p.liveIdx].liveIdx = p.liveIdx
+		e.live[last] = nil
+		e.live = e.live[:last]
+		p.dead = true
+		e.free = append(e.free, p)
+		e.yield <- struct{}{}
+	}
+}
+
 // schedule enqueues a wakeup for p at time at, bound to park epoch ep.
+// Staleness is resolved here rather than at dispatch: under strict
+// alternation a parked process cannot run (and so cannot finish or
+// re-park) before its pending event fires, so conditions checked at
+// schedule time still hold at dispatch time. A schedule for a process
+// that already has an earlier-or-equal pending event is dropped — the
+// earlier event is exactly the one the old pop-and-skip scheduler would
+// have dispatched — and a strictly earlier schedule moves the slot in
+// place (decrease-key), so no stale entries ever enter the heap.
 func (e *Engine) schedule(at time.Duration, p *Proc, ep uint64) {
+	e.seq++
+	if p.dead || !p.waiting || ep != p.epoch {
+		return // stale: process finished, running, or park superseded
+	}
 	if at < e.now {
 		at = e.now
 	}
-	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, epoch: ep, proc: p})
+	switch {
+	case p.slot == slotNone:
+		p.evAt, p.evSeq = at, e.seq
+		if at == e.now {
+			p.slot = slotReady
+			e.ready = append(e.ready, p)
+		} else {
+			e.heapPush(p)
+		}
+	case at < p.evAt: // double schedule: keep the minimum (at, seq)
+		p.evAt, p.evSeq = at, e.seq
+		if at == e.now {
+			e.heapRemove(p)
+			p.slot = slotReady
+			e.ready = append(e.ready, p)
+		} else {
+			e.heapUp(p.slot)
+		}
+	}
+	// Otherwise the pending event fires no later; the new one is stale.
 }
 
 // park hands control to the scheduler and blocks until resumed. The
@@ -181,7 +249,9 @@ func (p *Proc) Park() {
 
 // Wake schedules the parked process p to resume at the current virtual
 // time. Under strict alternation the target is guaranteed to be parked
-// (or finished) whenever another process runs, so this is race-free.
+// whenever another process runs, so this is race-free. Waking a process
+// that has finished is a protocol error (its shell may already belong to
+// a later Go).
 func (e *Engine) Wake(p *Proc) { e.WakeAt(p, e.now) }
 
 // WakeAt schedules the parked process p to resume at virtual time at.
@@ -204,57 +274,170 @@ func (d *Deadlock) Error() string {
 // from the goroutine that owns the engine (not a managed process), and at
 // most once. It returns a *Deadlock error if processes remain parked with
 // no pending events; otherwise nil.
+//
+// Dispatch order: among pending events, the minimum (time, schedule-seq)
+// fires first. Events for the current instant live on a FIFO ready list;
+// every heap event at the current instant was scheduled before time
+// advanced here and so precedes every ready entry, which is why draining
+// heap-at-now before the ready list preserves exact seq order.
 func (e *Engine) Run() error {
 	if e.started {
 		return fmt.Errorf("sim: Run called twice")
 	}
 	e.started = true
 	for {
-		if len(e.procs) == 0 {
+		if len(e.live) == 0 {
+			e.reapFree()
 			return nil
 		}
-		runnable := false
-		var ev event
-		for e.events.Len() > 0 {
-			ev = heap.Pop(&e.events).(event)
-			if e.procs[ev.proc] && ev.proc.waiting && ev.epoch == ev.proc.epoch {
-				runnable = true
-				break
+		var p *Proc
+		switch {
+		case len(e.heap) > 0 && e.heap[0].evAt == e.now:
+			p = e.heapPop()
+		case e.readyHead < len(e.ready):
+			p = e.ready[e.readyHead]
+			e.ready[e.readyHead] = nil
+			e.readyHead++
+			if e.readyHead == len(e.ready) {
+				e.ready = e.ready[:0]
+				e.readyHead = 0
 			}
-			// Stale: process finished, superseded park, or double wake.
-		}
-		if !runnable {
+			p.slot = slotNone
+		case len(e.heap) > 0:
+			e.now = e.heap[0].evAt
+			p = e.heapPop()
+		default:
 			var names []string
-			for p := range e.procs {
-				names = append(names, p.name)
+			for _, q := range e.live {
+				names = append(names, q.name)
 			}
 			sort.Strings(names)
+			e.reapFree()
 			return &Deadlock{At: e.now, Procs: names}
 		}
-		e.now = ev.at
-		ev.proc.waiting = false
-		ev.proc.wake <- struct{}{}
+		p.waiting = false
+		p.wake <- struct{}{}
 		<-e.yield // wait for the process to park or finish
 	}
 }
 
+// reapFree terminates pooled worker goroutines once the run is over so
+// finished engines do not pin idle goroutines.
+func (e *Engine) reapFree() {
+	for i, p := range e.free {
+		close(p.wake)
+		e.free[i] = nil
+	}
+	e.free = nil
+}
+
+// Indexed binary min-heap over (evAt, evSeq), with each proc's position
+// stored in p.slot so re-schedules adjust entries in place.
+
+func (e *Engine) evLess(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.evAt != b.evAt {
+		return a.evAt < b.evAt
+	}
+	return a.evSeq < b.evSeq
+}
+
+func (e *Engine) evSwap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].slot = i
+	e.heap[j].slot = j
+}
+
+func (e *Engine) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.evLess(i, parent) {
+			break
+		}
+		e.evSwap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) heapDown(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && e.evLess(l, min) {
+			min = l
+		}
+		if r < n && e.evLess(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		e.evSwap(i, min)
+		i = min
+	}
+}
+
+func (e *Engine) heapPush(p *Proc) {
+	p.slot = len(e.heap)
+	e.heap = append(e.heap, p)
+	e.heapUp(p.slot)
+}
+
+func (e *Engine) heapPop() *Proc {
+	p := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap[0].slot = 0
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.heapDown(0)
+	}
+	p.slot = slotNone
+	return p
+}
+
+// heapRemove deletes p from an arbitrary heap position.
+func (e *Engine) heapRemove(p *Proc) {
+	i := p.slot
+	last := len(e.heap) - 1
+	if i != last {
+		e.heap[i] = e.heap[last]
+		e.heap[i].slot = i
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i < last {
+		e.heapDown(i)
+		e.heapUp(i)
+	}
+	p.slot = slotNone
+}
+
 // Wall is a Context for ordinary (non-simulated) execution. The zero
-// value never sleeps and reports time elapsed since the first call.
+// value never sleeps and reports time elapsed since the first call; the
+// epoch is latched exactly once, so a zero-value Wall shared across
+// goroutines is safe.
 type Wall struct {
 	start time.Time
+	once  sync.Once
 	// Scale multiplies modeled durations into real sleeps; zero means
 	// modeled delays are skipped entirely (functional mode).
 	Scale float64
 }
 
 // NewWall returns a wall-clock context that skips modeled delays.
-func NewWall() *Wall { return &Wall{start: time.Now()} }
+func NewWall() *Wall {
+	w := &Wall{}
+	w.once.Do(func() { w.start = time.Now() })
+	return w
+}
 
-// Now reports wall time elapsed since the context was created.
+// Now reports wall time elapsed since the context was created (or since
+// the first call, for a zero-value Wall).
 func (w *Wall) Now() time.Duration {
-	if w.start.IsZero() {
-		w.start = time.Now()
-	}
+	w.once.Do(func() { w.start = time.Now() })
 	return time.Since(w.start)
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -416,6 +417,104 @@ func TestWaitQueueWakeOrder(t *testing.T) {
 		if order[i] != want[i] {
 			t.Fatalf("wake order = %v, want %v", order, want)
 		}
+	}
+}
+
+// TestWallConcurrentNow guards the lazy-init fix: a zero-value Wall
+// shared across goroutines must latch its epoch exactly once. Run with
+// -race to catch regressions.
+func TestWallConcurrentNow(t *testing.T) {
+	var w Wall
+	var wg sync.WaitGroup
+	results := make([]time.Duration, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = w.Now()
+		}(i)
+	}
+	wg.Wait()
+	for i, d := range results {
+		if d < 0 {
+			t.Fatalf("goroutine %d saw negative elapsed time %v", i, d)
+		}
+	}
+}
+
+// TestProcShellReuse checks that finished process shells are recycled:
+// a spawn-join loop should settle onto pooled shells instead of
+// allocating a fresh goroutine and channel per spawn.
+func TestProcShellReuse(t *testing.T) {
+	e := NewEngine()
+	seen := make(map[*Proc]int)
+	e.Go("driver", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			var g Group
+			g.Spawn(p.Engine(), "worker", func(c *Proc) {
+				seen[c]++
+				c.Sleep(time.Microsecond)
+			})
+			g.Wait(p)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range seen {
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("ran %d workers, want 100", total)
+	}
+	// 100 sequential spawns should reuse a small number of shells.
+	if len(seen) > 3 {
+		t.Fatalf("used %d distinct shells for 100 sequential spawns, want pooling", len(seen))
+	}
+}
+
+// TestBatchedSameTimeDispatch stresses the ready-list fast path: a
+// barrier releasing many processes at one instant must preserve FIFO
+// wake order and leave the heap free of stale entries.
+func TestBatchedSameTimeDispatch(t *testing.T) {
+	const n = 64
+	e := NewEngine()
+	b := NewBarrier(n)
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(time.Duration(i%7) * time.Millisecond)
+			b.Wait(p)
+			order = append(order, i)
+			p.Sleep(time.Millisecond)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("released %d, want %d", len(order), n)
+	}
+	// The last arriver (largest i with i%7 == 6) completes the barrier,
+	// appends first, and releases the waiters in FIFO arrival order:
+	// delay cohorts ascending, spawn order within each cohort.
+	want := []int{62}
+	for cohort := 0; cohort < 7; cohort++ {
+		for i := cohort; i < n; i += 7 {
+			if i != 62 {
+				want = append(want, i)
+			}
+		}
+	}
+	for idx := range want {
+		if order[idx] != want[idx] {
+			t.Fatalf("release order[%d] = %d, want %d (full: %v)", idx, order[idx], want[idx], order)
+		}
+	}
+	if len(e.heap) != 0 || e.readyHead != len(e.ready) {
+		t.Fatalf("engine left %d heap / %d ready entries after Run", len(e.heap), len(e.ready)-e.readyHead)
 	}
 }
 

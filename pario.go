@@ -143,6 +143,30 @@
 // conversion) can instead pass a Wall context, under which devices
 // complete instantly.
 //
+// # Simulation scalability
+//
+// Modeled time and wall-clock time are deliberately decoupled: what a
+// scenario costs the simulated machine is fixed by the model, and the
+// engine is built so that what it costs the host grows with actual
+// activity, not with machine size. The engine keeps pending events in
+// an indexed heap with in-place re-schedule and recycles process shells
+// (goroutine + wake channel) across spawns; the exchange layer's sparse
+// collectives (internal/mpp's AlltoallvSparse / SparseExchange) carry
+// explicit message lists with by-reference payload delivery and pooled
+// receive buffers, so an exchange round costs O(messages actually
+// sent), not O(ranks²); the collective layer packs and scatters through
+// the plan's participation indexes and pooled payload buffers. The
+// sparse-exchange guarantee is exact: charging is computed from the
+// same message and byte totals, between the same barriers, as the dense
+// forms, so modeled results are bit-identical — only the wall-clock
+// cost of producing them changes (TestDefaultModelPinned,
+// TestEngineScaleWin and TestPipelinedDeterminism512 enforce this from
+// three directions). A 4096-rank × 256-drive contended pipelined
+// checkpoint simulates in well under a wall-clock second per modeled
+// second; `pariosim -scenario scale` prints the sweep, and pariosim's
+// -cpuprofile/-memprofile flags capture pprof profiles of the simulator
+// itself.
+//
 // # Quickstart
 //
 //	machine := pario.NewMachine(4) // 4 drives, one volume, virtual time
