@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "all", "one of: seek, service, stripe, extent, noncontig, collective, contended, pipeline, profile, scale, all")
+	scenario := flag.String("scenario", "all", "one of: seek, service, stripe, extent, noncontig, collective, contended, pipeline, profile, multijob, scale, all")
 	profile := flag.String("profile", "", "profile for the profile scenario: tuned, paper, or empty for both")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
@@ -86,6 +86,8 @@ func run(scenario, profile string, w io.Writer) error {
 		return pipelineDemo(w)
 	case "profile":
 		return profileDemo(w, profile)
+	case "multijob":
+		return multijobDemo(w)
 	case "scale":
 		return scaleDemo(w)
 	case "all":
@@ -114,6 +116,9 @@ func run(scenario, profile string, w io.Writer) error {
 			return err
 		}
 		if err := profileDemo(w, profile); err != nil {
+			return err
+		}
+		if err := multijobDemo(w); err != nil {
 			return err
 		}
 		return scaleDemo(w)
@@ -766,4 +771,128 @@ func scaleDemo(w io.Writer) error {
 	t.Note = "wall time is host-dependent; the shape to watch is sub-linear growth in wall s / modeled s\nas ranks × drives grow. BenchmarkEngineScale tracks the 4096 × 256 point in CI (BENCH_scale.json)."
 	fmt.Fprintln(w, t.String())
 	return nil
+}
+
+// multijobDemo sweeps the I/O service: J jobs (job 0 a bulk writer
+// issuing a backlog of nonblocking checkpoints, the rest small
+// latency-sensitive jobs) share one single-worker server, at several
+// arrival spacings, under each QoS policy. The table reports the worst
+// small-job p99 — the number FIFO lets the bulk job ruin and fair-share
+// or strict priority bound — plus the bulk job's own p99 and the run's
+// modeled makespan (QoS reorders the backlog, it does not starve it).
+func multijobDemo(w io.Writer) error {
+	t := stats.NewTable("Multi-job I/O service: QoS policy vs small jobs' tail latency (one server worker; job 0 is a bulk writer)",
+		"jobs", "gap", "policy", "small p99", "bulk p99", "makespan")
+	for _, nJobs := range []int{2, 4, 8} {
+		for _, gap := range []time.Duration{0, 5 * time.Millisecond} {
+			for _, pol := range []pario.IOPolicy{pario.IOFIFO, pario.IOFairShare, pario.IOPriority} {
+				small, bulk, makespan, err := multijobRun(nJobs, gap, pol)
+				if err != nil {
+					return err
+				}
+				t.AddRow(nJobs, gap, pol, small, bulk, makespan)
+			}
+		}
+	}
+	t.Note = "small p99 = worst latency percentile across the small jobs' lanes (IOJob.Stats);\ngap staggers job arrivals. fair = start-time fair queuing by served bytes; prio = small jobs at priority 1."
+	fmt.Fprintln(w, t.String())
+	return nil
+}
+
+// multijobRun executes one cell of the multijob sweep and returns the
+// worst small-job p99, the bulk job's p99, and the modeled makespan.
+func multijobRun(nJobs int, gap time.Duration, pol pario.IOPolicy) (small, bulk, makespan time.Duration, err error) {
+	const ranks = 4
+	m := pario.NewMachine(2)
+	srv := pario.NewIOServer(pario.IOServerConfig{Workers: 1, Policy: pol})
+	var done pario.Group
+	var lanes []*pario.IOJob
+	var cols []*pario.Collective
+	for j := 0; j < nJobs; j++ {
+		blocks := int64(32)
+		prio := 1 // small jobs overtake under strict priority
+		if j == 0 {
+			blocks, prio = 256, 0
+		}
+		if _, err = m.Volume.Create(pario.Spec{
+			Name: fmt.Sprintf("job%d", j), Org: pario.OrgGlobalDirect,
+			RecordSize: 4096, BlockRecords: 1, NumRecords: blocks,
+			Placement: pario.PlaceStriped, StripeUnitFS: 1,
+		}); err != nil {
+			return
+		}
+		var g *pario.FileGroup
+		if g, err = m.Volume.OpenGroup(fmt.Sprintf("job%d", j)); err != nil {
+			return
+		}
+		lane := srv.AddJob(pario.IOJobConfig{Name: fmt.Sprintf("job%d", j), Priority: prio})
+		var col *pario.Collective
+		if col, err = pario.OpenCollective(g, ranks, pario.CollectiveOptions{Service: lane}); err != nil {
+			return
+		}
+		lanes, cols = append(lanes, lane), append(cols, col)
+	}
+	srv.Start(m.Engine)
+	var rankErr error
+	done.Add(nJobs * ranks)
+	for j := 0; j < nJobs; j++ {
+		j := j
+		blocks, rounds := int64(32), 4
+		if j == 0 {
+			blocks, rounds = 256, 4
+		}
+		m.GoRanks(ranks, fmt.Sprintf("job%d", j), func(r *pario.Rank) {
+			defer done.Done(r.Proc)
+			r.Compute(time.Duration(j) * gap)
+			per := blocks / ranks
+			buf := make([]byte, per*4096)
+			reqs := []pario.VecReq{{File: 0, Vec: pario.Vec{{Block: int64(r.Rank()) * per, N: per}}}}
+			if j == 0 {
+				// Bulk: the whole backlog up front, then the Waits.
+				var hs []*pario.IOHandle
+				for i := 0; i < rounds; i++ {
+					h, herr := cols[j].IWriteAll(r, reqs, buf)
+					if herr != nil {
+						rankErr = herr
+						return
+					}
+					hs = append(hs, h)
+				}
+				for _, h := range hs {
+					if herr := h.Wait(r); herr != nil {
+						rankErr = herr
+					}
+				}
+				return
+			}
+			for i := 0; i < rounds; i++ {
+				h, herr := cols[j].IWriteAll(r, reqs, buf)
+				if herr != nil {
+					rankErr = herr
+					return
+				}
+				if herr := h.Wait(r); herr != nil {
+					rankErr = herr
+				}
+			}
+		})
+	}
+	m.Go("driver", func(p *pario.Proc) {
+		done.Wait(p)
+		srv.Stop(p)
+		makespan = p.Now()
+	})
+	if err = m.Run(); err != nil {
+		return
+	}
+	if err = rankErr; err != nil {
+		return
+	}
+	bulk = lanes[0].Stats().P99
+	for _, lane := range lanes[1:] {
+		if st := lane.Stats(); st.P99 > small {
+			small = st.P99
+		}
+	}
+	return
 }

@@ -50,10 +50,26 @@ type FlushRun func(ctx sim.Context, first int64, n int, buf []byte) error
 // coalesces physically adjacent blocks into single device requests.
 type FetchSpan func(ctx sim.Context, idxs []int64, buf []byte) error
 
+// fetched is one prefetched block's future: the prefetcher enqueues it
+// on the filled queue at claim time (so consumers receive blocks in
+// stream order) and completes it when the fetch lands.
+type fetched struct {
+	idx  int64
+	buf  []byte
+	err  error
+	done bool
+	wq   sim.WaitQueue
+}
+
 // SeqReader streams blocks 0..total-1 in order through a fixed pool of
 // buffers, prefetching ahead of the consumer. Multiple consumers may call
 // Next concurrently under an engine (each receives a distinct block, in
 // claim order) — this is the substrate for shared self-scheduled reads.
+//
+// Under an engine the reader is built on two sim.Queues — the same
+// request-queue machinery the I/O server uses: free buffers flow
+// producer-ward through freeq, and fetched-block futures flow
+// consumer-ward through fillq in claim order.
 type SeqReader struct {
 	fetch     Fetch
 	blockSize int
@@ -63,13 +79,11 @@ type SeqReader struct {
 
 	started   bool
 	closed    bool
-	free      [][]byte
-	filled    map[int64][]byte
-	errs      map[int64]error
+	free      [][]byte   // synchronous-path free list (engine moves it into freeq)
+	freeq     *sim.Queue // []byte, capacity nbufs
+	fillq     *sim.Queue // *fetched, in claim order
 	nextFetch int64
 	nextServe int64
-	freeWq    sim.WaitQueue
-	fillWq    sim.WaitQueue
 }
 
 // NewSeqReader builds a reader of total blocks of blockSize bytes using
@@ -95,8 +109,6 @@ func NewSeqReader(fetch Fetch, blockSize int, total int64, nbufs, readers int) (
 		total:     total,
 		nbufs:     nbufs,
 		readers:   readers,
-		filled:    make(map[int64][]byte),
-		errs:      make(map[int64]error),
 	}
 	for i := 0; i < nbufs; i++ {
 		r.free = append(r.free, make([]byte, blockSize))
@@ -131,34 +143,53 @@ func NewSeqReaderExtent(fetch FetchRun, blockSize int, total int64, extent, nbuf
 	return NewSeqReader(wrapped, blockSize*extent, extents, nbufs, readers)
 }
 
-// startPrefetch launches the dedicated I/O processes (engine mode only).
+// startPrefetch launches the dedicated I/O processes (engine mode
+// only), moving the buffer pool into the queues. Each prefetcher claims
+// the next block, publishes its future on fillq (claim and publish
+// never park, so fillq stays in stream order — fillq is unbounded for
+// exactly that reason; the buffer pool is what bounds read-ahead), then
+// fetches and completes the future.
 func (r *SeqReader) startPrefetch(p *sim.Proc) {
 	r.started = true
+	r.freeq = sim.NewQueue(r.nbufs)
+	r.fillq = sim.NewQueue(1 << 30)
+	for _, b := range r.free {
+		r.freeq.Put(p, b)
+	}
+	r.free = nil
 	for i := 0; i < r.readers; i++ {
 		p.Engine().Go("prefetch", func(io *sim.Proc) {
 			for {
-				for len(r.free) == 0 && !r.closed && r.nextFetch < r.total {
-					r.freeWq.Wait(io)
-				}
 				if r.closed || r.nextFetch >= r.total {
 					return
 				}
-				buf := r.free[len(r.free)-1]
-				r.free = r.free[:len(r.free)-1]
-				idx := r.nextFetch
+				v, ok := r.freeq.Get(io)
+				if !ok {
+					return // reader closed
+				}
+				buf := v.([]byte)
+				if r.closed {
+					return // closed while parked; drop the buffer
+				}
+				if r.nextFetch >= r.total {
+					// Stream exhausted while parked: hand the buffer to
+					// any sibling still mid-claim and retire.
+					r.freeq.Put(io, buf)
+					return
+				}
+				f := &fetched{idx: r.nextFetch, buf: buf}
 				r.nextFetch++
-				err := r.fetch(io, idx, buf)
+				r.fillq.Put(io, f)
+				err := r.fetch(io, f.idx, buf)
 				if r.closed {
 					return // consumer gone; drop the block
 				}
 				if err != nil {
-					r.errs[idx] = err
-					r.free = append(r.free, buf)
-					r.freeWq.WakeOne(io.Engine())
-				} else {
-					r.filled[idx] = buf
+					f.err, f.buf = err, nil
+					r.freeq.Put(io, buf)
 				}
-				r.fillWq.WakeAll(io.Engine())
+				f.done = true
+				f.wq.WakeAll(io.Engine())
 			}
 		})
 	}
@@ -193,35 +224,46 @@ func (r *SeqReader) Next(ctx sim.Context) ([]byte, int64, error) {
 	if !r.started {
 		r.startPrefetch(p)
 	}
-	idx := r.nextServe
 	r.nextServe++
-	for r.filled[idx] == nil && r.errs[idx] == nil {
-		r.fillWq.Wait(p)
+	// Futures arrive in claim order, so the queue's head is this
+	// consumer's block; park on the future until its fetch lands.
+	v, ok := r.fillq.Get(p)
+	if !ok {
+		return nil, r.nextServe - 1, fmt.Errorf("buffer: reader closed")
 	}
-	if err := r.errs[idx]; err != nil {
-		delete(r.errs, idx)
-		return nil, idx, err
+	f := v.(*fetched)
+	for !f.done {
+		f.wq.Wait(p)
 	}
-	buf := r.filled[idx]
-	delete(r.filled, idx)
-	return buf, idx, nil
+	if f.err != nil {
+		return nil, f.idx, f.err
+	}
+	return f.buf, f.idx, nil
 }
 
 // Release returns a buffer obtained from Next to the pool.
 func (r *SeqReader) Release(ctx sim.Context, buf []byte) {
-	r.free = append(r.free, buf)
-	if p, ok := ctx.(*sim.Proc); ok {
-		r.freeWq.WakeOne(p.Engine())
+	if p, ok := ctx.(*sim.Proc); ok && r.started {
+		if r.closed {
+			return
+		}
+		// Never parks: the pool holds at most nbufs buffers.
+		r.freeq.Put(p, buf)
+		return
 	}
+	r.free = append(r.free, buf)
 }
 
 // Close shuts the reader down; outstanding prefetches complete and are
 // discarded, parked prefetchers are released.
 func (r *SeqReader) Close(ctx sim.Context) {
+	if r.closed {
+		return
+	}
 	r.closed = true
-	if p, ok := ctx.(*sim.Proc); ok {
-		r.freeWq.WakeAll(p.Engine())
-		r.fillWq.WakeAll(p.Engine())
+	if p, ok := ctx.(*sim.Proc); ok && r.started {
+		r.freeq.Close(p)
+		r.fillq.Close(p)
 	}
 }
 
@@ -234,21 +276,23 @@ type flushItem struct {
 // SeqWriter implements deferred writing: the producer fills buffers and
 // Submit returns immediately while dedicated writer processes perform the
 // transfers. Close drains everything and reports the first errors.
+//
+// Under an engine the writer is built on two sim.Queues, mirroring
+// SeqReader: filled blocks flow writer-ward through queue, drained
+// buffers flow back through freeq.
 type SeqWriter struct {
 	flush     FlushFn
 	blockSize int
 	nbufs     int
 	writers   int
 
-	started  bool
-	closed   bool
-	free     [][]byte
-	queue    []flushItem
-	inflight int
-	errs     []error
-	freeWq   sim.WaitQueue
-	queueWq  sim.WaitQueue
-	idleWq   sim.WaitQueue
+	started bool
+	closed  bool
+	free    [][]byte   // synchronous-path free list (engine moves it into freeq)
+	freeq   *sim.Queue // []byte, capacity nbufs
+	queue   *sim.Queue // flushItem, capacity nbufs
+	errs    []error
+	g       sim.Group
 }
 
 // NewSeqWriter builds a deferred writer with nbufs buffers and `writers`
@@ -300,30 +344,29 @@ func NewSeqWriterExtent(flush FlushRun, blockSize int, total int64, extent, nbuf
 	return NewSeqWriter(wrapped, blockSize*extent, nbufs, writers)
 }
 
-// startWriters launches the flush processes (engine mode only).
+// startWriters launches the flush processes (engine mode only), moving
+// the buffer pool into the queues. Writers drain the flush queue until
+// Close closes it, returning each drained buffer to the pool.
 func (w *SeqWriter) startWriters(p *sim.Proc) {
 	w.started = true
+	w.freeq = sim.NewQueue(w.nbufs)
+	w.queue = sim.NewQueue(w.nbufs)
+	for _, b := range w.free {
+		w.freeq.Put(p, b)
+	}
+	w.free = nil
 	for i := 0; i < w.writers; i++ {
-		p.Engine().Go("write-behind", func(io *sim.Proc) {
+		w.g.Spawn(p.Engine(), "write-behind", func(io *sim.Proc) {
 			for {
-				for len(w.queue) == 0 && !w.closed {
-					w.queueWq.Wait(io)
-				}
-				if len(w.queue) == 0 && w.closed {
+				v, ok := w.queue.Get(io)
+				if !ok {
 					return
 				}
-				item := w.queue[0]
-				w.queue = w.queue[1:]
-				w.inflight++
+				item := v.(flushItem)
 				if err := w.flush(io, item.idx, item.buf); err != nil {
 					w.errs = append(w.errs, fmt.Errorf("buffer: flush block %d: %w", item.idx, err))
 				}
-				w.inflight--
-				w.free = append(w.free, item.buf)
-				w.freeWq.WakeOne(io.Engine())
-				if len(w.queue) == 0 && w.inflight == 0 {
-					w.idleWq.WakeAll(io.Engine())
-				}
+				w.freeq.Put(io, item.buf)
 			}
 		})
 	}
@@ -335,12 +378,14 @@ func (w *SeqWriter) Acquire(ctx sim.Context) ([]byte, error) {
 	if w.closed {
 		return nil, fmt.Errorf("buffer: writer closed")
 	}
-	p, engine := ctx.(*sim.Proc)
-	if engine && w.writers > 0 {
-		for len(w.free) == 0 {
-			w.freeWq.Wait(p)
+	if p, engine := ctx.(*sim.Proc); engine && w.writers > 0 && w.started {
+		v, ok := w.freeq.Get(p)
+		if !ok {
+			return nil, fmt.Errorf("buffer: writer closed")
 		}
-	} else if len(w.free) == 0 {
+		return v.([]byte), nil
+	}
+	if len(w.free) == 0 {
 		return nil, fmt.Errorf("buffer: no free buffer (synchronous writer leak?)")
 	}
 	buf := w.free[len(w.free)-1]
@@ -364,8 +409,9 @@ func (w *SeqWriter) Submit(ctx sim.Context, idx int64, buf []byte) error {
 	if !w.started {
 		w.startWriters(p)
 	}
-	w.queue = append(w.queue, flushItem{idx: idx, buf: buf})
-	w.queueWq.WakeOne(p.Engine())
+	// Never parks: every queued item holds a distinct pool buffer, so
+	// the queue holds at most nbufs items.
+	w.queue.Put(p, flushItem{idx: idx, buf: buf})
 	return nil
 }
 
@@ -375,14 +421,10 @@ func (w *SeqWriter) Close(ctx sim.Context) error {
 	if w.closed {
 		return nil
 	}
+	w.closed = true
 	if p, ok := ctx.(*sim.Proc); ok && w.started {
-		for len(w.queue) > 0 || w.inflight > 0 {
-			w.idleWq.Wait(p)
-		}
-		w.closed = true
-		w.queueWq.WakeAll(p.Engine())
-	} else {
-		w.closed = true
+		w.queue.Close(p)
+		w.g.Wait(p)
 	}
 	return errors.Join(w.errs...)
 }

@@ -17,7 +17,7 @@
 //  2. Exchange. Every rank ships the pieces of its buffer that fall in
 //     each domain to that domain's aggregator (writes), or the
 //     aggregators ship freshly read domains back to the ranks (reads),
-//     in one mpp.Alltoallv with modeled link cost.
+//     in one mpp.AlltoallvSparse with modeled link cost.
 //  3. Access. Each aggregator moves its whole domain with one
 //     blockio.BatchVec — the cross-file batch — so pieces that are
 //     physically adjacent on a device coalesce into single requests even
@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/blockio"
+	"repro/internal/ioserver"
 	"repro/internal/mpp"
 	"repro/internal/pfs"
 )
@@ -77,6 +78,17 @@ type Options struct {
 	// Overlaps within one rank's request list remain errors either way.
 	LastWriterWins bool
 
+	// Service routes the nonblocking entry points (IWriteAll/IReadAll)
+	// through an I/O server: instead of each aggregator executing its
+	// domain batch inline, the batches are enqueued on this job's lane
+	// of an ioserver.Server and the call returns a Handle immediately.
+	// The server's QoS policy then decides when the batches run,
+	// multiplexing this job against every other job sharing the
+	// server's devices. nil (the default) leaves the blocking calls as
+	// the only entry points; WriteAll/ReadAll never consult Service, so
+	// the default modeled timings stay bit-identical.
+	Service *ioserver.Job
+
 	// ChunkBytes bounds each aggregator's staging memory and turns the
 	// collective into a software pipeline (ROMIO's cb_buffer_size): every
 	// file domain is cut into ChunkBytes-sized chunks and the exchange of
@@ -101,7 +113,7 @@ type Options struct {
 //
 // The time fields are unions of busy intervals across all ranks in the
 // call's virtual-time window: ExchangeTime is the time at least one rank
-// was inside the exchange (Alltoallv or a pipelined round, including the
+// was inside the exchange (AlltoallvSparse or a pipelined round, including the
 // collective's rendezvous waits), AccessTime the time at least one
 // aggregator had device requests in flight, and Overlap the time both
 // were true at once. The single-shot schedule (ChunkBytes 0) reports
@@ -152,6 +164,12 @@ type Collective struct {
 	// Recording is pure Now() reads, so it never perturbs the schedule.
 	commIv []iv
 	ioIv   []iv
+
+	// Nonblocking-call scratch: the Handle under construction, built by
+	// rank 0 between the plan barriers and grabbed by every rank right
+	// after (nonblock.go). Outstanding handles own their state, so this
+	// slot is free for reuse the moment every rank has copied it.
+	hScratch *Handle
 
 	// Sparse-exchange scratch, shared by all ranks under strict
 	// alternation. payPool recycles exchange payload buffers: a sender

@@ -1,0 +1,227 @@
+package collective
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/blockio"
+	"repro/internal/ioserver"
+	"repro/internal/mpp"
+	"repro/internal/sim"
+)
+
+// serviceFor stands up an I/O server with one job lane on the engine.
+func serviceFor(e *sim.Engine, pol ioserver.Policy, workers int) (*ioserver.Server, *ioserver.Job) {
+	srv := ioserver.New(ioserver.Config{Workers: workers, Policy: pol})
+	job := srv.AddJob(ioserver.JobConfig{Name: "col"})
+	srv.Start(e)
+	return srv, job
+}
+
+// TestNonblockingWriteMatchesBlocking: IWriteAll+Wait lands exactly the
+// bytes WriteAll lands, for every layout and policy.
+func TestNonblockingWriteMatchesBlocking(t *testing.T) {
+	for _, pl := range testPlacements {
+		for _, pol := range []ioserver.Policy{ioserver.FIFO, ioserver.FairShare, ioserver.Priority} {
+			t.Run(fmt.Sprintf("%s/%v", pl.name, pol), func(t *testing.T) {
+				const nRanks = 8
+				// Blocking reference.
+				e, g, _ := collectiveFixture(t, storeDirect, pl.spec)
+				col, err := Open(g, nRanks, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, join := mpp.Run(e, nRanks, "w", func(p *mpp.Proc) {
+					reqs, buf, slots := strideReqs(g, p.Rank(), nRanks)
+					for i, gb := range slots {
+						pattern(gb, buf[int64(i)*testBS:int64(i+1)*testBS])
+					}
+					if err := col.WriteAll(p, reqs, buf); err != nil {
+						t.Errorf("rank %d: %v", p.Rank(), err)
+					}
+				})
+				e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+				if err := e.Run(); err != nil {
+					t.Fatal(err)
+				}
+				want := readAllBlocks(t, g)
+
+				// Nonblocking run on a twin setup.
+				e2, g2, _ := collectiveFixture(t, storeDirect, pl.spec)
+				srv, jb := serviceFor(e2, pol, 2)
+				col2, err := Open(g2, nRanks, Options{Service: jb})
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, join2 := mpp.Run(e2, nRanks, "iw", func(p *mpp.Proc) {
+					reqs, buf, slots := strideReqs(g2, p.Rank(), nRanks)
+					for i, gb := range slots {
+						pattern(gb, buf[int64(i)*testBS:int64(i+1)*testBS])
+					}
+					h, err := col2.IWriteAll(p, reqs, buf)
+					if err != nil {
+						t.Errorf("rank %d: %v", p.Rank(), err)
+						return
+					}
+					p.Compute(500 * time.Microsecond) // overlapped work
+					if err := h.Wait(p); err != nil {
+						t.Errorf("rank %d: %v", p.Rank(), err)
+					}
+					if !h.Test(p) {
+						t.Errorf("rank %d: Test false after Wait", p.Rank())
+					}
+				})
+				e2.Go("join", func(sp *sim.Proc) { join2.Wait(sp); srv.Stop(sp) })
+				if err := e2.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if got := readAllBlocks(t, g2); !bytes.Equal(got, want) {
+					t.Fatal("nonblocking write landed different bytes than blocking write")
+				}
+				st := jb.Stats()
+				if st.Submitted == 0 || st.Submitted != st.Completed {
+					t.Fatalf("server accounting: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestNonblockingReadMatchesBlocking: IReadAll delivers the same rank
+// buffers ReadAll delivers (buffers fill only at Wait).
+func TestNonblockingReadMatchesBlocking(t *testing.T) {
+	for _, pl := range testPlacements {
+		t.Run(pl.name, func(t *testing.T) {
+			const nRanks = 8
+			e, g, _ := collectiveFixture(t, storeDirect, pl.spec)
+			// Seed every block untimed through the independent path.
+			ctx := sim.NewWall()
+			for f := 0; f < g.Len(); f++ {
+				total := g.File(f).Mapper().TotalFSBlocks()
+				buf := make([]byte, total*testBS)
+				for b := int64(0); b < total; b++ {
+					pattern(g.Offset(f)+b, buf[b*testBS:(b+1)*testBS])
+				}
+				if err := g.File(f).Set().WriteVec(ctx, blockio.Vec{{Block: 0, N: total}}, buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			srv, jb := serviceFor(e, ioserver.FairShare, 2)
+			colB, err := Open(g, nRanks, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			colNB, err := Open(g, nRanks, Options{Service: jb})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, join := mpp.Run(e, nRanks, "r", func(p *mpp.Proc) {
+				reqs, bufWant, _ := strideReqs(g, p.Rank(), nRanks)
+				if err := colB.ReadAll(p, reqs, bufWant); err != nil {
+					t.Errorf("rank %d blocking: %v", p.Rank(), err)
+				}
+				reqs2, bufGot, _ := strideReqs(g, p.Rank(), nRanks)
+				h, err := colNB.IReadAll(p, reqs2, bufGot)
+				if err != nil {
+					t.Errorf("rank %d: %v", p.Rank(), err)
+					return
+				}
+				p.Compute(200 * time.Microsecond)
+				if err := h.Wait(p); err != nil {
+					t.Errorf("rank %d: %v", p.Rank(), err)
+				}
+				if !bytes.Equal(bufGot, bufWant) {
+					t.Errorf("rank %d: nonblocking read delivered different bytes", p.Rank())
+				}
+			})
+			e.Go("join", func(sp *sim.Proc) { join.Wait(sp); srv.Stop(sp) })
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestNonblockingRequiresService documents the Options.Service guard.
+func TestNonblockingRequiresService(t *testing.T) {
+	const nRanks = 4
+	e, g, _ := collectiveFixture(t, storeDirect, testPlacements[0].spec)
+	col, err := Open(g, nRanks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, join := mpp.Run(e, nRanks, "iw", func(p *mpp.Proc) {
+		reqs, buf, _ := strideReqs(g, p.Rank(), nRanks)
+		if _, err := col.IWriteAll(p, reqs, buf); err == nil {
+			t.Errorf("rank %d: IWriteAll without a service succeeded", p.Rank())
+		}
+	})
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonblockingOverlapsCompute: with D of post-issue computation, the
+// nonblocking write finishes sooner than blocking write + D — the
+// server's device work ran under the ranks' compute.
+func TestNonblockingOverlapsCompute(t *testing.T) {
+	const nRanks = 8
+	const compute = 20 * time.Millisecond
+	elapsed := func(nonblocking bool) time.Duration {
+		e, g, _ := collectiveFixture(t, storeDirect, testPlacements[0].spec)
+		var opts Options
+		var srv *ioserver.Server
+		if nonblocking {
+			var jb *ioserver.Job
+			srv, jb = serviceFor(e, ioserver.FIFO, 2)
+			opts.Service = jb
+		}
+		col, err := Open(g, nRanks, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var done time.Duration
+		_, join := mpp.Run(e, nRanks, "w", func(p *mpp.Proc) {
+			reqs, buf, _ := strideReqs(g, p.Rank(), nRanks)
+			if nonblocking {
+				h, err := col.IWriteAll(p, reqs, buf)
+				if err != nil {
+					t.Errorf("rank %d: %v", p.Rank(), err)
+					return
+				}
+				p.Compute(compute)
+				if err := h.Wait(p); err != nil {
+					t.Errorf("rank %d: %v", p.Rank(), err)
+				}
+			} else {
+				if err := col.WriteAll(p, reqs, buf); err != nil {
+					t.Errorf("rank %d: %v", p.Rank(), err)
+				}
+				p.Compute(compute)
+			}
+			p.Barrier()
+			if p.Rank() == 0 {
+				done = p.Now()
+			}
+		})
+		e.Go("join", func(sp *sim.Proc) {
+			join.Wait(sp)
+			if srv != nil {
+				srv.Stop(sp)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	blocking := elapsed(false)
+	nonblocking := elapsed(true)
+	if nonblocking >= blocking {
+		t.Fatalf("no overlap win: nonblocking %v vs blocking %v", nonblocking, blocking)
+	}
+}

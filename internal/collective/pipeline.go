@@ -7,7 +7,7 @@
 // whole access, so the interconnect idles while the drives work and the
 // drives idle while bytes cross the link. Here each file domain is cut
 // into chunk-aligned sub-domains (plan.chunkWindow) and the collective
-// runs plan.rounds lockstep exchange rounds (mpp.Exchange — per-pair
+// runs plan.rounds lockstep exchange rounds (mpp.SparseExchange — per-pair
 // setup charged once for the whole collective), with every aggregator's
 // device access running in a companion process fed through a depth-1
 // sim.Queue:

@@ -1,0 +1,414 @@
+// Package ioserver promotes I/O from a library call to a service: a
+// Server owns the shared device array and runs dedicated I/O-server
+// processes (sim procs — the ViPIOS "I/O server" shape from the
+// related-work survey) that drain per-job request queues and execute
+// blockio batches on the clients' behalf. Clients — the collective
+// layer's nonblocking IWriteAll/IReadAll entry points, or any direct
+// submitter — enqueue Requests and go back to computing; a Request is a
+// ticket with Done/Wait semantics.
+//
+// Multiplexing many concurrent jobs over one device array is the whole
+// point, so the dequeue order is a pluggable QoS policy:
+//
+//   - FIFO: global arrival order — the baseline, and the policy that
+//     lets one bulk job bury everyone else's latency.
+//   - FairShare: start-time fair queueing over service bytes — each
+//     job accrues virtual time at bytes/weight per byte served, and the
+//     backlogged job with the least virtual time goes next, so a
+//     request-heavy job cannot starve light ones.
+//   - Priority: strict priority (higher JobConfig.Priority first),
+//     FIFO within a level — latency-critical jobs overtake bulk
+//     traffic at every dispatch.
+//
+// Orthogonally, JobConfig.BytesPerSec imposes a per-job bandwidth cap
+// (a leaky bucket over virtual time): a job at its cap is ineligible
+// until its bucket drains, whatever the policy, and if every
+// backlogged job is capped the worker sleeps until the earliest
+// becomes eligible.
+//
+// Every request records its enqueue→completion latency in the job's
+// stats.Sample, so per-job p50/p95/p99 come out exact and
+// deterministic; JobStats snapshots are comparable structs, which is
+// what TestMultijobDeterminism compares across runs.
+//
+// Everything relies on the engine's strict alternation (one managed
+// process runs at a time), like the rest of the sim stack: no locks,
+// and modeled times are bit-for-bit reproducible for a fixed job mix.
+package ioserver
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blockio"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Policy selects the scheduler's dequeue discipline.
+type Policy int
+
+const (
+	// FIFO serves requests in global arrival order.
+	FIFO Policy = iota
+	// FairShare serves the backlogged job with the least virtual
+	// service time (bytes served / weight), arrival order within a job.
+	FairShare
+	// Priority serves the highest-priority backlogged job first
+	// (JobConfig.Priority, larger wins), FIFO within a level.
+	Priority
+)
+
+// String names the policy for tables and logs.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case FairShare:
+		return "fair"
+	case Priority:
+		return "prio"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the number of dedicated I/O-server processes (≥1;
+	// default 1). Each worker executes one request at a time, so
+	// Workers bounds the server's request concurrency the way
+	// aggregator count bounds a collective's.
+	Workers int
+	// Policy is the dequeue discipline (default FIFO).
+	Policy Policy
+}
+
+// JobConfig declares one client job to the scheduler.
+type JobConfig struct {
+	Name string
+	// Priority orders jobs under the Priority policy (larger = served
+	// first). Ignored by other policies.
+	Priority int
+	// Weight scales the job's fair share (default 1): a weight-2 job
+	// accrues virtual time half as fast, so it receives twice the
+	// service of a weight-1 job under contention. Ignored by other
+	// policies.
+	Weight float64
+	// BytesPerSec caps the job's dispatch rate in payload bytes per
+	// second of virtual time; 0 means uncapped. Applies under every
+	// policy.
+	BytesPerSec float64
+	// QueueDepth bounds the job's pending-request queue; Submit parks
+	// once the queue is full (admission control back-pressure). 0
+	// means effectively unbounded.
+	QueueDepth int
+}
+
+// JobStats is a point-in-time accounting snapshot for one job. It is a
+// comparable struct: two runs of the same job mix must produce equal
+// snapshots (TestMultijobDeterminism).
+type JobStats struct {
+	Name                 string
+	Submitted, Completed int64
+	Bytes                int64 // payload bytes served
+	Busy                 time.Duration
+	P50, P95, P99, Max   time.Duration // enqueue→completion latency
+}
+
+// Job is one client's lane into the server: a FIFO request queue plus
+// the scheduling state (fair-share virtual time, bandwidth bucket) and
+// accounting the policies read.
+type Job struct {
+	s   *Server
+	cfg JobConfig
+	q   *sim.Queue // *Request, FIFO within the job
+
+	vtime   float64       // fair-share virtual service time (weighted bytes)
+	capFree time.Duration // bandwidth bucket: eligible when now ≥ capFree
+
+	submitted int64
+	completed int64
+	bytes     int64
+	busy      time.Duration
+	lat       stats.Sample // seconds, one observation per request
+}
+
+// Name reports the job's configured name.
+func (j *Job) Name() string { return j.cfg.Name }
+
+// Stats snapshots the job's accounting.
+func (j *Job) Stats() JobStats {
+	return JobStats{
+		Name:      j.cfg.Name,
+		Submitted: j.submitted,
+		Completed: j.completed,
+		Bytes:     j.bytes,
+		Busy:      j.busy,
+		P50:       j.lat.QuantileDur(0.50),
+		P95:       j.lat.QuantileDur(0.95),
+		P99:       j.lat.QuantileDur(0.99),
+		Max:       j.lat.QuantileDur(1),
+	}
+}
+
+// Latency exposes the job's raw latency sample (seconds) for quantiles
+// the snapshot does not pre-compute.
+func (j *Job) Latency() *stats.Sample { return &j.lat }
+
+// Request is the ticket for one submitted batch: Done reports local
+// completion without parking (the MPI_Test shape), Wait parks until the
+// server finishes and returns the access error.
+type Request struct {
+	job   *Job
+	write bool
+	batch blockio.BatchVec
+	bytes int64
+	seq   int64 // global arrival order
+	enq   time.Duration
+
+	done bool
+	err  error
+	wq   sim.WaitQueue
+}
+
+// Done reports whether the server has completed the request.
+func (r *Request) Done() bool { return r.done }
+
+// Err returns the access error once Done; nil before completion.
+func (r *Request) Err() error { return r.err }
+
+// Wait parks the caller until the server completes the request and
+// returns the access error.
+func (r *Request) Wait(p *sim.Proc) error {
+	for !r.done {
+		r.wq.Wait(p)
+	}
+	return r.err
+}
+
+// Server owns the device array on behalf of its jobs: a fixed pool of
+// worker processes executing requests in policy order. Build with New,
+// declare jobs with AddJob, Start under an engine, and Stop before the
+// engine drains (parked idle workers would otherwise be reported as a
+// deadlock — the server is a service, and services are shut down).
+type Server struct {
+	cfg  Config
+	jobs []*Job
+
+	started bool
+	closed  bool
+	seq     int64
+	vnow    float64       // fair-share virtual clock (last dispatch's tag)
+	idle    sim.WaitQueue // parked workers waiting for work
+	g       sim.Group
+}
+
+// New builds a server; declare jobs with AddJob before submitting.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	return &Server{cfg: cfg}
+}
+
+// Policy reports the configured dequeue discipline.
+func (s *Server) Policy() Policy { return s.cfg.Policy }
+
+// Jobs returns the declared jobs in AddJob order.
+func (s *Server) Jobs() []*Job { return s.jobs }
+
+// AddJob declares a client job. Jobs may be added any time before
+// their first Submit.
+func (s *Server) AddJob(cfg JobConfig) *Job {
+	if cfg.Weight <= 0 {
+		cfg.Weight = 1
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 1 << 30 // effectively unbounded
+	}
+	j := &Job{s: s, cfg: cfg, q: sim.NewQueue(depth)}
+	s.jobs = append(s.jobs, j)
+	return j
+}
+
+// Start launches the worker processes on the engine. Call once, before
+// the first Submit.
+func (s *Server) Start(e *sim.Engine) {
+	if s.started {
+		panic("ioserver: Start called twice")
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.g.Spawn(e, "io-server", s.worker)
+	}
+}
+
+// Stop drains every queued request, retires the workers and joins
+// them. Collective: submitting concurrently with Stop panics (Put on
+// the closed lane), like writing on a closed channel.
+func (s *Server) Stop(p *sim.Proc) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, j := range s.jobs {
+		j.q.Close(p)
+	}
+	s.idle.WakeAll(p.Engine())
+	s.g.Wait(p)
+}
+
+// SubmitWrite enqueues a write of the batch (bytes is the payload size
+// the accounting and QoS policies charge) and returns its ticket.
+func (j *Job) SubmitWrite(p *sim.Proc, batch blockio.BatchVec, bytes int64) *Request {
+	return j.submit(p, true, batch, bytes)
+}
+
+// SubmitRead enqueues a read of the batch and returns its ticket.
+func (j *Job) SubmitRead(p *sim.Proc, batch blockio.BatchVec, bytes int64) *Request {
+	return j.submit(p, false, batch, bytes)
+}
+
+func (j *Job) submit(p *sim.Proc, write bool, batch blockio.BatchVec, bytes int64) *Request {
+	s := j.s
+	if !s.started {
+		panic("ioserver: Submit before Start")
+	}
+	s.seq++
+	r := &Request{
+		job:   j,
+		write: write,
+		batch: batch,
+		bytes: bytes,
+		seq:   s.seq,
+		enq:   p.Now(),
+	}
+	j.submitted++
+	j.q.Put(p, r) // parks when the job is at QueueDepth (admission control)
+	s.idle.WakeOne(p.Engine())
+	return r
+}
+
+// worker is one dedicated I/O-server process: dequeue in policy order,
+// execute, complete, repeat until the server stops.
+func (s *Server) worker(p *sim.Proc) {
+	for {
+		r := s.next(p)
+		if r == nil {
+			return
+		}
+		start := p.Now()
+		var err error
+		if r.write {
+			err = r.batch.Write(p)
+		} else {
+			err = r.batch.Read(p)
+		}
+		s.complete(p, r, start, err)
+	}
+}
+
+// next blocks until a request is eligible under the policy (nil once
+// the server is stopped and drained). When every backlogged job is at
+// its bandwidth cap, the worker sleeps until the earliest cap expiry
+// instead of spinning.
+func (s *Server) next(p *sim.Proc) *Request {
+	for {
+		r, wakeAt := s.pick(p)
+		switch {
+		case r != nil:
+			return r
+		case wakeAt > 0:
+			p.SleepUntil(wakeAt)
+		case s.closed:
+			return nil
+		default:
+			s.idle.Wait(p)
+		}
+	}
+}
+
+// pick dequeues the next request per the policy, or reports the
+// earliest bandwidth-cap expiry when every backlogged job is capped
+// (wakeAt 0 when there is simply nothing queued). Job iteration order
+// and seq tie-breaks are fixed, so scheduling is deterministic.
+func (s *Server) pick(p *sim.Proc) (r *Request, wakeAt time.Duration) {
+	now := p.Now()
+	var best *Job
+	var bestHead *Request
+	backlogged := false
+	for _, j := range s.jobs {
+		head, ok := j.q.Peek()
+		if !ok {
+			continue
+		}
+		backlogged = true
+		if j.cfg.BytesPerSec > 0 && j.capFree > now {
+			if wakeAt == 0 || j.capFree < wakeAt {
+				wakeAt = j.capFree
+			}
+			continue
+		}
+		hr := head.(*Request)
+		if best == nil || s.beats(j, hr, best, bestHead) {
+			best, bestHead = j, hr
+		}
+	}
+	if best == nil {
+		if !backlogged {
+			wakeAt = 0
+		}
+		return nil, wakeAt
+	}
+	v, _ := best.q.TryGet(p)
+	r = v.(*Request)
+	// Charge the QoS state at dispatch: the fair-share virtual clock
+	// advances by weighted bytes, the bandwidth bucket by the time this
+	// payload takes at the capped rate. A job returning from idle first
+	// catches its tag up to the server's virtual clock (the start-time
+	// fair queueing rule), so accumulated idleness buys at most one
+	// early dispatch, not a monopolizing burst.
+	if best.vtime < s.vnow {
+		best.vtime = s.vnow
+	}
+	s.vnow = best.vtime
+	if best.cfg.BytesPerSec > 0 {
+		busyFor := time.Duration(float64(r.bytes) / best.cfg.BytesPerSec * float64(time.Second))
+		from := best.capFree
+		if now > from {
+			from = now
+		}
+		best.capFree = from + busyFor
+	}
+	best.vtime += float64(r.bytes) / best.cfg.Weight
+	return r, 0
+}
+
+// beats reports whether backlogged job j (head request jr) should be
+// served before the current best under the configured policy.
+func (s *Server) beats(j *Job, jr *Request, best *Job, br *Request) bool {
+	switch s.cfg.Policy {
+	case Priority:
+		if j.cfg.Priority != best.cfg.Priority {
+			return j.cfg.Priority > best.cfg.Priority
+		}
+	case FairShare:
+		if j.vtime != best.vtime {
+			return j.vtime < best.vtime
+		}
+	}
+	return jr.seq < br.seq
+}
+
+// complete finalizes a request: accounting, then wake its waiters.
+func (s *Server) complete(p *sim.Proc, r *Request, start time.Duration, err error) {
+	j := r.job
+	j.completed++
+	j.bytes += r.bytes
+	j.busy += p.Now() - start
+	j.lat.AddDuration(p.Now() - r.enq)
+	r.err = err
+	r.done = true
+	r.wq.WakeAll(p.Engine())
+}

@@ -1,0 +1,303 @@
+package ioserver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/blockio"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// fixture builds an engine-timed 2-device store with one striped set of
+// `blocks` blocks (64-byte blocks, paper-default timing).
+func fixture(t *testing.T, e *sim.Engine, blocks int64) *blockio.Set {
+	t.Helper()
+	const devs = 2
+	disks := make([]*device.Disk, devs)
+	for i := range disks {
+		disks[i] = device.New(device.Config{
+			Name:     fmt.Sprintf("d%d", i),
+			Geometry: device.Geometry{BlockSize: 64, BlocksPerCyl: 8, Cylinders: 64},
+			Engine:   e,
+		})
+	}
+	store, err := blockio.NewDirect(disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := blockio.NewSet(store, blockio.NewStriped(devs, 1), make([]int64, devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// batchFor builds a write or read batch over blocks [first, first+n).
+func batchFor(set *blockio.Set, first, n int64, buf []byte) blockio.BatchVec {
+	return blockio.BatchVec{{Set: set, Vec: blockio.Vec{{Block: first, N: n}}, Buf: buf}}
+}
+
+func run(t *testing.T, e *sim.Engine) {
+	t.Helper()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerRoundTrip: a write submitted through the server lands on
+// the devices (a later read sees it), tickets complete, and the job's
+// accounting adds up.
+func TestServerRoundTrip(t *testing.T) {
+	e := sim.NewEngine()
+	set := fixture(t, e, 8)
+	s := New(Config{Workers: 1})
+	job := s.AddJob(JobConfig{Name: "j0"})
+	s.Start(e)
+
+	bs := int64(set.BlockSize())
+	out := make([]byte, 4*bs)
+	for i := range out {
+		out[i] = byte(i)
+	}
+	in := make([]byte, 4*bs)
+	e.Go("client", func(p *sim.Proc) {
+		w := job.SubmitWrite(p, batchFor(set, 0, 4, out), 4*bs)
+		if w.Done() {
+			t.Error("write done before any virtual time passed")
+		}
+		if err := w.Wait(p); err != nil {
+			t.Error(err)
+		}
+		if !w.Done() || w.Err() != nil {
+			t.Error("ticket not completed after Wait")
+		}
+		r := job.SubmitRead(p, batchFor(set, 0, 4, in), 4*bs)
+		if err := r.Wait(p); err != nil {
+			t.Error(err)
+		}
+		s.Stop(p)
+	})
+	run(t, e)
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("byte %d: got %d want %d", i, in[i], out[i])
+		}
+	}
+	st := job.Stats()
+	if st.Submitted != 2 || st.Completed != 2 || st.Bytes != 8*bs {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.P99 <= 0 || st.Busy <= 0 {
+		t.Fatalf("latency/busy not recorded: %+v", st)
+	}
+}
+
+// submitN has a client proc submit n equal-size writes back-to-back
+// with the given inter-arrival gap, recording completion order into
+// order via the shared log.
+func submitN(e *sim.Engine, job *Job, set *blockio.Set, first, blocks int64, n int, gap time.Duration, log *[]string) *sim.Group {
+	var g sim.Group
+	bs := int64(set.BlockSize())
+	g.Spawn(e, "client-"+job.Name(), func(p *sim.Proc) {
+		tickets := make([]*Request, 0, n)
+		for i := 0; i < n; i++ {
+			if gap > 0 && i > 0 {
+				p.Sleep(gap)
+			}
+			buf := make([]byte, blocks*bs)
+			tickets = append(tickets, job.SubmitWrite(p, batchFor(set, first, blocks, buf), blocks*bs))
+		}
+		for i, tk := range tickets {
+			if err := tk.Wait(p); err != nil {
+				panic(err)
+			}
+			*log = append(*log, fmt.Sprintf("%s-%d", job.Name(), i))
+		}
+	})
+	return &g
+}
+
+// contendedMix runs a bully (8 large writes, no gap) against a victim
+// (4 small writes, no gap, arriving just after) under the given policy
+// and reports (bully, victim) stats.
+func contendedMix(t *testing.T, pol Policy, victimPrio int) (JobStats, JobStats) {
+	t.Helper()
+	e := sim.NewEngine()
+	set := fixture(t, e, 64)
+	s := New(Config{Workers: 1, Policy: pol})
+	bully := s.AddJob(JobConfig{Name: "bully"})
+	victim := s.AddJob(JobConfig{Name: "victim", Priority: victimPrio})
+	s.Start(e)
+	var log []string
+	g1 := submitN(e, bully, set, 0, 16, 8, 0, &log)
+	g2 := submitN(e, victim, set, 32, 1, 4, 0, &log)
+	e.Go("driver", func(p *sim.Proc) {
+		g1.Wait(p)
+		g2.Wait(p)
+		s.Stop(p)
+	})
+	run(t, e)
+	return bully.Stats(), victim.Stats()
+}
+
+// TestFairShareBoundsVictimLatency: under FIFO the victim's small
+// requests queue behind the bully's backlog; fair-share interleaves by
+// served bytes, so the victim's p99 must drop.
+func TestFairShareBoundsVictimLatency(t *testing.T) {
+	_, vFIFO := contendedMix(t, FIFO, 0)
+	_, vFair := contendedMix(t, FairShare, 0)
+	if vFair.P99 >= vFIFO.P99 {
+		t.Fatalf("fair-share p99 %v not below FIFO p99 %v", vFair.P99, vFIFO.P99)
+	}
+}
+
+// TestPriorityOvertakesBacklog: a strict-priority victim overtakes the
+// bully's queued requests at every dispatch.
+func TestPriorityOvertakesBacklog(t *testing.T) {
+	_, vFIFO := contendedMix(t, FIFO, 0)
+	_, vPrio := contendedMix(t, Priority, 1)
+	if vPrio.P99*2 > vFIFO.P99 {
+		t.Fatalf("priority p99 %v not 2x below FIFO p99 %v", vPrio.P99, vFIFO.P99)
+	}
+}
+
+// TestBandwidthCapPaces: a capped job's dispatches are paced at the
+// cap rate even with a deep backlog, leaving the device mostly idle
+// for others. The capped run must take at least bytes/rate of virtual
+// time; the uncapped run finishes far sooner.
+func TestBandwidthCapPaces(t *testing.T) {
+	elapsed := func(rate float64) time.Duration {
+		e := sim.NewEngine()
+		set := fixture(t, e, 64)
+		s := New(Config{Workers: 1})
+		job := s.AddJob(JobConfig{Name: "capped", BytesPerSec: rate})
+		s.Start(e)
+		var done time.Duration
+		bs := int64(set.BlockSize())
+		e.Go("client", func(p *sim.Proc) {
+			var last *Request
+			for i := int64(0); i < 8; i++ {
+				buf := make([]byte, 2*bs)
+				last = job.SubmitWrite(p, batchFor(set, i*2, 2, buf), 2*bs)
+			}
+			if err := last.Wait(p); err != nil {
+				t.Error(err)
+			}
+			done = p.Now()
+			s.Stop(p)
+		})
+		run(t, e)
+		return done
+	}
+	uncapped := elapsed(0)
+	rate := 512.0 // bytes/sec of virtual time: 128-byte requests pace 250 ms apart
+	capped := elapsed(rate)
+	// 8 requests of 128 bytes: the first dispatches immediately, each
+	// later one no earlier than its predecessor's bucket expiry, so the
+	// run takes at least 7 × 128/rate of virtual time.
+	minPaced := time.Duration(float64(7*2*64) / rate * float64(time.Second))
+	if capped < minPaced {
+		t.Fatalf("capped run %v faster than the cap allows (%v)", capped, minPaced)
+	}
+	if capped <= uncapped*2 {
+		t.Fatalf("cap had no effect: capped %v vs uncapped %v", capped, uncapped)
+	}
+}
+
+// TestQueueDepthBackpressure: QueueDepth 1 parks the submitter until
+// the server drains its queue — admission control, not an error.
+func TestQueueDepthBackpressure(t *testing.T) {
+	e := sim.NewEngine()
+	set := fixture(t, e, 16)
+	s := New(Config{Workers: 1})
+	job := s.AddJob(JobConfig{Name: "j", QueueDepth: 1})
+	s.Start(e)
+	bs := int64(set.BlockSize())
+	var submitTimes []time.Duration
+	e.Go("client", func(p *sim.Proc) {
+		var last *Request
+		for i := int64(0); i < 3; i++ {
+			buf := make([]byte, bs)
+			last = job.SubmitWrite(p, batchFor(set, i, 1, buf), bs)
+			submitTimes = append(submitTimes, p.Now())
+		}
+		if err := last.Wait(p); err != nil {
+			t.Error(err)
+		}
+		s.Stop(p)
+	})
+	run(t, e)
+	// The first two submissions are immediate (one in service, one
+	// queued); the third must have parked until the first completed.
+	if submitTimes[1] != submitTimes[0] {
+		t.Fatalf("second submit parked: %v vs %v", submitTimes[1], submitTimes[0])
+	}
+	if submitTimes[2] <= submitTimes[1] {
+		t.Fatalf("third submit did not park: %v", submitTimes)
+	}
+}
+
+// TestMultiWorkerDrainsAndJoins: several workers, several jobs, Stop
+// joins everything with all requests completed.
+func TestMultiWorkerDrainsAndJoins(t *testing.T) {
+	e := sim.NewEngine()
+	set := fixture(t, e, 64)
+	s := New(Config{Workers: 3, Policy: FairShare})
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, s.AddJob(JobConfig{Name: fmt.Sprintf("j%d", i)}))
+	}
+	s.Start(e)
+	var log []string
+	var groups []*sim.Group
+	for i, j := range jobs {
+		groups = append(groups, submitN(e, j, set, int64(i*16), 2, 5, time.Millisecond, &log))
+	}
+	e.Go("driver", func(p *sim.Proc) {
+		for _, g := range groups {
+			g.Wait(p)
+		}
+		s.Stop(p)
+	})
+	run(t, e)
+	if len(log) != 20 {
+		t.Fatalf("completions logged = %d", len(log))
+	}
+	for _, j := range jobs {
+		st := j.Stats()
+		if st.Submitted != 5 || st.Completed != 5 {
+			t.Fatalf("job %s: %+v", st.Name, st)
+		}
+	}
+}
+
+// TestServerDeterminism: the same contended mix twice gives
+// bit-identical stats snapshots (modeled times included).
+func TestServerDeterminism(t *testing.T) {
+	for _, pol := range []Policy{FIFO, FairShare, Priority} {
+		b1, v1 := contendedMix(t, pol, 1)
+		b2, v2 := contendedMix(t, pol, 1)
+		if b1 != b2 || v1 != v2 {
+			t.Fatalf("policy %v: stats differ across identical runs:\n%+v\n%+v\n%+v\n%+v", pol, b1, b2, v1, v2)
+		}
+	}
+}
+
+// TestSubmitBeforeStartPanics documents the protocol error.
+func TestSubmitBeforeStartPanics(t *testing.T) {
+	e := sim.NewEngine()
+	set := fixture(t, e, 8)
+	s := New(Config{})
+	job := s.AddJob(JobConfig{Name: "early"})
+	e.Go("client", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Submit before Start did not panic")
+			}
+		}()
+		job.SubmitWrite(p, batchFor(set, 0, 1, make([]byte, set.BlockSize())), int64(set.BlockSize()))
+	})
+	run(t, e)
+}

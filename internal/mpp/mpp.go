@@ -6,7 +6,7 @@
 //
 // # Interconnect models
 //
-// Collectives (Gather, Alltoallv) can charge modeled communication time
+// Collectives (Gather, AlltoallvSparse) can charge modeled communication time
 // under two composable models, both off by default so communication is
 // free and existing programs' timings are bit-identical:
 //
@@ -34,14 +34,14 @@
 // matters when several groups share one pool (SetBisectionPool) or when
 // chunked exchanges from a pipelined collective land back to back.
 //
-// Chunked exchanges (NewExchange / Exchange.Round) split one logical
-// personalized exchange into several rounds so a consumer can overlap
-// round k's delivery with other work — the exchange engine of package
-// collective's pipelined two-phase I/O. A chunked exchange charges the
-// same totals as the equivalent single Alltoallv: per-message setup time
-// (SetLink's msg cost) is charged once per communicating pair for the
-// whole exchange, not once per round, and Traffic counts one message per
-// pair; bytes are charged as they move.
+// Chunked exchanges (NewSparseExchange / SparseExchange.Round) split one
+// logical personalized exchange into several rounds so a consumer can
+// overlap round k's delivery with other work — the exchange engine of
+// package collective's pipelined two-phase I/O. A chunked exchange
+// charges the same totals as the equivalent single AlltoallvSparse:
+// per-message setup time (SetLink's msg cost) is charged once per
+// communicating pair for the whole exchange, not once per round, and
+// Traffic counts one message per pair; bytes are charged as they move.
 //
 // Under both models a self-message (rank → itself) is a local copy and
 // is never charged. Traffic reports the accumulated cross-link volume,
@@ -50,14 +50,13 @@
 //
 // # Sparse exchanges
 //
-// The dense forms above take and return rank-indexed slices, so every
-// process touches all P entries per round — O(P²) work and garbage per
-// collective even when a locality-aware plan makes most pairs empty.
-// The sparse forms (AlltoallvSparse, NewSparseExchange) carry the same
-// exchange as explicit (rank, payload) message lists: a process pays
-// only for the pairs it actually communicates with, payloads transfer
-// by reference instead of by copy, and receive lists are recycled
-// through a pool (RecycleRecv). Charging is identical by construction —
+// The exchanges carry their payloads as explicit (rank, payload) message
+// lists: a process pays only for the pairs it actually communicates
+// with, payloads transfer by reference instead of by copy, and receive
+// lists are recycled through a pool (RecycleRecv). The original dense
+// forms (Alltoallv, NewExchange), which take and return rank-indexed
+// slices and so touch all P slots per round, are retained in the test
+// suite as comparison baselines: charging is identical by construction —
 // the same per-message setup, the same byte totals against the link and
 // the pool, the same Traffic counts, the same barrier structure — so a
 // program moved from the dense to the sparse form reports bit-identical
@@ -424,178 +423,4 @@ func (p *Proc) chargePool(vol, own int64) {
 	if until > p.Now() {
 		p.SleepUntil(until)
 	}
-}
-
-// Alltoallv performs a personalized all-to-all exchange: send[dst] is the
-// payload (possibly nil) this process sends to rank dst, and the returned
-// slice holds at recv[src] the payload rank src sent to this process
-// (valid until the group's next collective; payloads are copied at send
-// time, so the caller may reuse its buffers immediately). len(send) may
-// be shorter than the group; absent entries send nothing. With a link
-// model configured (SetLink), each process is charged for injecting its
-// outgoing payloads and receiving its incoming ones, and with a shared
-// link (SetBisection) the exchange's total cross-link volume is
-// additionally charged against the pool; the self payload (send[rank])
-// is a local copy and crosses no link under either model.
-//
-// This is the data-exchange primitive of two-phase collective I/O
-// (package collective): ranks ship their pieces to aggregators, or
-// aggregators ship file domains back to ranks, in one step.
-func (p *Proc) Alltoallv(send [][]byte) [][]byte {
-	g := p.group
-	row := g.denseRow(p.rank)
-	var out, outPool int64
-	outMsgs := 0
-	for dst := 0; dst < g.size; dst++ {
-		var pl []byte
-		if dst < len(send) {
-			pl = send[dst]
-		}
-		if pl == nil {
-			row[dst] = nil
-			continue
-		}
-		cp := make([]byte, len(pl))
-		copy(cp, pl)
-		row[dst] = cp
-		if dst != p.rank {
-			out += int64(len(pl))
-			outMsgs++
-			if g.crossCut(p.rank, dst) {
-				outPool += int64(len(pl))
-			}
-		}
-	}
-	p.chargeLink(outMsgs, out)
-	g.trafMsgs += int64(outMsgs)
-	g.trafBytes += out
-	g.crossVol += outPool
-	p.Barrier()
-	// Between the barriers crossVol holds every rank's contribution —
-	// the whole exchange's cross-link volume (self payloads excluded),
-	// identical for all readers.
-	recv := make([][]byte, g.size)
-	var in, inPool int64
-	inMsgs := 0
-	for src := 0; src < g.size; src++ {
-		recv[src] = g.a2a[src][p.rank]
-		if src != p.rank && recv[src] != nil {
-			in += int64(len(recv[src]))
-			inMsgs++
-			if g.crossCut(src, p.rank) {
-				inPool += int64(len(recv[src]))
-			}
-		}
-	}
-	p.chargeLink(inMsgs, in)
-	p.chargePool(g.crossVol, outPool+inPool)
-	p.Barrier()
-	g.crossVol -= outPool
-	g.exCharged = false
-	return recv
-}
-
-// denseRow returns this rank's row of the dense Alltoallv scratch table,
-// allocating the table lazily: programs on the sparse path never pay the
-// O(size²) footprint. Every rank of a dense collective calls this before
-// the entry barrier, so all rows exist by delivery time.
-func (g *Group) denseRow(rank int) [][]byte {
-	if g.a2a == nil {
-		g.a2a = make([][][]byte, g.size)
-	}
-	if g.a2a[rank] == nil {
-		g.a2a[rank] = make([][]byte, g.size)
-	}
-	return g.a2a[rank]
-}
-
-// Exchange is a chunked personalized exchange: one logical Alltoallv
-// split into rounds so callers can overlap a round's delivery with other
-// work (the pipelined collective's exchange engine). Every process of
-// the group creates its own handle and all must call Round the same
-// number of times — each Round is a collective, barrier-bracketed like
-// Alltoallv. Per-message setup time (SetLink's msg cost) and Traffic's
-// message count are charged once per communicating pair across the
-// handle's lifetime, so a chunked exchange costs the same modeled time
-// and counts the same traffic as the equivalent single Alltoallv; byte
-// costs (per-process link and shared pool) are charged per round, as the
-// bytes move.
-type Exchange struct {
-	p        *Proc
-	sentTo   []bool // pairs whose setup this process already charged
-	recvFrom []bool
-}
-
-// NewExchange returns this process's handle on a fresh chunked exchange.
-// Handles are per-collective-operation: a new logical exchange (whose
-// per-pair setup should be charged again) needs a new handle.
-func (p *Proc) NewExchange() *Exchange {
-	return &Exchange{
-		p:        p,
-		sentTo:   make([]bool, p.group.size),
-		recvFrom: make([]bool, p.group.size),
-	}
-}
-
-// Round moves one round of the chunked exchange: send[dst] is this
-// round's payload for rank dst (nil sends nothing this round), and the
-// returned slice holds at recv[src] what src sent this process this
-// round — the same contract as Alltoallv, charged per the Exchange
-// rules. All processes of the group must call Round together.
-func (ex *Exchange) Round(send [][]byte) [][]byte {
-	p := ex.p
-	g := p.group
-	row := g.denseRow(p.rank)
-	var out, outPool int64
-	newOut := 0
-	for dst := 0; dst < g.size; dst++ {
-		var pl []byte
-		if dst < len(send) {
-			pl = send[dst]
-		}
-		if pl == nil {
-			row[dst] = nil
-			continue
-		}
-		cp := make([]byte, len(pl))
-		copy(cp, pl)
-		row[dst] = cp
-		if dst != p.rank {
-			out += int64(len(pl))
-			if !ex.sentTo[dst] {
-				ex.sentTo[dst] = true
-				newOut++
-			}
-			if g.crossCut(p.rank, dst) {
-				outPool += int64(len(pl))
-			}
-		}
-	}
-	p.chargeLink(newOut, out)
-	g.trafMsgs += int64(newOut)
-	g.trafBytes += out
-	g.crossVol += outPool
-	p.Barrier()
-	recv := make([][]byte, g.size)
-	var in, inPool int64
-	newIn := 0
-	for src := 0; src < g.size; src++ {
-		recv[src] = g.a2a[src][p.rank]
-		if src != p.rank && recv[src] != nil {
-			in += int64(len(recv[src]))
-			if !ex.recvFrom[src] {
-				ex.recvFrom[src] = true
-				newIn++
-			}
-			if g.crossCut(src, p.rank) {
-				inPool += int64(len(recv[src]))
-			}
-		}
-	}
-	p.chargeLink(newIn, in)
-	p.chargePool(g.crossVol, outPool+inPool)
-	p.Barrier()
-	g.crossVol -= outPool
-	g.exCharged = false
-	return recv
 }

@@ -61,6 +61,34 @@ func (q *Queue) Get(p *Proc) (v any, ok bool) {
 	return v, true
 }
 
+// TryGet removes and returns the head item without parking; ok=false
+// when the queue is momentarily empty. A scheduler draining several
+// queues under its own ordering policy uses this instead of Get (which
+// commits the caller to this queue's arrivals).
+func (q *Queue) TryGet(p *Proc) (v any, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.sendq.WakeOne(p.e)
+	return v, true
+}
+
+// Peek returns the head item without removing it; ok=false when empty.
+func (q *Queue) Peek() (v any, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	return q.items[0], true
+}
+
+// Len reports the number of buffered items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Closed reports whether Close has been called.
+func (q *Queue) Closed() bool { return q.closed }
+
 // Close marks the end of the stream: blocked and future Gets drain the
 // remaining items and then report ok=false. Close is idempotent.
 func (q *Queue) Close(p *Proc) {

@@ -5,6 +5,8 @@ package stats
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 	"time"
 )
@@ -114,6 +116,83 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "note: %s\n", t.Note)
 	}
 	return b.String()
+}
+
+// Sample accumulates individual observations for order statistics —
+// the latency-percentile companion to Welford's moment summary. The
+// QoS scheduler records one observation per served request, so a
+// Sample's memory is bounded by the job's request count, and
+// Quantile's nearest-rank definition keeps reported percentiles exact
+// and deterministic (they are always observed values, never
+// interpolations).
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add folds one observation in.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddDuration folds a duration observation in as seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N reports the observation count.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Quantile reports the q-quantile (0 ≤ q ≤ 1) by the nearest-rank
+// definition: the smallest observation such that at least q·N
+// observations are ≤ it. Zero when empty.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.xs[0]
+	}
+	rank := int(math.Ceil(q * float64(len(s.xs))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s.xs) {
+		rank = len(s.xs)
+	}
+	return s.xs[rank-1]
+}
+
+// QuantileDur is Quantile for samples recorded with AddDuration.
+func (s *Sample) QuantileDur(q float64) time.Duration {
+	return time.Duration(s.Quantile(q) * float64(time.Second))
+}
+
+// P50 is the median (nearest-rank).
+func (s *Sample) P50() float64 { return s.Quantile(0.50) }
+
+// P95 is the 95th percentile (nearest-rank).
+func (s *Sample) P95() float64 { return s.Quantile(0.95) }
+
+// P99 is the 99th percentile (nearest-rank).
+func (s *Sample) P99() float64 { return s.Quantile(0.99) }
+
+// Max reports the largest observation, zero when empty.
+func (s *Sample) Max() float64 { return s.Quantile(1) }
+
+// Mean reports the arithmetic mean, zero when empty.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
 }
 
 // Welford accumulates mean/variance incrementally.

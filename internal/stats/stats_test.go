@@ -79,3 +79,47 @@ func TestWelford(t *testing.T) {
 		t.Fatal("empty variance")
 	}
 }
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	// Insert out of order; quantiles must see the sorted view.
+	for _, x := range []float64{9, 1, 5, 3, 7, 2, 8, 4, 6, 10} {
+		s.Add(x)
+	}
+	if s.N() != 10 {
+		t.Fatalf("N = %d", s.N())
+	}
+	// Nearest-rank: P50 of 10 obs is the 5th smallest, P99 the 10th.
+	if got := s.P50(); got != 5 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := s.P95(); got != 10 {
+		t.Fatalf("P95 = %v", got)
+	}
+	if got := s.P99(); got != 10 {
+		t.Fatalf("P99 = %v", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("Q0 = %v", got)
+	}
+	if got := s.Max(); got != 10 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := s.Mean(); got != 5.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// Adding after a quantile read re-sorts.
+	s.Add(0.5)
+	if got := s.Quantile(0); got != 0.5 {
+		t.Fatalf("Q0 after re-add = %v", got)
+	}
+	var d Sample
+	d.AddDuration(30 * time.Millisecond)
+	d.AddDuration(10 * time.Millisecond)
+	if got := d.QuantileDur(1); got != 30*time.Millisecond {
+		t.Fatalf("QuantileDur = %v", got)
+	}
+}

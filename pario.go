@@ -65,7 +65,7 @@
 // sharing the device array — and OpenCollective's handle executes them
 // together. The union access footprint is split into contiguous file
 // domains, one per aggregator rank; ranks exchange their pieces with the
-// aggregators over the modeled interconnect (Alltoallv with per-byte
+// aggregators over the modeled interconnect (AlltoallvSparse with per-byte
 // link cost, RankGroup.SetLink); and each aggregator issues its whole
 // domain as one cross-file batch (BatchVec), merging pieces that are
 // physically adjacent on a device into single requests even across
@@ -124,6 +124,36 @@
 // checkpoints, link-bound and disk-bound). `pariosim -scenario
 // pipeline` prints the comparison; ChunkBytes 0 (the default) keeps the
 // single-shot schedule bit-identical.
+//
+// # I/O as a service (nonblocking collectives, multi-job QoS)
+//
+// Every collective so far is synchronous: the calling ranks themselves
+// drive the device phase and block until it drains. NewIOServer turns
+// the device array into a service in the style of dedicated I/O nodes
+// (ViPIOS, PVFS servers): server processes own device access, each
+// client job gets its own request lane (IOServer.AddJob), and the
+// server multiplexes lanes under a pluggable QoS policy — IOFIFO
+// (arrival order), IOFairShare (start-time fair queuing over served
+// bytes, weighted by IOJobConfig.Weight), IOPriority (strict priority
+// levels) — with optional per-lane bandwidth caps (BytesPerSec, a
+// leaky bucket over virtual time) and admission control (QueueDepth
+// parks the submitter, back-pressure rather than error). A collective
+// opened with CollectiveOptions.Service routes its device phase
+// through a lane and gains the split-collective forms
+// Collective.IWriteAll / IReadAll: plan and exchange run inline (they
+// are collective by nature), the device batches are enqueued, and the
+// returned IOHandle lets every rank overlap its own computation before
+// the collective Wait (Test polls locally). Outcomes are
+// data-identical to the blocking calls under every policy — write
+// domains are final before submission and disjoint by construction —
+// enforced by TestDifferentialMultijob (scheduled == serialized ==
+// reference model, 18 seeded scenarios). IOJob.Stats reports per-job
+// served bytes, busy time and latency percentiles; TestMultijobQoS
+// enforces the QoS wins (fair-share bounds a victim job's p99 under a
+// bully's backlog; strict priority cuts it ≥2× vs FIFO) and
+// TestMultijobDeterminism pins bit-identical stats across runs.
+// Everything is opt-in: without a Service, collectives and their
+// modeled times are unchanged (TestDefaultModelPinned).
 //
 // Profiles bundle the knobs grown across all these layers:
 // PaperProfile is the pinned 1989 model, TunedProfile the "modern
@@ -193,6 +223,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/ioserver"
 	"repro/internal/mpp"
 	"repro/internal/pfs"
 	"repro/internal/sim"
@@ -292,7 +323,7 @@ type (
 	BatchPlan = blockio.BatchPlan
 
 	// Rank is one process of a parallel program (GoRanks), with the
-	// group collectives (Barrier, Alltoallv, reductions).
+	// group collectives (Barrier, AlltoallvSparse, reductions).
 	Rank = mpp.Proc
 	// RankGroup is a parallel program's process group; SetLink and
 	// SetBisection configure its modeled interconnect (per-process and
@@ -319,6 +350,28 @@ type (
 	// moved over the interconnect vs bytes kept local on aggregating
 	// ranks (Collective.LastStats).
 	ExchangeStats = collective.ExchangeStats
+
+	// IOServer is the I/O-service subsystem: dedicated server processes
+	// own the device array and execute client jobs' request batches
+	// under a QoS policy (NewIOServer, IOServer.AddJob / Start / Stop).
+	IOServer = ioserver.Server
+	// IOServerConfig sets the server's worker count and QoS policy.
+	IOServerConfig = ioserver.Config
+	// IOJob is one client job's request lane on an IOServer.
+	IOJob = ioserver.Job
+	// IOJobConfig sets a lane's QoS parameters (priority, fair-share
+	// weight, bandwidth cap, admission queue depth).
+	IOJobConfig = ioserver.JobConfig
+	// IOJobStats is a lane's accounting snapshot: request counts, served
+	// bytes, device busy time and latency percentiles.
+	IOJobStats = ioserver.JobStats
+	// IORequest is one submitted batch's completion ticket.
+	IORequest = ioserver.Request
+	// IOPolicy selects the server's scheduling policy.
+	IOPolicy = ioserver.Policy
+	// IOHandle is an in-flight nonblocking collective
+	// (Collective.IWriteAll / IReadAll; Wait is collective, Test local).
+	IOHandle = collective.Handle
 )
 
 // Organization constants (paper §3).
@@ -356,6 +409,17 @@ const (
 	SchedFCFS = device.FCFS
 	SchedSCAN = device.SCAN
 )
+
+// I/O server scheduling policies.
+const (
+	IOFIFO      = ioserver.FIFO
+	IOFairShare = ioserver.FairShare
+	IOPriority  = ioserver.Priority
+)
+
+// NewIOServer creates an I/O server (add job lanes with AddJob, then
+// Start it on the engine; Stop drains and joins the workers).
+var NewIOServer = ioserver.New
 
 // NewEngine returns a fresh virtual-time engine.
 func NewEngine() *Engine { return sim.NewEngine() }
