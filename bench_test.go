@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mpp"
 	"repro/internal/pfs"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -251,8 +252,10 @@ func BenchmarkDirectReadRecordAt(b *testing.B) {
 // chunked collective over a drives-wide direct store, with per-process
 // links and a shared bisection pool both charged — and returns the final
 // modeled time. This is the shape the engine-scaling work is judged on:
-// ranks × drives up to 4096 × 256 in wall-clock seconds.
-func runScaleScenario(tb testing.TB, ranks, drives int) time.Duration {
+// ranks × drives up to 4096 × 256 in wall-clock seconds. A non-nil rec
+// is attached across every layer (BenchmarkTraceOverhead measures its
+// wall-clock cost; modeled time must not change).
+func runScaleScenario(tb testing.TB, ranks, drives int, rec *probe.Recorder) time.Duration {
 	const bs = 256
 	e := sim.NewEngine()
 	geom := device.Geometry{BlockSize: bs, BlocksPerCyl: 8, Cylinders: 64}
@@ -265,6 +268,13 @@ func runScaleScenario(tb testing.TB, ranks, drives int) time.Duration {
 	store, err := blockio.NewDirect(disks)
 	if err != nil {
 		tb.Fatal(err)
+	}
+	if rec != nil {
+		e.SetProbe(rec)
+		for _, d := range disks {
+			d.SetProbe(rec)
+		}
+		store.SetProbe(rec)
 	}
 	vol := pfs.NewVolume(store)
 	if _, err := vol.Create(pfs.Spec{
@@ -297,6 +307,9 @@ func runScaleScenario(tb testing.TB, ranks, drives int) time.Duration {
 	})
 	mg.SetLink(2*time.Microsecond, 100e6)
 	mg.SetBisection(500e6)
+	if rec != nil {
+		mg.SetProbe(rec, "w")
+	}
 	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
 	if err := e.Run(); err != nil {
 		tb.Fatal(err)
@@ -311,10 +324,53 @@ func runScaleScenario(tb testing.TB, ranks, drives int) time.Duration {
 func BenchmarkEngineScale(b *testing.B) {
 	var modeled time.Duration
 	for i := 0; i < b.N; i++ {
-		modeled = runScaleScenario(b, 4096, 256)
+		modeled = runScaleScenario(b, 4096, 256, nil)
 	}
 	b.ReportMetric(modeled.Seconds(), "modeled_s")
 	b.ReportMetric(b.Elapsed().Seconds()/(modeled.Seconds()*float64(b.N)), "wall_s/modeled_s")
+}
+
+// BenchmarkTraceOverhead measures what the flight recorder costs on the
+// engine-scaling scenario: the detached (nil-recorder, zero-alloc hooks)
+// path against a live recorder capturing every layer. The "on" variant
+// also reports spans recorded per run; modeled time is identical either
+// way — only wall time may differ.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const ranks, drives = 1024, 64
+	b.Run("off", func(b *testing.B) {
+		var modeled time.Duration
+		for i := 0; i < b.N; i++ {
+			modeled = runScaleScenario(b, ranks, drives, nil)
+		}
+		b.ReportMetric(modeled.Seconds(), "modeled_s")
+	})
+	b.Run("on", func(b *testing.B) {
+		var modeled time.Duration
+		var spans int
+		for i := 0; i < b.N; i++ {
+			rec := probe.New()
+			modeled = runScaleScenario(b, ranks, drives, rec)
+			spans = len(rec.Spans())
+		}
+		b.ReportMetric(modeled.Seconds(), "modeled_s")
+		b.ReportMetric(float64(spans), "spans")
+	})
+}
+
+// TestTraceOverheadModeledTimeIdentical pins the overhead benchmark's
+// core claim outside the bench harness: tracing the scale scenario does
+// not move its modeled clock.
+func TestTraceOverheadModeledTimeIdentical(t *testing.T) {
+	const ranks, drives = 256, 16
+	off := runScaleScenario(t, ranks, drives, nil)
+	rec := probe.New()
+	on := runScaleScenario(t, ranks, drives, rec)
+	if off != on {
+		t.Fatalf("recorder moved modeled time: %v off vs %v on", off, on)
+	}
+	if len(rec.Spans()) == 0 {
+		t.Fatal("live recorder captured no spans")
+	}
 }
 
 // BenchmarkVirtualEngine measures scheduler overhead: processes doing

@@ -17,6 +17,7 @@
 //	parioctl convert -vol DIR -src FILE -dst FILE -org ORG [-parts P]
 //	parioctl fsck   -vol DIR
 //	parioctl df     -vol DIR
+//	parioctl trace  [-top N] FILE     (summarize a pariosim -trace file)
 package main
 
 import (
@@ -32,7 +33,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "parioctl: subcommands: init, ls, info, create, put, cat, rm, convert, fsck, df")
+	fmt.Fprintln(os.Stderr, "parioctl: subcommands: init, ls, info, create, put, cat, rm, convert, fsck, df, trace")
 	os.Exit(2)
 }
 
@@ -48,6 +49,9 @@ func main() {
 
 // run executes one subcommand; factored out of main for testability.
 func run(sub string, args []string, stdin io.Reader, stdout io.Writer) error {
+	if sub == "trace" { // operates on a trace file, not a volume
+		return traceCmd(args, stdout)
+	}
 	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
 	vol := fs.String("vol", "", "volume directory")
 	name := fs.String("name", "", "file name")

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/probe"
+	"repro/internal/stats"
+)
+
+// traceCmd summarizes a Chrome trace-event JSON file recorded by the
+// flight recorder (`pariosim -trace out.json`): the hottest span groups,
+// per-device utilization, and the exchange/access overlap the pipelined
+// collective schedule exists to create.
+func traceCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	top := fs.Int("top", 12, "span groups to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: parioctl trace [-top N] FILE")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec, err := probe.ReadChromeTrace(f)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", fs.Arg(0), err)
+	}
+
+	spans := rec.Spans()
+	var lo, hi time.Duration
+	for i, s := range spans {
+		if i == 0 || s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+	}
+	fmt.Fprintf(stdout, "%s: %d spans on %d tracks, virtual window %v .. %v\n\n",
+		fs.Arg(0), len(spans), len(rec.Tracks()), lo, hi)
+
+	// Hottest span groups: aggregate by cat/name over the whole trace.
+	type group struct {
+		key        string
+		n          int
+		total, max time.Duration
+		bytes      int64
+	}
+	byKey := map[string]*group{}
+	for _, s := range spans {
+		key := s.Cat + "/" + s.Name
+		g := byKey[key]
+		if g == nil {
+			g = &group{key: key}
+			byKey[key] = g
+		}
+		g.n++
+		d := s.End - s.Start
+		g.total += d
+		if d > g.max {
+			g.max = d
+		}
+		g.bytes += s.Bytes
+	}
+	groups := make([]*group, 0, len(byKey))
+	for _, g := range byKey {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].total != groups[j].total {
+			return groups[i].total > groups[j].total
+		}
+		return groups[i].key < groups[j].key
+	})
+	if len(groups) > *top {
+		groups = groups[:*top]
+	}
+	t := stats.NewTable("top span groups by total virtual time",
+		"span", "count", "total", "mean", "max", "bytes")
+	for _, g := range groups {
+		t.AddRow(g.key, g.n, g.total.Round(time.Microsecond),
+			(g.total / time.Duration(g.n)).Round(time.Microsecond),
+			g.max.Round(time.Microsecond), g.bytes)
+	}
+	fmt.Fprintln(stdout, t.String())
+
+	// Per-device utilization: the dev/<name> service tracks (queue-wait
+	// tracks, dev/<name>/q, are listed separately by the full table).
+	ut := stats.NewTable("device utilization", "device", "spans", "busy", "util", "bytes")
+	devRows := 0
+	for _, u := range rec.Usage() {
+		if u.Spans == 0 || !strings.Contains(u.Name, "dev/") || strings.HasSuffix(u.Name, "/q") {
+			continue
+		}
+		ut.AddRow(u.Name, u.Spans, u.Busy.Round(time.Microsecond), fmt.Sprintf("%.3f", u.Util), u.Bytes)
+		devRows++
+	}
+	if devRows > 0 {
+		fmt.Fprintln(stdout, ut.String())
+	}
+
+	// Exchange/access overlap: virtual time with a collective exchange
+	// and a collective device access concurrently in flight — the
+	// quantity the chunked two-phase schedule maximizes.
+	isExchange := func(s probe.Span) bool {
+		return s.Cat == "collective" && strings.Contains(s.Name, "exchange")
+	}
+	isAccess := func(s probe.Span) bool {
+		return s.Cat == "collective" && strings.Contains(s.Name, "access")
+	}
+	ex, acc := rec.UnionBusy(isExchange), rec.UnionBusy(isAccess)
+	if ex > 0 || acc > 0 {
+		ov := rec.OverlapBusy(isExchange, isAccess)
+		fmt.Fprintf(stdout, "collective exchange busy %v, access busy %v, overlap %v",
+			ex.Round(time.Microsecond), acc.Round(time.Microsecond), ov.Round(time.Microsecond))
+		if m := minDur(ex, acc); m > 0 {
+			fmt.Fprintf(stdout, " (%.0f%% of the shorter phase)", 100*ov.Seconds()/m.Seconds())
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,7 +1,10 @@
 // Command pariosim explores the device model: it prints the seek curve,
 // single-drive service times, and a striping demonstration for the
 // default 1989-class drive, so the timing assumptions behind every
-// experiment are inspectable.
+// experiment are inspectable. With -trace the run records every scenario
+// through the flight recorder and writes a Chrome trace-event JSON file
+// (load in Perfetto or chrome://tracing); -metrics prints the recorder's
+// metrics snapshot and per-track utilization tables after the run.
 package main
 
 import (
@@ -19,20 +22,97 @@ import (
 	"repro/internal/device"
 	"repro/internal/mpp"
 	"repro/internal/pfs"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// rec is the run-wide flight recorder, non-nil when -trace or -metrics
+// is given. Every scenario attaches its engines, drives, stores and rank
+// groups under a distinct scope prefix so tracks from different sweep
+// configurations land on separate timeline rows.
+var rec *probe.Recorder
+
+// attach wires the recorder across one scenario engine's layers under
+// the given scope; a no-op without -trace/-metrics.
+func attach(scope string, e *sim.Engine, disks []*device.Disk, store *blockio.Direct) {
+	if rec == nil {
+		return
+	}
+	rec.SetScope(scope)
+	e.SetProbe(rec)
+	for _, d := range disks {
+		d.SetProbe(rec)
+	}
+	if store != nil {
+		store.SetProbe(rec)
+	}
+}
+
+// attachGroup adds a rank group's per-rank tracks (under the scope set
+// by the preceding attach call).
+func attachGroup(g *mpp.Group, prefix string) {
+	if rec != nil {
+		g.SetProbe(rec, prefix)
+	}
+}
+
+// attachMachine is attach for the pario.Machine facade; rank groups
+// launched with GoRanks afterwards attach automatically.
+func attachMachine(scope string, m *pario.Machine) {
+	if rec == nil {
+		return
+	}
+	rec.SetScope(scope)
+	m.SetProbe(rec)
+}
 
 func main() {
 	scenario := flag.String("scenario", "all", "one of: seek, service, stripe, extent, noncontig, collective, contended, pipeline, profile, multijob, scale, all")
 	profile := flag.String("profile", "", "profile for the profile scenario: tuned, paper, or empty for both")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+	tracePath := flag.String("trace", "", "record the run and write Chrome trace-event JSON (Perfetto / chrome://tracing) to this file")
+	metrics := flag.Bool("metrics", false, "print the flight recorder's metrics snapshot and per-track utilization after the run")
 	flag.Parse()
+	if *tracePath != "" || *metrics {
+		rec = probe.New()
+	}
 	if err := profiledRun(*scenario, *profile, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintf(os.Stderr, "pariosim: %v\n", err)
 		os.Exit(1)
 	}
+	if err := exportRecording(*tracePath, *metrics, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pariosim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// exportRecording writes the trace file and/or prints the metrics and
+// utilization tables once the scenarios have run.
+func exportRecording(tracePath string, metrics bool, w io.Writer) error {
+	if rec == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d spans on %d tracks to %s\n", len(rec.Spans()), len(rec.Tracks()), tracePath)
+	}
+	if metrics {
+		fmt.Fprintln(w, rec.Metrics().Table().String())
+		fmt.Fprintln(w, rec.UtilizationTable().String())
+	}
+	return nil
 }
 
 // profiledRun wraps run with the optional pprof captures, so the
@@ -131,6 +211,7 @@ func run(scenario, profile string, w io.Writer) error {
 func seekTable(w io.Writer) error {
 	e := sim.NewEngine()
 	d := device.New(device.Config{Engine: e})
+	attach("seek", e, []*device.Disk{d}, nil)
 	geom := d.Geometry()
 	t := stats.NewTable("Seek curve (default 1989 drive, √distance model)",
 		"distance (cylinders)", "seek time")
@@ -195,6 +276,7 @@ func stripeDemo(w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		attach(fmt.Sprintf("stripe/%d", devs), e, disks, store)
 		set, err := blockio.NewSet(store, blockio.NewStriped(devs, 1), make([]int64, devs))
 		if err != nil {
 			return err
@@ -247,6 +329,7 @@ func extentDemo(w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		attach(fmt.Sprintf("extent/%d", extent), e, disks, store)
 		set, err := blockio.NewSet(store, blockio.NewStriped(devs, 8), make([]int64, devs))
 		if err != nil {
 			return err
@@ -303,6 +386,7 @@ func noncontigDemo(w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		attach(fmt.Sprintf("noncontig/%d", window), e, disks, store)
 		set, err := blockio.NewSet(store, blockio.NewStriped(devs, 1), make([]int64, devs))
 		if err != nil {
 			return err
@@ -368,6 +452,11 @@ func collectiveDemo(w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		scope := "collective/independent"
+		if collectiveMode {
+			scope = "collective/two-phase"
+		}
+		attach(scope, e, disks, store)
 		vol := pfs.NewVolume(store)
 		f, err := vol.Create(pfs.Spec{
 			Name: "ckpt", Org: pfs.OrgGlobalDirect,
@@ -406,6 +495,7 @@ func collectiveDemo(w io.Writer) error {
 			}
 		})
 		g.SetLink(10*time.Microsecond, 100e6)
+		attachGroup(g, "rank")
 		if err := e.Run(); err != nil {
 			return err
 		}
@@ -460,6 +550,11 @@ func contendedDemo(w io.Writer) error {
 				if err != nil {
 					return err
 				}
+				pol := "rr"
+				if locality {
+					pol = "loc"
+				}
+				attach(fmt.Sprintf("contended/%d/%.0f/%s", ranks, bisect/1e6, pol), e, disks, store)
 				vol := pfs.NewVolume(store)
 				_, err = vol.Create(pfs.Spec{
 					Name: "ckpt", Org: pfs.OrgGlobalDirect,
@@ -499,6 +594,7 @@ func contendedDemo(w io.Writer) error {
 				if bisect > 0 {
 					g.SetBisection(bisect)
 				}
+				attachGroup(g, "rank")
 				if err := e.Run(); err != nil {
 					return err
 				}
@@ -543,6 +639,7 @@ func pipelineDemo(w io.Writer) error {
 	var base time.Duration
 	for _, chunk := range []int64{0, 64 * 4096, 256 * 4096} {
 		m := pario.NewMachine(4)
+		attachMachine(fmt.Sprintf("pipeline/%dKiB", chunk/1024), m)
 		_, err := m.Volume.Create(pario.Spec{
 			Name: "ckpt", Org: pario.OrgGlobalDirect,
 			RecordSize: 4096, BlockRecords: 1, NumRecords: records,
@@ -629,6 +726,7 @@ func profileDemo(w io.Writer, which string) error {
 	var base time.Duration
 	for _, pf := range profiles {
 		m := pario.NewProfiledMachine(4, pf)
+		attachMachine("profile/"+pf.Name, m)
 		f, err := m.Volume.Create(pario.Spec{
 			Name: "ckpt", Org: pario.OrgGlobalDirect,
 			RecordSize: 4096, BlockRecords: 1, NumRecords: records,
@@ -728,6 +826,7 @@ func scaleDemo(w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		attach(fmt.Sprintf("scale/%dx%d", ranks, drives), e, disks, store)
 		vol := pfs.NewVolume(store)
 		if _, err := vol.Create(pfs.Spec{
 			Name: "chk", Org: pfs.OrgSequential, RecordSize: bs,
@@ -757,6 +856,7 @@ func scaleDemo(w io.Writer) error {
 		})
 		g.SetLink(2*time.Microsecond, 100e6)
 		g.SetBisection(500e6)
+		attachGroup(g, "rank")
 		start := time.Now()
 		if err := e.Run(); err != nil {
 			return err
@@ -804,7 +904,9 @@ func multijobDemo(w io.Writer) error {
 func multijobRun(nJobs int, gap time.Duration, pol pario.IOPolicy) (small, bulk, makespan time.Duration, err error) {
 	const ranks = 4
 	m := pario.NewMachine(2)
+	attachMachine(fmt.Sprintf("multijob/%d/%s/%s", nJobs, gap, pol), m)
 	srv := pario.NewIOServer(pario.IOServerConfig{Workers: 1, Policy: pol})
+	srv.SetProbe(m.Probe())
 	var done pario.Group
 	var lanes []*pario.IOJob
 	var cols []*pario.Collective

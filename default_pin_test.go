@@ -20,6 +20,9 @@ import (
 func pinnedCheckpoint(t *testing.T, collective bool, configure func(*pario.RankGroup)) time.Duration {
 	t.Helper()
 	m := pario.NewMachine(4)
+	// Live flight recorder: the pinned golden times below must hold with
+	// tracing on — recording reads the virtual clock only.
+	m.SetProbe(pario.NewRecorder())
 	f, err := m.Volume.Create(pario.Spec{
 		Name: "ckpt", Org: pario.OrgGlobalDirect,
 		RecordSize: 4096, BlockRecords: 1, NumRecords: ckptRecords,

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -205,16 +206,42 @@ func (b BatchVec) do(ctx sim.Context, op string,
 	if err != nil || len(runs) == 0 {
 		return err
 	}
+	bp := probeOf(store)
+	var t0 time.Duration
+	if bp != nil {
+		t0 = ctx.Now()
+	}
 	if len(runs) == 1 {
 		r := runs[0]
-		return xfer(store, ctx, r.dev, r.pb, int(r.n), r.iov)
-	}
-	fns := make([]func(sim.Context) error, len(runs))
-	for i, r := range runs {
-		r := r
-		fns[i] = func(c sim.Context) error {
-			return xfer(store, c, r.dev, r.pb, int(r.n), r.iov)
+		err = xfer(store, ctx, r.dev, r.pb, int(r.n), r.iov)
+	} else {
+		fns := make([]func(sim.Context) error, len(runs))
+		for i, r := range runs {
+			r := r
+			fns[i] = func(c sim.Context) error {
+				return xfer(store, c, r.dev, r.pb, int(r.n), r.iov)
+			}
 		}
+		err = sim.Par(ctx, fns...)
 	}
-	return sim.Par(ctx, fns...)
+	if bp != nil {
+		var blocks int64
+		for _, r := range runs {
+			blocks += r.n
+		}
+		nb := blocks * int64(store.BlockSize())
+		bp.batches.Add(1)
+		bp.runs.Add(int64(len(runs)))
+		bp.bytes.Add(nb)
+		bp.rec.Span(bp.trk, "blockio", op, t0, ctx.Now(), nb, 0)
+	}
+	return err
+}
+
+// probeOf reports the store's attached batch probe, or nil.
+func probeOf(store Store) *batchProbe {
+	if sp, ok := store.(storeProber); ok {
+		return sp.batchProbe()
+	}
+	return nil
 }

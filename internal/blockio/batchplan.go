@@ -19,6 +19,7 @@ package blockio
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -203,24 +204,43 @@ func (pl *BatchPlan) do(ctx sim.Context, op string, w int, buf []byte, base int6
 		}
 		return out, nil
 	}
+	bp := probeOf(pl.store)
+	var t0 time.Duration
+	if bp != nil {
+		t0 = ctx.Now()
+	}
+	var err error
 	if len(runs) == 1 {
 		r := runs[0]
-		io, err := iov(r)
-		if err != nil {
-			return err
+		io, ierr := iov(r)
+		if ierr != nil {
+			return ierr
 		}
-		return xfer(pl.store, ctx, r.dev, r.pb, int(r.n), io)
+		err = xfer(pl.store, ctx, r.dev, r.pb, int(r.n), io)
+	} else {
+		fns := make([]func(sim.Context) error, len(runs))
+		for i, r := range runs {
+			r := r
+			io, ierr := iov(r)
+			if ierr != nil {
+				return ierr
+			}
+			fns[i] = func(c sim.Context) error {
+				return xfer(pl.store, c, r.dev, r.pb, int(r.n), io)
+			}
+		}
+		err = sim.Par(ctx, fns...)
 	}
-	fns := make([]func(sim.Context) error, len(runs))
-	for i, r := range runs {
-		r := r
-		io, err := iov(r)
-		if err != nil {
-			return err
+	if bp != nil {
+		var blocks int64
+		for _, r := range runs {
+			blocks += r.n
 		}
-		fns[i] = func(c sim.Context) error {
-			return xfer(pl.store, c, r.dev, r.pb, int(r.n), io)
-		}
+		nb := blocks * int64(pl.bs)
+		bp.batches.Add(1)
+		bp.runs.Add(int64(len(runs)))
+		bp.bytes.Add(nb)
+		bp.rec.Span(bp.trk, "blockio", op, t0, ctx.Now(), nb, 0)
 	}
-	return sim.Par(ctx, fns...)
+	return err
 }

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"repro/internal/device"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -65,6 +66,44 @@ type Store interface {
 // Direct is a Store over plain disks with no redundancy.
 type Direct struct {
 	disks []*device.Disk
+	pr    *batchProbe
+}
+
+// batchProbe caches the flight-recorder handles a store hands to the
+// batch executors (BatchVec, BatchPlan).
+type batchProbe struct {
+	rec     *probe.Recorder
+	trk     probe.TrackID
+	batches *probe.Counter
+	runs    *probe.Counter
+	bytes   *probe.Counter
+}
+
+// storeProber is implemented by stores carrying a flight recorder; the
+// batch executors consult it to record merged batch spans. Optional —
+// stores without it are simply not traced.
+type storeProber interface{ batchProbe() *batchProbe }
+
+func (d *Direct) batchProbe() *batchProbe { return d.pr }
+
+// SetProbe attaches a flight recorder to the store: every merged batch
+// issued through it records an async span on the "blockio" track (batch
+// start to completion of all its parallel runs) plus batch/run/byte
+// counters. Pass nil to detach. Device-level spans are the disks' own
+// (device.Disk.SetProbe).
+func (d *Direct) SetProbe(r *probe.Recorder) {
+	if r == nil {
+		d.pr = nil
+		return
+	}
+	m := r.Metrics()
+	d.pr = &batchProbe{
+		rec:     r,
+		trk:     r.AsyncTrack("blockio"),
+		batches: m.Counter("blockio.batches"),
+		runs:    m.Counter("blockio.runs"),
+		bytes:   m.Counter("blockio.bytes"),
+	}
 }
 
 // NewDirect wraps disks as a Store. All disks must share one geometry.

@@ -38,6 +38,7 @@ import (
 	"repro/internal/ioserver"
 	"repro/internal/mpp"
 	"repro/internal/pfs"
+	"repro/internal/probe"
 )
 
 // VecReq names one file of the collective's group and a scatter/gather
@@ -274,6 +275,7 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 		return fmt.Errorf("collective: handle opened for %d ranks, called from a %d-rank group", c.size, p.Size())
 	}
 	rank := p.Rank()
+	rec, trk, prefix := p.Probe()
 	c.reqs[rank], c.bufs[rank], c.errs[rank] = reqs, buf, nil
 	p.Barrier()
 	// One rank derives the shared plan; the plan is a pure function of
@@ -282,6 +284,7 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 		c.pl, c.plErr = buildPlan(c.group, c.reqs, c.bufs, c.naggs, write, c.opts)
 		if c.plErr == nil {
 			c.stats = c.pl.exchangeStats(c.size)
+			rec.Instant(trk, "collective", "plan", p.Now())
 		}
 		c.commIv, c.ioIv = c.commIv[:0], c.ioIv[:0]
 	}
@@ -300,6 +303,7 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 		t0 := p.Now()
 		recv := p.AlltoallvSparse(send)
 		c.commIv = append(c.commIv, iv{t0, p.Now()})
+		exSpan := rec.Span(trk, "collective", "exchange", t0, p.Now(), 0, 0)
 		// Assemble every owned domain from the delivered payloads, then
 		// issue the device batches. Assembly is pure compute — it costs no
 		// virtual time — so hoisting it above the first batch leaves the
@@ -315,6 +319,10 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 		}
 		c.assembleDomains(pl, owned, recv, dombufs)
 		p.RecycleRecv(recv)
+		var ioTrk probe.TrackID
+		if rec != nil && len(owned) > 0 {
+			ioTrk = rec.Track(fmt.Sprintf("%s/%d/io", prefix, rank))
+		}
 		var aggErrs []error
 		for i, a := range owned {
 			// p.Proc, not p: sim.Par recognizes the underlying engine
@@ -324,6 +332,7 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 				aggErrs = append(aggErrs, err)
 			}
 			c.ioIv = append(c.ioIv, iv{t0, p.Now()})
+			rec.Span(ioTrk, "collective", "access", t0, p.Now(), int64(len(dombufs[i])), exSpan)
 		}
 		c.errs[rank] = errors.Join(aggErrs...)
 	default:
@@ -334,9 +343,14 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 		var owned []int
 		var dombufs [][]byte
 		var aggErrs []error
+		var ioTrk probe.TrackID
+		var lastAcc probe.SpanID
 		for a := 0; a < pl.naggs; a++ {
 			if pl.owner[a] != rank {
 				continue
+			}
+			if rec != nil && ioTrk == 0 {
+				ioTrk = rec.Track(fmt.Sprintf("%s/%d/io", prefix, rank))
 			}
 			lo, hi := pl.domain(a)
 			dombuf := make([]byte, (hi-lo)*pl.bs)
@@ -345,6 +359,7 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 				aggErrs = append(aggErrs, err)
 			}
 			c.ioIv = append(c.ioIv, iv{t0, p.Now()})
+			lastAcc = rec.Span(ioTrk, "collective", "access", t0, p.Now(), int64(len(dombuf)), 0)
 			owned = append(owned, a)
 			dombufs = append(dombufs, dombuf)
 		}
@@ -353,6 +368,7 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 		t0 := p.Now()
 		recv := p.AlltoallvSparse(send)
 		c.commIv = append(c.commIv, iv{t0, p.Now()})
+		rec.Span(trk, "collective", "exchange", t0, p.Now(), 0, lastAcc)
 		c.scatterRankMsgs(pl, rank, recv, buf)
 		p.RecycleRecv(recv)
 	}

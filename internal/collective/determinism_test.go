@@ -11,6 +11,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/mpp"
 	"repro/internal/pfs"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -29,8 +30,10 @@ type detResult struct {
 
 // runDeterminismScenario executes one 512-rank contended pipelined
 // collective (strided write + read-back) on a fresh engine and 16-drive
-// store, and returns the full observable state.
-func runDeterminismScenario(t *testing.T, nRanks int) detResult {
+// store, and returns the full observable state. A non-nil rec is
+// attached across every layer (engine, disks, store, rank group) before
+// the run; recording must not change any modeled observable.
+func runDeterminismScenario(t *testing.T, nRanks int, rec *probe.Recorder) detResult {
 	t.Helper()
 	e := sim.NewEngine()
 	geom := device.Geometry{BlockSize: testBS, BlocksPerCyl: 8, Cylinders: 64}
@@ -59,6 +62,13 @@ func runDeterminismScenario(t *testing.T, nRanks int) detResult {
 	col, err := Open(g, nRanks, Options{ChunkBytes: 16 * testBS})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if rec != nil {
+		e.SetProbe(rec)
+		for _, d := range disks {
+			d.SetProbe(rec)
+		}
+		store.SetProbe(rec)
 	}
 	res := detResult{rankSums: make([]uint64, nRanks)}
 	mg, join := mpp.Run(e, nRanks, "w", func(p *mpp.Proc) {
@@ -90,6 +100,9 @@ func runDeterminismScenario(t *testing.T, nRanks int) detResult {
 	})
 	mg.SetLink(2*time.Microsecond, 100e6)
 	mg.SetBisection(500e6)
+	if rec != nil {
+		mg.SetProbe(rec, "w")
+	}
 	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -110,8 +123,8 @@ func runDeterminismScenario(t *testing.T, nRanks int) detResult {
 // the same scenario is also exercised under -race.
 func TestPipelinedDeterminism512(t *testing.T) {
 	const nRanks = 512
-	a := runDeterminismScenario(t, nRanks)
-	b := runDeterminismScenario(t, nRanks)
+	a := runDeterminismScenario(t, nRanks, nil)
+	b := runDeterminismScenario(t, nRanks, nil)
 	if a.writeErr != nil || a.readErr != nil {
 		t.Fatalf("collective failed: write=%v read=%v", a.writeErr, a.readErr)
 	}

@@ -27,11 +27,13 @@ package collective
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/blockio"
 	"repro/internal/mpp"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -42,6 +44,7 @@ type iv struct{ from, to time.Duration }
 // error in c.errs[rank]. Called with pl.rounds > 0.
 func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte) {
 	rank := p.Rank()
+	rec, trk, prefix := p.Probe()
 	var owned []int
 	for a := 0; a < pl.naggs; a++ {
 		if pl.owner[a] == rank {
@@ -58,16 +61,25 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 				t0 := p.Now()
 				p.RecycleRecv(ex.Round(send))
 				c.commIv = append(c.commIv, iv{t0, p.Now()})
+				rec.Span(trk, "collective", "chunk.exchange", t0, p.Now(), 0, 0)
 			} else {
 				t0 := p.Now()
 				recv := ex.Round(nil)
 				c.commIv = append(c.commIv, iv{t0, p.Now()})
+				rec.Span(trk, "collective", "chunk.exchange", t0, p.Now(), 0, 0)
 				c.scatterChunkSparse(pl, rank, k, recv, buf)
 				p.RecycleRecv(recv)
 			}
 		}
 		c.errs[rank] = nil
 		return
+	}
+	// Aggregator rank: exchange spans live on the rank's track, device
+	// access spans on a companion "<rank>/io" track — the two stages
+	// overlap in time, which is the whole point of the pipeline.
+	var ioTrk probe.TrackID
+	if rec != nil {
+		ioTrk = rec.Track(fmt.Sprintf("%s/%d/io", prefix, rank))
 	}
 
 	agg, err := c.newAggState(pl, owned)
@@ -94,6 +106,7 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 		k    int
 		recv []mpp.RecvMsg // write: payloads received for the access stage
 		send []mpp.Msg     // read: payloads packed for delivery
+		span probe.SpanID  // producing stage's span: the consumer's causal parent
 	}
 	if write {
 		c.errs[rank] = sim.Pipe(p.Proc, "collective-io", 1,
@@ -104,7 +117,8 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 					t0 := p.Now()
 					recv := ex.Round(send)
 					c.commIv = append(c.commIv, iv{t0, p.Now()})
-					q.Put(p.Proc, round{k: k, recv: recv})
+					sp := rec.Span(trk, "collective", "chunk.exchange", t0, p.Now(), 0, 0)
+					q.Put(p.Proc, round{k: k, recv: recv, span: sp})
 				}
 				return nil
 			},
@@ -121,6 +135,7 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 						errs = append(errs, err)
 					}
 					c.ioIv = append(c.ioIv, iv{t0, cp.Now()})
+					rec.Span(ioTrk, "collective", "chunk.access", t0, cp.Now(), 0, r.span)
 					// The companion recycles on the rank's behalf: only
 					// handle memory is touched, never engine state.
 					p.RecycleRecv(r.recv)
@@ -132,12 +147,15 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 		func(q *sim.Queue) error { // delivery stage, on the rank
 			for k := 0; k < pl.rounds; k++ {
 				var send []mpp.Msg
+				var parent probe.SpanID
 				if v, ok := q.Get(p.Proc); ok {
-					send = v.(round).send
+					r := v.(round)
+					send, parent = r.send, r.span
 				}
 				t0 := p.Now()
 				recv := ex.Round(send)
 				c.commIv = append(c.commIv, iv{t0, p.Now()})
+				rec.Span(trk, "collective", "chunk.exchange", t0, p.Now(), 0, parent)
 				c.scatterChunkSparse(pl, rank, k, recv, buf)
 				p.RecycleRecv(recv)
 			}
@@ -153,7 +171,8 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 					errs = append(errs, err)
 				}
 				c.ioIv = append(c.ioIv, iv{t0, cp.Now()})
-				q.Put(cp, round{k: k, send: send})
+				sp := rec.Span(ioTrk, "collective", "chunk.access", t0, cp.Now(), 0, 0)
+				q.Put(cp, round{k: k, send: send, span: sp})
 			}
 			return errors.Join(errs...)
 		})

@@ -23,6 +23,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -144,13 +145,14 @@ const (
 // into, performs the completion chaining, and is woken first; every
 // member transfers its own data at the shared completion instant.
 type request struct {
-	procs []*sim.Proc
-	op    reqOp
-	block int64 // first block of the run (merge key)
-	nblk  int64 // run length in blocks; 0 for byte-granular requests
-	cyl   int
-	bytes int
-	done  time.Duration // completion time, set at dispatch
+	procs   []*sim.Proc
+	op      reqOp
+	block   int64 // first block of the run (merge key)
+	nblk    int64 // run length in blocks; 0 for byte-granular requests
+	cyl     int
+	bytes   int
+	svcFrom time.Duration // service start, set at dispatch
+	done    time.Duration // completion time, set at dispatch
 }
 
 // Disk is a simulated direct-access storage device. Disk methods are not
@@ -174,6 +176,11 @@ type Disk struct {
 	failed  bool
 
 	stats Stats
+
+	// Flight-recorder hooks (nil/zero when detached).
+	rec  *probe.Recorder
+	trk  probe.TrackID // service timeline (serialized; one span per request)
+	trkQ probe.TrackID // queue-wait timeline (async; waits overlap)
 }
 
 // Config carries the constructor parameters for a Disk.
@@ -222,6 +229,27 @@ func New(cfg Config) *Disk {
 		scanUp:  true,
 		merge:   cfg.MergeQueued,
 	}
+}
+
+// SetProbe attaches a flight recorder: every serviced request records a
+// service span on track "dev/<name>" (and, when it queued, a wait span
+// on the async "dev/<name>/q" track), and the device counters appear as
+// pull gauges in the recorder's metrics. Pass nil to detach. Recording
+// reads the virtual clock only, so modeled times are unchanged.
+func (d *Disk) SetProbe(r *probe.Recorder) {
+	d.rec = r
+	if r == nil {
+		d.trk, d.trkQ = 0, 0
+		return
+	}
+	d.trk = r.Track("dev/" + d.name)
+	d.trkQ = r.AsyncTrack("dev/" + d.name + "/q")
+	m := r.Metrics()
+	m.Gauge("dev."+d.name+".requests", func() float64 { return float64(d.stats.Requests()) })
+	m.Gauge("dev."+d.name+".bytes", func() float64 { return float64(d.stats.Bytes()) })
+	m.Gauge("dev."+d.name+".busy_s", func() float64 { return d.stats.BusyTime.Seconds() })
+	m.Gauge("dev."+d.name+".seeks", func() float64 { return float64(d.stats.Seeks) })
+	m.Gauge("dev."+d.name+".merged", func() float64 { return float64(d.stats.Merged) })
 }
 
 // Close releases the page backend (required for file-backed disks).
@@ -348,6 +376,7 @@ func (d *Disk) startService(r *request, now time.Duration) {
 	}
 	d.head = r.cyl
 	d.stats.BusyTime += svc
+	r.svcFrom = now
 	r.done = now + svc
 }
 
@@ -450,6 +479,23 @@ func (d *Disk) access(ctx sim.Context, op reqOp, block, nblk int64, bytes int, f
 	d.stats.LatencySum += lat
 	if lat > d.stats.LatencyMax {
 		d.stats.LatencyMax = lat
+	}
+	if d.rec != nil {
+		// Each member records its own queue wait; the issuing process
+		// records the single service span for the (possibly merged) run.
+		if r.svcFrom > enq {
+			d.rec.Span(d.trkQ, "device", "wait", enq, r.svcFrom, 0, 0)
+		}
+		if p == r.procs[0] {
+			name := "io"
+			switch r.op {
+			case opRead:
+				name = "read"
+			case opWrite:
+				name = "write"
+			}
+			d.rec.Span(d.trk, "device", name, r.svcFrom, r.done, int64(r.bytes), 0)
+		}
 	}
 
 	var err error

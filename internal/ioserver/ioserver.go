@@ -22,9 +22,10 @@
 //
 // Orthogonally, JobConfig.BytesPerSec imposes a per-job bandwidth cap
 // (a leaky bucket over virtual time): a job at its cap is ineligible
-// until its bucket drains, whatever the policy, and if every
-// backlogged job is capped the worker sleeps until the earliest
-// becomes eligible.
+// until its bucket drains, whatever the policy. If every backlogged job
+// is capped the worker sleeps until the earliest becomes eligible, and
+// a Submit arriving mid-sleep wakes it immediately, so an uncapped
+// request never waits out another job's bucket.
 //
 // Every request records its enqueue→completion latency in the job's
 // stats.Sample, so per-job p50/p95/p99 come out exact and
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/blockio"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -131,6 +133,8 @@ type Job struct {
 	bytes     int64
 	busy      time.Duration
 	lat       stats.Sample // seconds, one observation per request
+
+	trk probe.TrackID // flight-recorder lane track (0: detached)
 }
 
 // Name reports the job's configured name.
@@ -201,6 +205,12 @@ type Server struct {
 	vnow    float64       // fair-share virtual clock (last dispatch's tag)
 	idle    sim.WaitQueue // parked workers waiting for work
 	g       sim.Group
+	// capSleep lists workers sleeping out an all-jobs-capped interval;
+	// submit wakes them early so a newly eligible request is served
+	// immediately rather than at the next bucket expiry.
+	capSleep []*sim.Proc
+
+	rec *probe.Recorder // flight recorder (nil: detached)
 }
 
 // New builds a server; declare jobs with AddJob before submitting.
@@ -228,8 +238,35 @@ func (s *Server) AddJob(cfg JobConfig) *Job {
 		depth = 1 << 30 // effectively unbounded
 	}
 	j := &Job{s: s, cfg: cfg, q: sim.NewQueue(depth)}
+	if s.rec != nil {
+		j.attachProbe(s.rec)
+	}
 	s.jobs = append(s.jobs, j)
 	return j
+}
+
+// SetProbe attaches a flight recorder to the server: one async lane
+// track per job ("lane/<name>") carrying an admission instant and
+// request/wait/service spans per request, with each job's latency
+// sample adopted into the metrics registry. Pass nil to detach. Jobs
+// declared after SetProbe are instrumented as they are added.
+func (s *Server) SetProbe(r *probe.Recorder) {
+	s.rec = r
+	for _, j := range s.jobs {
+		j.attachProbe(r)
+	}
+}
+
+func (j *Job) attachProbe(r *probe.Recorder) {
+	if r == nil {
+		j.trk = 0
+		return
+	}
+	j.trk = r.AsyncTrack("lane/" + j.cfg.Name)
+	m := r.Metrics()
+	m.ObserveSample("ioserver."+j.cfg.Name+".lat_s", &j.lat)
+	m.Gauge("ioserver."+j.cfg.Name+".completed", func() float64 { return float64(j.completed) })
+	m.Gauge("ioserver."+j.cfg.Name+".bytes", func() float64 { return float64(j.bytes) })
 }
 
 // Start launches the worker processes on the engine. Call once, before
@@ -286,7 +323,17 @@ func (j *Job) submit(p *sim.Proc, write bool, batch blockio.BatchVec, bytes int6
 	}
 	j.submitted++
 	j.q.Put(p, r) // parks when the job is at QueueDepth (admission control)
+	if s.rec != nil {
+		s.rec.Instant(j.trk, "ioserver", "admit", p.Now())
+	}
 	s.idle.WakeOne(p.Engine())
+	// Workers sleeping out an all-jobs-capped interval re-evaluate now:
+	// if this request is eligible it is served immediately instead of at
+	// the earliest bucket expiry. A spurious wake (the new request's job
+	// is itself capped) just re-sleeps to the same expiry.
+	for _, w := range s.capSleep {
+		p.Engine().Wake(w)
+	}
 	return r
 }
 
@@ -311,8 +358,8 @@ func (s *Server) worker(p *sim.Proc) {
 
 // next blocks until a request is eligible under the policy (nil once
 // the server is stopped and drained). When every backlogged job is at
-// its bandwidth cap, the worker sleeps until the earliest cap expiry
-// instead of spinning.
+// its bandwidth cap, the worker sleeps until the earliest cap expiry —
+// registered on capSleep so a mid-sleep Submit can wake it early.
 func (s *Server) next(p *sim.Proc) *Request {
 	for {
 		r, wakeAt := s.pick(p)
@@ -320,7 +367,17 @@ func (s *Server) next(p *sim.Proc) *Request {
 		case r != nil:
 			return r
 		case wakeAt > 0:
+			s.capSleep = append(s.capSleep, p)
 			p.SleepUntil(wakeAt)
+			for i, w := range s.capSleep {
+				if w == p {
+					last := len(s.capSleep) - 1
+					s.capSleep[i] = s.capSleep[last]
+					s.capSleep[last] = nil
+					s.capSleep = s.capSleep[:last]
+					break
+				}
+			}
 		case s.closed:
 			return nil
 		default:
@@ -401,13 +458,21 @@ func (s *Server) beats(j *Job, jr *Request, best *Job, br *Request) bool {
 	return jr.seq < br.seq
 }
 
-// complete finalizes a request: accounting, then wake its waiters.
+// complete finalizes a request: accounting, spans, then wake its
+// waiters.
 func (s *Server) complete(p *sim.Proc, r *Request, start time.Duration, err error) {
 	j := r.job
 	j.completed++
 	j.bytes += r.bytes
 	j.busy += p.Now() - start
 	j.lat.AddDuration(p.Now() - r.enq)
+	if s.rec != nil {
+		req := s.rec.Span(j.trk, "ioserver", "req", r.enq, p.Now(), r.bytes, 0)
+		if start > r.enq {
+			s.rec.Span(j.trk, "ioserver", "wait", r.enq, start, 0, req)
+		}
+		s.rec.Span(j.trk, "ioserver", "service", start, p.Now(), r.bytes, req)
+	}
 	r.err = err
 	r.done = true
 	r.wq.WakeAll(p.Engine())

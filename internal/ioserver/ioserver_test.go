@@ -301,3 +301,66 @@ func TestSubmitBeforeStartPanics(t *testing.T) {
 	})
 	run(t, e)
 }
+
+// TestSubmitWakesCapSleeper: when every backlogged job is at its
+// bandwidth cap the single worker sleeps until the earliest bucket
+// expiry; an uncapped request submitted mid-sleep must be served
+// immediately rather than waiting out that expiry (the ROADMAP
+// carry-over the submit-side wake closes). The capped job's own pacing
+// must be unchanged by the early wake.
+func TestSubmitWakesCapSleeper(t *testing.T) {
+	e := sim.NewEngine()
+	set := fixture(t, e, 16)
+	s := New(Config{Workers: 1})
+	bs := int64(set.BlockSize())
+	// 1 block per second of virtual time: after the first dispatch the
+	// capped job's bucket blocks it until t = 1s.
+	capped := s.AddJob(JobConfig{Name: "capped", BytesPerSec: float64(bs)})
+	free := s.AddJob(JobConfig{Name: "free"})
+	s.Start(e)
+
+	const arrival = 100 * time.Millisecond
+	expiry := time.Duration(float64(bs) / float64(bs) * float64(time.Second)) // 1s
+	var freeDone, cappedDone time.Duration
+	var g sim.Group
+	g.Spawn(e, "capped-client", func(p *sim.Proc) {
+		buf := make([]byte, bs)
+		t1 := capped.SubmitWrite(p, batchFor(set, 0, 1, buf), bs)
+		t2 := capped.SubmitWrite(p, batchFor(set, 1, 1, buf), bs)
+		if err := t1.Wait(p); err != nil {
+			t.Error(err)
+		}
+		if err := t2.Wait(p); err != nil {
+			t.Error(err)
+		}
+		cappedDone = p.Now()
+	})
+	g.Spawn(e, "free-client", func(p *sim.Proc) {
+		p.Sleep(arrival) // well inside the worker's cap sleep [~0, 1s)
+		buf := make([]byte, bs)
+		tk := free.SubmitRead(p, batchFor(set, 2, 1, buf), bs)
+		if err := tk.Wait(p); err != nil {
+			t.Error(err)
+		}
+		freeDone = p.Now()
+	})
+	e.Go("driver", func(p *sim.Proc) {
+		g.Wait(p)
+		s.Stop(p)
+	})
+	run(t, e)
+
+	// The uncapped request arrived at 100ms; served on arrival it
+	// completes after one device access (milliseconds), far inside the
+	// 1s bucket expiry it used to wait for.
+	if freeDone >= expiry {
+		t.Fatalf("uncapped request finished at %v: still waiting out the cap expiry %v", freeDone, expiry)
+	}
+	if freeDone < arrival {
+		t.Fatalf("uncapped request finished at %v, before its own arrival %v", freeDone, arrival)
+	}
+	// The capped job's second dispatch still respects its bucket.
+	if cappedDone < expiry {
+		t.Fatalf("capped job finished at %v, faster than its cap allows (%v)", cappedDone, expiry)
+	}
+}

@@ -77,6 +77,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -90,6 +91,17 @@ type Proc struct {
 
 // Rank reports this process's rank in [0, Size).
 func (p *Proc) Rank() int { return p.rank }
+
+// Probe reports the group's attached recorder, this rank's trace track,
+// and the attach prefix (nil/zero when detached) — the hook layers
+// built on a group use to inherit its flight recorder.
+func (p *Proc) Probe() (*probe.Recorder, probe.TrackID, string) {
+	g := p.group
+	if g.rec == nil {
+		return nil, 0, ""
+	}
+	return g.rec, g.rankTrk[p.rank], g.prPrefix
+}
 
 // Size reports the group size.
 func (p *Proc) Size() int { return p.group.size }
@@ -171,6 +183,11 @@ type Group struct {
 	// topo, when non-nil, assigns each rank a side of the bisection cut;
 	// only cross-cut traffic then charges the pool (see SetTopology)
 	topo []int
+	// flight recorder (nil: detached); one trace track per rank
+	rec      *probe.Recorder
+	prPrefix string
+	rankTrk  []probe.TrackID
+	poolWait *probe.Histogram
 }
 
 // Run launches fn on size processes under the engine and returns the
@@ -326,6 +343,42 @@ func (g *Group) SetTopology(side []int) {
 	g.topo = side
 }
 
+// SetProbe attaches a flight recorder to the group: one trace track per
+// rank named "<prefix>/<rank>", exchange-round and bisection-pool-wait
+// spans on those tracks, a pool-wait histogram, and the group's traffic
+// counters as pull gauges. Pass nil to detach. Recording only reads the
+// virtual clock, so charging — and every modeled time — is unchanged.
+// Configure before the group's processes start communicating.
+func (g *Group) SetProbe(r *probe.Recorder, prefix string) {
+	g.rec = r
+	if r == nil {
+		g.prPrefix, g.rankTrk, g.poolWait = "", nil, nil
+		return
+	}
+	g.prPrefix = prefix
+	g.rankTrk = make([]probe.TrackID, g.size)
+	for i := range g.rankTrk {
+		g.rankTrk[i] = r.Track(fmt.Sprintf("%s/%d", prefix, i))
+	}
+	m := r.Metrics()
+	g.poolWait = m.Histogram("mpp." + prefix + ".pool_wait_s")
+	m.Gauge("mpp."+prefix+".msgs", func() float64 { return float64(g.trafMsgs) })
+	m.Gauge("mpp."+prefix+".bytes", func() float64 { return float64(g.trafBytes) })
+}
+
+// Probe reports the group's attached recorder (nil when detached) and
+// the track-name prefix it was attached under. Layers built on a group
+// (package collective) inherit its recorder through this.
+func (g *Group) Probe() (*probe.Recorder, string) { return g.rec, g.prPrefix }
+
+// RankTrack reports rank r's trace track (0 when detached).
+func (g *Group) RankTrack(r int) probe.TrackID {
+	if g.rankTrk == nil {
+		return 0
+	}
+	return g.rankTrk[r]
+}
+
 // crossCut reports whether a message from rank a to rank b crosses the
 // bisection cut (and so charges the pool). Without a topology every
 // non-self pair crosses; a == b never does.
@@ -421,6 +474,11 @@ func (p *Proc) chargePool(vol, own int64) {
 		}
 	}
 	if until > p.Now() {
+		from := p.Now()
 		p.SleepUntil(until)
+		if g.rec != nil {
+			g.rec.Span(g.rankTrk[p.rank], "mpp", "pool.wait", from, until, 0, 0)
+			g.poolWait.AddDuration(until - from)
+		}
 	}
 }

@@ -99,6 +99,7 @@ func (p *Proc) deliverSparse(send []Msg) (out, outPool int64, outMsgs int) {
 func (p *Proc) AlltoallvSparse(send []Msg) []RecvMsg {
 	g := p.group
 	g.ensureSparse()
+	t0 := p.Now()
 	out, outPool, outMsgs := p.deliverSparse(send)
 	p.chargeLink(outMsgs, out)
 	g.trafMsgs += int64(outMsgs)
@@ -123,6 +124,9 @@ func (p *Proc) AlltoallvSparse(send []Msg) []RecvMsg {
 	p.Barrier()
 	g.crossVol -= outPool
 	g.exCharged = false
+	if g.rec != nil {
+		g.rec.Span(g.rankTrk[p.rank], "mpp", "exchange", t0, p.Now(), out+in, 0)
+	}
 	return recv
 }
 
@@ -150,6 +154,7 @@ func (ex *SparseExchange) Round(send []Msg) []RecvMsg {
 	p := ex.p
 	g := p.group
 	g.ensureSparse()
+	t0 := p.Now()
 	var out, outPool int64
 	newOut := 0
 	for _, m := range send {
@@ -191,5 +196,8 @@ func (ex *SparseExchange) Round(send []Msg) []RecvMsg {
 	p.Barrier()
 	g.crossVol -= outPool
 	g.exCharged = false
+	if g.rec != nil {
+		g.rec.Span(g.rankTrk[p.rank], "mpp", "round", t0, p.Now(), out+in, 0)
+	}
 	return recv
 }

@@ -1,0 +1,244 @@
+package probe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestNilRecorderNoops(t *testing.T) {
+	var r *Recorder
+	if id := r.Track("x"); id != 0 {
+		t.Fatalf("nil Track = %d, want 0", id)
+	}
+	if id := r.AsyncTrack("x"); id != 0 {
+		t.Fatalf("nil AsyncTrack = %d, want 0", id)
+	}
+	if id := r.Span(1, "c", "n", 0, time.Second, 4, 0); id != 0 {
+		t.Fatalf("nil Span = %d, want 0", id)
+	}
+	r.SetScope("s/")
+	r.Reset()
+	if r.Spans() != nil || r.Tracks() != nil || r.Usage() != nil {
+		t.Fatal("nil recorder leaked data")
+	}
+	m := r.Metrics()
+	if m != nil {
+		t.Fatalf("nil Metrics = %v, want nil", m)
+	}
+	m.Counter("c").Add(3)
+	m.Gauge("g", func() float64 { return 1 })
+	m.Histogram("h").Add(1)
+	m.ObserveSample("s", nil)
+	if got := m.Counter("c").Value(); got != 0 {
+		t.Fatalf("nil counter = %d", got)
+	}
+	if snap := m.Snapshot(); snap != nil {
+		t.Fatalf("nil Snapshot = %v", snap)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilRecorderZeroAllocs(t *testing.T) {
+	var r *Recorder
+	c := r.Metrics().Counter("x")
+	h := r.Metrics().Histogram("y")
+	allocs := testing.AllocsPerRun(100, func() {
+		trk := r.Track("dev/d0")
+		id := r.Span(trk, "device", "read", 0, time.Millisecond, 512, 0)
+		r.Instant(trk, "device", "plan", 0)
+		_ = id
+		c.Add(1)
+		h.Add(0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-recorder path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestTrackRegistrationAndScope(t *testing.T) {
+	r := New()
+	a := r.Track("dev/d0")
+	if b := r.Track("dev/d0"); b != a {
+		t.Fatalf("re-registration changed id: %d vs %d", a, b)
+	}
+	r.SetScope("run1/")
+	c := r.Track("dev/d0")
+	if c == a {
+		t.Fatal("scoped track collided with unscoped")
+	}
+	r.SetScope("")
+	got := r.Tracks()
+	want := []string{"dev/d0", "run1/dev/d0"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Tracks = %v, want %v", got, want)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	r := New()
+	ranks := r.Track("rank/0")
+	q := r.AsyncTrack("dev/d0/q")
+	dev := r.Track("dev/d0")
+	ex := r.Span(ranks, "mpp", "exchange", 0, 10*time.Microsecond, 4096, 0)
+	r.Span(q, "device", "wait", 10*time.Microsecond, 12*time.Microsecond, 0, ex)
+	r.Span(dev, "device", "write", 12*time.Microsecond, 20*time.Microsecond, 4096, ex)
+	r.Instant(ranks, "collective", "plan", 5*time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt, wt := got.Tracks(), r.Tracks(); len(gt) != len(wt) {
+		t.Fatalf("tracks = %v, want %v", gt, wt)
+	} else {
+		for i := range gt {
+			if gt[i] != wt[i] {
+				t.Fatalf("tracks = %v, want %v", gt, wt)
+			}
+		}
+	}
+	gs, ws := got.Spans(), r.Spans()
+	if len(gs) != len(ws) {
+		t.Fatalf("got %d spans, want %d", len(gs), len(ws))
+	}
+	for i := range gs {
+		if gs[i] != ws[i] {
+			t.Fatalf("span %d = %+v, want %+v", i, gs[i], ws[i])
+		}
+	}
+	// And a re-export of the parsed recorder is byte-identical.
+	var buf2 bytes.Buffer
+	if err := got.WriteChromeTrace(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-export of parsed trace differs from original")
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	build := func() *bytes.Buffer {
+		r := New()
+		trk := r.Track("rank/0")
+		q := r.AsyncTrack("lane/a")
+		for i := 0; i < 50; i++ {
+			at := time.Duration(i) * time.Microsecond
+			p := r.Span(trk, "mpp", "exchange", at, at+500*time.Nanosecond, int64(i), 0)
+			r.Span(q, "ioserver", "req", at, at+2*time.Microsecond, 0, p)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical recorders exported different bytes")
+	}
+	if !strings.Contains(a.String(), `"ph":"b"`) || !strings.Contains(a.String(), `"ph":"X"`) {
+		t.Fatalf("export missing expected event phases:\n%s", a.String())
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	r := New()
+	m := r.Metrics()
+	m.Counter("z.count").Add(2)
+	m.Counter("z.count").Add(3)
+	m.Gauge("a.gauge", func() float64 { return 7.5 })
+	h := m.Histogram("b.lat")
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Add(v)
+	}
+	var ext stats.Sample
+	ext.Add(9)
+	m.ObserveSample("c.ext", &ext)
+
+	snap := m.Snapshot()
+	names := make([]string, len(snap))
+	for i, v := range snap {
+		names[i] = v.Name
+	}
+	want := []string{"a.gauge", "b.lat", "c.ext", "z.count"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot order = %v, want %v", names, want)
+		}
+	}
+	if snap[0].Value != 7.5 {
+		t.Fatalf("gauge = %v", snap[0].Value)
+	}
+	if snap[1].Value != 4 || snap[1].Max != 4 {
+		t.Fatalf("histogram = %+v", snap[1])
+	}
+	if snap[2].Value != 1 || snap[2].P50 != 9 {
+		t.Fatalf("adopted sample = %+v", snap[2])
+	}
+	if snap[3].Value != 5 {
+		t.Fatalf("counter = %v", snap[3].Value)
+	}
+	if tbl := m.Table().String(); !strings.Contains(tbl, "z.count") {
+		t.Fatalf("table missing counter:\n%s", tbl)
+	}
+}
+
+func TestUsageAndOverlap(t *testing.T) {
+	r := New()
+	a := r.Track("dev/a")
+	b := r.Track("dev/b")
+	// a busy [0,10] and [5,15] → union 15 of window [0,20].
+	r.Span(a, "device", "w", 0, 10*time.Microsecond, 100, 0)
+	r.Span(a, "device", "w", 5*time.Microsecond, 15*time.Microsecond, 0, 0)
+	r.Span(b, "device", "r", 10*time.Microsecond, 20*time.Microsecond, 0, 0)
+	u := r.Usage()
+	if u[0].Busy != 15*time.Microsecond || u[0].Spans != 2 || u[0].Bytes != 100 {
+		t.Fatalf("usage a = %+v", u[0])
+	}
+	if want := 15.0 / 20.0; u[0].Util != want {
+		t.Fatalf("util a = %v, want %v", u[0].Util, want)
+	}
+	ov := r.OverlapBusy(
+		func(s Span) bool { return s.Name == "w" },
+		func(s Span) bool { return s.Name == "r" },
+	)
+	if ov != 5*time.Microsecond {
+		t.Fatalf("overlap = %v, want 5µs", ov)
+	}
+	if got := r.UnionBusy(func(Span) bool { return true }); got != 20*time.Microsecond {
+		t.Fatalf("union = %v, want 20µs", got)
+	}
+	if tbl := r.UtilizationTable().String(); !strings.Contains(tbl, "dev/a") {
+		t.Fatalf("utilization table missing track:\n%s", tbl)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	trk := r.Track("x")
+	r.Span(trk, "c", "n", 0, time.Microsecond, 0, 0)
+	c := r.Metrics().Counter("n")
+	c.Add(4)
+	r.Metrics().Histogram("h").Add(1)
+	r.Reset()
+	if len(r.Spans()) != 0 {
+		t.Fatal("Reset kept spans")
+	}
+	if r.Track("x") != trk {
+		t.Fatal("Reset dropped tracks")
+	}
+	if c.Value() != 0 {
+		t.Fatal("Reset kept counter value")
+	}
+}

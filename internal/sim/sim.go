@@ -40,6 +40,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/probe"
 )
 
 // Context supplies time to potentially blocking library operations. It
@@ -79,6 +81,12 @@ type Engine struct {
 	free      []*Proc // finished shells available for reuse by Go
 	yield     chan struct{}
 	started   bool
+	// Flight-recorder hooks (nil when no recorder is attached; all are
+	// nil-safe, so the off path costs one pointer check per site).
+	prDispatch *probe.Counter
+	prSpawn    *probe.Counter
+	prBatch    *probe.Histogram
+	batchN     float64 // dispatches at the current instant
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -89,6 +97,22 @@ func NewEngine() *Engine {
 // Now reports current virtual time. Valid from any managed process and,
 // between events, from the owner.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// SetProbe attaches a flight recorder to the engine: dispatch and spawn
+// counters plus a same-instant batch-size histogram land in the
+// recorder's metrics registry. Attaching (or detaching, with nil) never
+// changes dispatch order or modeled time — the hooks are pure counting.
+func (e *Engine) SetProbe(r *probe.Recorder) {
+	m := r.Metrics()
+	if m == nil {
+		e.prDispatch, e.prSpawn, e.prBatch = nil, nil, nil
+		return
+	}
+	e.prDispatch = m.Counter("sim.dispatches")
+	e.prSpawn = m.Counter("sim.spawns")
+	e.prBatch = m.Histogram("sim.batch_size")
+	m.Gauge("sim.live_procs", func() float64 { return float64(len(e.live)) })
+}
 
 // Proc is a virtual-time process. It implements Context. All Proc methods
 // must be called from the goroutine the engine created for it.
@@ -130,6 +154,7 @@ func (p *Proc) Now() time.Duration { return p.e.now }
 // shells (and their worker goroutines) are reused, so the returned *Proc
 // must not be retained past fn's return.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	e.prSpawn.Add(1)
 	var p *Proc
 	if n := len(e.free); n > 0 {
 		p = e.free[n-1]
@@ -287,6 +312,7 @@ func (e *Engine) Run() error {
 	e.started = true
 	for {
 		if len(e.live) == 0 {
+			e.flushBatch()
 			e.reapFree()
 			return nil
 		}
@@ -304,6 +330,7 @@ func (e *Engine) Run() error {
 			}
 			p.slot = slotNone
 		case len(e.heap) > 0:
+			e.flushBatch()
 			e.now = e.heap[0].evAt
 			p = e.heapPop()
 		default:
@@ -315,9 +342,22 @@ func (e *Engine) Run() error {
 			e.reapFree()
 			return &Deadlock{At: e.now, Procs: names}
 		}
+		if e.prDispatch != nil {
+			e.prDispatch.Add(1)
+			e.batchN++
+		}
 		p.waiting = false
 		p.wake <- struct{}{}
 		<-e.yield // wait for the process to park or finish
+	}
+}
+
+// flushBatch folds the just-completed instant's dispatch count into the
+// batch-size histogram (no-op when no recorder is attached).
+func (e *Engine) flushBatch() {
+	if e.prBatch != nil && e.batchN > 0 {
+		e.prBatch.Add(e.batchN)
+		e.batchN = 0
 	}
 }
 

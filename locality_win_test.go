@@ -50,6 +50,7 @@ type localityResult struct {
 func runShiftedCheckpoint(tb testing.TB, locality bool) localityResult {
 	tb.Helper()
 	m := pario.NewMachine(4)
+	m.SetProbe(pario.NewRecorder()) // live recorder: must not perturb modeled time
 	f, err := m.Volume.Create(pario.Spec{
 		Name: "ckpt", Org: pario.OrgGlobalDirect,
 		RecordSize: 4096, BlockRecords: 1, NumRecords: locRecords,

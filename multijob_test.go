@@ -34,6 +34,7 @@ func runMultijob(tb testing.TB, pol pario.IOPolicy, victimPrio int) mjRun {
 	tb.Helper()
 	const ranks = 4
 	m := pario.NewMachine(2)
+	m.SetProbe(pario.NewRecorder()) // live recorder: must not perturb modeled time or lane stats
 	mk := func(name string, blocks int64) *pario.FileGroup {
 		if _, err := m.Volume.Create(pario.Spec{
 			Name: name, Org: pario.OrgGlobalDirect,
@@ -51,6 +52,7 @@ func runMultijob(tb testing.TB, pol pario.IOPolicy, victimPrio int) mjRun {
 	gBully, gVictim := mk("big", 512), mk("small", 64)
 
 	srv := pario.NewIOServer(pario.IOServerConfig{Workers: 1, Policy: pol})
+	srv.SetProbe(m.Probe())
 	laneB := srv.AddJob(pario.IOJobConfig{Name: "bully"})
 	laneV := srv.AddJob(pario.IOJobConfig{Name: "victim", Priority: victimPrio})
 	srv.Start(m.Engine)

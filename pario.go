@@ -163,6 +163,32 @@
 // profile [-profile tuned|paper]` compares them on the checkpoint
 // scenario; TestTunedProfileWins enforces the tuned win.
 //
+// # Flight recorder
+//
+// The whole stack is threaded with an always-compiled, nil-default
+// flight recorder (NewRecorder, re-exported from internal/probe):
+// attach one to a machine with Machine.SetProbe and every layer records
+// spans stamped with the virtual clock — engine dispatch counters, mpp
+// exchange rounds and bisection-pool waits (rank groups launched via
+// GoRanks attach automatically under their name), per-disk queue-wait
+// vs service intervals, blockio merged batch runs, collective
+// plan/exchange/access per chunk with causal parent links, and I/O
+// server admission/wait/service per lane (IOServer.SetProbe). Because
+// timestamps are virtual, recording never perturbs modeled time —
+// every pinned result is bit-identical with tracing on — and two runs
+// of one scenario export byte-identical traces. Export three ways:
+// WriteChromeTrace emits Chrome trace-event JSON loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing with one named track per
+// rank/device/lane; Recorder.UtilizationTable renders per-resource
+// busy-interval unions; Recorder.Metrics().Table() snapshots the typed
+// metrics registry (counters, pull gauges, histograms). With no
+// recorder attached (the default) every hook is a nil-receiver no-op:
+// zero work, zero allocations (BenchmarkTraceOverhead measures the
+// delta). `pariosim -trace out.json -metrics` records any scenario;
+// `parioctl trace out.json` summarizes a trace offline. Distinct from
+// TraceRecorder, which captures the paper's per-record access events
+// (Figure 1), not timing.
+//
 // # Execution model
 //
 // The library runs over a deterministic virtual-time engine (NewEngine):
@@ -226,6 +252,7 @@ import (
 	"repro/internal/ioserver"
 	"repro/internal/mpp"
 	"repro/internal/pfs"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/volio"
@@ -296,6 +323,18 @@ type (
 
 	// TraceRecorder captures per-record access events (Figure 1).
 	TraceRecorder = trace.Recorder
+
+	// Recorder is the flight recorder: virtual-clock spans plus a typed
+	// metrics registry, nil-default across the whole stack (see the
+	// "Flight recorder" section above).
+	Recorder = probe.Recorder
+	// Span is one recorded interval of virtual time on a trace track.
+	Span = probe.Span
+	// Metrics is the flight recorder's typed metrics registry
+	// (counters, pull gauges, stats.Sample histograms).
+	Metrics = probe.Metrics
+	// TrackUsage summarizes one trace track's busy-interval union.
+	TrackUsage = probe.TrackUsage
 
 	// Vec is the scatter/gather request descriptor: a list of (logical
 	// block range, buffer offset) segments moved by Set.ReadVec/WriteVec
@@ -420,6 +459,19 @@ const (
 // NewIOServer creates an I/O server (add job lanes with AddJob, then
 // Start it on the engine; Stop drains and joins the workers).
 var NewIOServer = ioserver.New
+
+// Flight-recorder entry points (see the "Flight recorder" doc section).
+var (
+	// NewRecorder creates an empty flight recorder; attach it with
+	// Machine.SetProbe (and IOServer.SetProbe for server lanes).
+	NewRecorder = probe.New
+	// WriteChromeTrace writes a recorder's spans as deterministic Chrome
+	// trace-event JSON for Perfetto / chrome://tracing.
+	WriteChromeTrace = probe.WriteChromeTrace
+	// ReadChromeTrace parses trace-event JSON written by WriteChromeTrace
+	// back into a Recorder for offline summarization.
+	ReadChromeTrace = probe.ReadChromeTrace
+)
 
 // NewEngine returns a fresh virtual-time engine.
 func NewEngine() *Engine { return sim.NewEngine() }
@@ -563,7 +615,30 @@ type Machine struct {
 	Engine *Engine
 	Disks  []*Disk
 	Volume *Volume
+
+	rec *Recorder // flight recorder (nil: detached)
 }
+
+// SetProbe attaches a flight recorder across the machine: the engine's
+// dispatch metrics, every disk's service/queue-wait tracks, and the
+// volume store's batch track. Rank groups launched by GoRanks after
+// this call attach automatically under their name prefix. Pass nil to
+// detach. Recording reads the virtual clock only, so modeled times are
+// bit-identical with and without a recorder.
+func (m *Machine) SetProbe(r *Recorder) {
+	m.rec = r
+	m.Engine.SetProbe(r)
+	for _, d := range m.Disks {
+		d.SetProbe(r)
+	}
+	if direct, ok := m.Volume.Store().(*blockio.Direct); ok {
+		direct.SetProbe(r)
+	}
+}
+
+// Probe reports the machine's attached flight recorder (nil when
+// detached).
+func (m *Machine) Probe() *Recorder { return m.rec }
 
 // NewMachine builds a virtual-time machine with n default 1989 drives.
 func NewMachine(n int) *Machine {
@@ -602,6 +677,9 @@ func (m *Machine) Go(name string, fn func(p *Proc)) { m.Engine.Go(name, fn) }
 // Run). The ranks are joined by Run like any other processes.
 func (m *Machine) GoRanks(n int, name string, fn func(r *Rank)) *RankGroup {
 	g, _ := mpp.Run(m.Engine, n, name, fn)
+	if m.rec != nil {
+		g.SetProbe(m.rec, name)
+	}
 	return g
 }
 

@@ -44,6 +44,7 @@ type pipeResult struct {
 func runPipelinedCheckpoint(tb testing.TB, chunkBytes int64, bisection float64) pipeResult {
 	tb.Helper()
 	m := pario.NewMachine(4)
+	m.SetProbe(pario.NewRecorder()) // live recorder: must not perturb modeled time
 	f, err := m.Volume.Create(pario.Spec{
 		Name: "ckpt", Org: pario.OrgGlobalDirect,
 		RecordSize: 4096, BlockRecords: 1, NumRecords: pipeRecords,
