@@ -68,7 +68,7 @@ func attachMachine(scope string, m *pario.Machine) {
 }
 
 func main() {
-	scenario := flag.String("scenario", "all", "one of: seek, service, stripe, extent, noncontig, collective, contended, pipeline, profile, multijob, scale, all")
+	scenario := flag.String("scenario", "all", "one of: seek, service, stripe, extent, noncontig, collective, strategy, contended, pipeline, profile, multijob, scale, all")
 	profile := flag.String("profile", "", "profile for the profile scenario: tuned, paper, or empty for both")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
@@ -160,6 +160,8 @@ func run(scenario, profile string, w io.Writer) error {
 		return noncontigDemo(w)
 	case "collective":
 		return collectiveDemo(w)
+	case "strategy":
+		return strategyDemo(w)
 	case "contended":
 		return contendedDemo(w)
 	case "pipeline":
@@ -187,6 +189,9 @@ func run(scenario, profile string, w io.Writer) error {
 			return err
 		}
 		if err := collectiveDemo(w); err != nil {
+			return err
+		}
+		if err := strategyDemo(w); err != nil {
 			return err
 		}
 		if err := contendedDemo(w); err != nil {
@@ -517,6 +522,134 @@ func collectiveDemo(w io.Writer) error {
 			fmt.Sprintf("%.2fx", float64(base)/float64(e.Now())))
 	}
 	t.Note = "two-phase: ranks ship pieces to aggregator ranks (modeled 100 MB/s link), each aggregator\nwrites one contiguous file domain as a single cross-file gather per device"
+	fmt.Fprintln(w, t.String())
+	return nil
+}
+
+// strategyDemo sweeps access density × rank count × link bandwidth over
+// the strategy selector: rank-disjoint collective writes executed under
+// each fixed strategy (vectored, sieved, two-phase) and under
+// StrategyAuto, which prices the routes per call. Dense partition-local
+// patterns favor sieving, sparse ones vectored I/O, interleaved ones the
+// two-phase exchange — until link congestion inverts that trade; the
+// route column shows what Auto picked.
+func strategyDemo(w io.Writer) error {
+	const (
+		devs   = 4
+		blocks = 1024 // 4 KiB blocks, 256 per device
+	)
+	t := stats.NewTable("Strategy selection: rank-disjoint collective writes, 1024 blocks (4 KiB) on 4 devices",
+		"pattern", "ranks", "link", "vectored", "sieved", "two-phase", "auto", "route")
+	type sweepCfg struct {
+		pattern   string
+		ranks     int
+		congested bool
+	}
+	buildVec := func(c sweepCfg, rank int) blockio.Vec {
+		var vec blockio.Vec
+		var off int64
+		add := func(b, n int64) {
+			vec = append(vec, blockio.VecSeg{Block: b, N: n, BufOff: off})
+			off += n * 4096
+		}
+		slice := int64(blocks / c.ranks)
+		base := int64(rank) * slice
+		switch c.pattern {
+		case "dense": // every other block of the rank's partition slice
+			for i := int64(0); i < slice/2; i++ {
+				add(base+2*i, 1)
+			}
+		case "sparse": // 8-block runs every 64 blocks of the slice
+			for b := int64(0); b+8 <= slice; b += 64 {
+				add(base+b, 8)
+			}
+		default: // interleaved: blocks ≡ rank (mod ranks), file-wide
+			for b := int64(rank); b < blocks; b += int64(c.ranks) {
+				add(b, 1)
+			}
+		}
+		return vec
+	}
+	one := func(c sweepCfg, strat blockio.Strategy, scope string) (time.Duration, string, error) {
+		e := sim.NewEngine()
+		disks := make([]*device.Disk, devs)
+		for i := range disks {
+			disks[i] = device.New(device.Config{Engine: e, Name: fmt.Sprintf("d%d", i)})
+		}
+		store, err := blockio.NewDirect(disks)
+		if err != nil {
+			return 0, "", err
+		}
+		attach(scope, e, disks, store)
+		vol := pfs.NewVolume(store)
+		spec := pfs.Spec{Name: "sweep", RecordSize: 4096, BlockRecords: 1, NumRecords: blocks}
+		if c.pattern == "interleaved" {
+			spec.Org, spec.Placement, spec.StripeUnitFS = pfs.OrgGlobalDirect, pfs.PlaceStriped, 1
+		} else {
+			spec.Org, spec.Parts = pfs.OrgPartitioned, devs
+		}
+		if _, err := vol.Create(spec); err != nil {
+			return 0, "", err
+		}
+		group, err := vol.OpenGroup("sweep")
+		if err != nil {
+			return 0, "", err
+		}
+		col, err := collective.Open(group, c.ranks, collective.Options{Strategy: strat})
+		if err != nil {
+			return 0, "", err
+		}
+		var rankErr error
+		g, _ := mpp.Run(e, c.ranks, "rank", func(p *mpp.Proc) {
+			vec := buildVec(c, p.Rank())
+			var total int64
+			for _, sg := range vec {
+				total += sg.N
+			}
+			buf := make([]byte, total*4096)
+			if err := col.WriteAll(p, []collective.VecReq{{File: 0, Vec: vec}}, buf); err != nil && rankErr == nil {
+				rankErr = err
+			}
+		})
+		if c.congested {
+			g.SetLink(100*time.Microsecond, 2e6)
+			g.SetBisection(1e6)
+		} else {
+			g.SetLink(10*time.Microsecond, 100e6)
+		}
+		attachGroup(g, "rank")
+		if err := e.Run(); err != nil {
+			return 0, "", err
+		}
+		return e.Now(), col.LastRoute(), rankErr
+	}
+	for _, pattern := range []string{"dense", "sparse", "interleaved"} {
+		for _, ranks := range []int{4, 8} {
+			for _, congested := range []bool{false, true} {
+				c := sweepCfg{pattern, ranks, congested}
+				link := "fast"
+				if congested {
+					link = "congested"
+				}
+				row := []any{pattern, ranks, link}
+				var route string
+				for _, strat := range []blockio.Strategy{
+					blockio.StrategyVectored, blockio.StrategySieved,
+					blockio.StrategyCollective, blockio.StrategyAuto,
+				} {
+					scope := fmt.Sprintf("strategy/%s-r%d-%s/%v", pattern, ranks, link, strat)
+					el, rt, err := one(c, strat, scope)
+					if err != nil {
+						return err
+					}
+					row = append(row, el)
+					route = rt
+				}
+				t.AddRow(append(row, route)...)
+			}
+		}
+	}
+	t.Note = "auto prices vectored/sieved/two-phase per call from the drive parameters and the link model;\nroute is the path auto picked — dense favors sieving, sparse vectored, interleaved two-phase\n(until congestion inverts the trade)"
 	fmt.Fprintln(w, t.String())
 	return nil
 }

@@ -448,6 +448,13 @@ type Set struct {
 	store  Store
 	layout Layout
 	base   []int64
+
+	// sieveLocks serializes sieved read-modify-write spans per device
+	// (lazily created; engine contexts only — see WriteVecSieved). The
+	// map is only ever touched by engine-managed processes, whose strict
+	// alternation provides the required happens-before edges, mirroring
+	// stripe.Parity's row-lock map.
+	sieveLocks map[int]*sim.Mutex
 }
 
 // NewSet builds a Set. base gives the first physical block of the file's

@@ -1,0 +1,227 @@
+// Data sieving: noncontiguous access as one contiguous covering span per
+// device, in the style of ROMIO's optimization of noncontiguous MPI-IO
+// requests (Thakur/Gropp/Lusk).
+//
+// The vectored path (vec.go) issues one device request per physically
+// contiguous gather run, which is optimal when runs are long but pays the
+// full per-request cost (overhead + seek + rotational latency) for every
+// hole in the access pattern. When the pattern is dense — many small
+// pieces separated by small holes — it is cheaper to move the holes too:
+// a sieved read issues ONE request per device covering the span from the
+// first to the last requested block, scattering the requested pieces into
+// the caller's buffer and the unwanted hole blocks into pooled scratch; a
+// sieved write reads the covering span, overlays the caller's pieces, and
+// writes the span back (read-modify-write), two requests per device
+// however fragmented the pattern.
+//
+// The write-back makes concurrent writers dangerous: a span's holes may
+// be another writer's data, so writing back a stale hole loses that
+// writer's update. Each Set therefore serializes sieved writes per device
+// through a lazily created sim.Mutex (strict-alternation discipline, like
+// stripe.Parity's row locks): the whole read-modify-write of one device
+// is atomic, every branch of the cross-device sim.Par holds at most one
+// device lock (no ordering to violate, hence no deadlock), and concurrent
+// sieved writers with disjoint block sets land exactly their own bytes
+// whatever order the engine schedules them in. Writers that bypass the
+// sieve (plain WriteVec) are not protected — concurrent writers to one
+// device must either touch disjoint spans or all go through the sieve,
+// which is how the collective layer's strategy routing uses it.
+
+package blockio
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// SieveSpan is one device's covering span for a sieved transfer: the
+// Blocks physically contiguous blocks starting at PBlock (extent
+// relative) cover every gather run of the descriptor on Dev; Useful of
+// them were actually requested, the rest are holes moved only to make
+// the span one device request.
+type SieveSpan struct {
+	Dev    int
+	PBlock int64
+	Blocks int64
+	Useful int64
+	Runs   []Run // the device's gather runs inside the span, ascending
+}
+
+// SieveSpans validates vec and computes the per-device covering spans the
+// sieved paths would transfer, in ascending device order — the planning
+// half of ReadVecSieved/WriteVecSieved, exposed for cost models and
+// tests.
+func (s *Set) SieveSpans(vec Vec) ([]SieveSpan, error) {
+	if err := s.checkVec("SieveSpans", vec, -1); err != nil {
+		return nil, err
+	}
+	return s.sieveSpans(s.mapVec(vec)), nil
+}
+
+// sieveSpans groups mapped gather runs (sorted by device, physical
+// block — mapVec's order) into one covering span per device.
+func (s *Set) sieveSpans(runs []Run) []SieveSpan {
+	var spans []SieveSpan
+	for i := 0; i < len(runs); {
+		j := i + 1
+		for j < len(runs) && runs[j].Dev == runs[i].Dev {
+			j++
+		}
+		sp := SieveSpan{
+			Dev:    runs[i].Dev,
+			PBlock: runs[i].PBlock,
+			Blocks: runs[j-1].PBlock + runs[j-1].N - runs[i].PBlock,
+			Runs:   runs[i:j],
+		}
+		for _, r := range sp.Runs {
+			sp.Useful += r.N
+		}
+		spans = append(spans, sp)
+		i = j
+	}
+	return spans
+}
+
+// sievePool recycles hole scratch and span staging buffers across sieved
+// transfers (the spans can be large — that is the point of sieving — so
+// per-call allocation would be real churn, as the pooled batch-mapping
+// scratch was before it).
+var sievePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getSieveBuf pops a pooled buffer of at least n bytes.
+func getSieveBuf(n int64) *[]byte {
+	bp := sievePool.Get().(*[]byte)
+	if int64(cap(*bp)) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// sieveIov builds the scatter/gather list of one covering span: the
+// requested runs' blocks map to the caller's buffer slices (the true
+// scatter path — no staging copy on stores that scatter at the device),
+// and each hole maps to its slice of the scratch buffer. hole(off, n)
+// returns the scratch bytes standing in for the n hole blocks at span
+// offset off.
+func sieveIov(sp SieveSpan, bs int64, buf []byte, hole func(off, n int64) []byte) [][]byte {
+	var iov [][]byte
+	pos := sp.PBlock
+	for _, r := range sp.Runs {
+		if r.PBlock > pos {
+			iov = append(iov, hole(pos-sp.PBlock, r.PBlock-pos))
+			pos = r.PBlock
+		}
+		for _, sg := range r.Segs {
+			iov = append(iov, buf[sg.BufOff:sg.BufOff+sg.Blocks*bs])
+		}
+		pos += r.N
+	}
+	return iov
+}
+
+// ReadVecSieved reads the blocks described by vec into buf like ReadVec,
+// but as one covering device request per device: requested pieces
+// scatter straight into buf, hole blocks into pooled scratch. Devices
+// proceed in parallel under a simulation engine. Reads take no locks
+// (they modify nothing), matching ReadVec.
+func (s *Set) ReadVecSieved(ctx sim.Context, vec Vec, buf []byte) error {
+	if err := s.checkVec("ReadVecSieved", vec, int64(len(buf))); err != nil {
+		return err
+	}
+	spans := s.sieveSpans(s.mapVec(vec))
+	if len(spans) == 0 {
+		return nil
+	}
+	bs := int64(s.store.BlockSize())
+	one := func(ctx sim.Context, sp SieveSpan) error {
+		holeBp := getSieveBuf((sp.Blocks - sp.Useful) * bs)
+		defer sievePool.Put(holeBp)
+		var holeOff int64
+		iov := sieveIov(sp, bs, buf, func(_, n int64) []byte {
+			h := (*holeBp)[holeOff : holeOff+n*bs]
+			holeOff += n * bs
+			return h
+		})
+		return s.store.ReadBlocksVec(ctx, sp.Dev, s.base[sp.Dev]+sp.PBlock, int(sp.Blocks), iov)
+	}
+	if len(spans) == 1 {
+		return one(ctx, spans[0])
+	}
+	fns := make([]func(sim.Context) error, len(spans))
+	for i, sp := range spans {
+		sp := sp
+		fns[i] = func(c sim.Context) error { return one(c, sp) }
+	}
+	return sim.Par(ctx, fns...)
+}
+
+// lockSieve serializes sieved writes on device dev (engine contexts
+// only — without an engine there is no concurrency to guard). The
+// returned function unlocks.
+func (s *Set) lockSieve(ctx sim.Context, dev int) func() {
+	pr, ok := ctx.(*sim.Proc)
+	if !ok {
+		return func() {}
+	}
+	if s.sieveLocks == nil {
+		s.sieveLocks = make(map[int]*sim.Mutex)
+	}
+	mu := s.sieveLocks[dev]
+	if mu == nil {
+		mu = &sim.Mutex{}
+		s.sieveLocks[dev] = mu
+	}
+	mu.Lock(pr)
+	return func() { mu.Unlock(pr) }
+}
+
+// WriteVecSieved writes the blocks described by vec from buf like
+// WriteVec, but as a read-modify-write of one covering span per device:
+// under the device's sieve lock, the span is read into pooled scratch
+// (one request), then written back (one request) gathering the
+// requested pieces straight from buf and the hole blocks from the
+// freshly read scratch. A span with no holes skips the read but still
+// takes the lock, so a hole-free writer can never slip inside another
+// writer's read-modify-write window. Devices proceed in parallel under
+// a simulation engine; each parallel branch holds at most one device
+// lock, so concurrent sieved writers contend but never deadlock.
+func (s *Set) WriteVecSieved(ctx sim.Context, vec Vec, buf []byte) error {
+	if err := s.checkVec("WriteVecSieved", vec, int64(len(buf))); err != nil {
+		return err
+	}
+	spans := s.sieveSpans(s.mapVec(vec))
+	if len(spans) == 0 {
+		return nil
+	}
+	bs := int64(s.store.BlockSize())
+	one := func(ctx sim.Context, sp SieveSpan) error {
+		unlock := s.lockSieve(ctx, sp.Dev)
+		defer unlock()
+		pb := s.base[sp.Dev] + sp.PBlock
+		if sp.Useful == sp.Blocks {
+			iov := sieveIov(sp, bs, buf, nil) // no holes: hole fn never called
+			return s.store.WriteBlocksVec(ctx, sp.Dev, pb, int(sp.Blocks), iov)
+		}
+		spanBp := getSieveBuf(sp.Blocks * bs)
+		defer sievePool.Put(spanBp)
+		span := *spanBp
+		if err := s.store.ReadBlocks(ctx, sp.Dev, pb, int(sp.Blocks), span); err != nil {
+			return err
+		}
+		iov := sieveIov(sp, bs, buf, func(off, n int64) []byte {
+			return span[off*bs : (off+n)*bs]
+		})
+		return s.store.WriteBlocksVec(ctx, sp.Dev, pb, int(sp.Blocks), iov)
+	}
+	if len(spans) == 1 {
+		return one(ctx, spans[0])
+	}
+	fns := make([]func(sim.Context) error, len(spans))
+	for i, sp := range spans {
+		sp := sp
+		fns[i] = func(c sim.Context) error { return one(c, sp) }
+	}
+	return sim.Par(ctx, fns...)
+}

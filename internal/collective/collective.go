@@ -103,6 +103,19 @@ type Options struct {
 	// unbounded single-shot two-phase schedule, whose modeled timings
 	// are bit-identical to earlier releases.
 	ChunkBytes int64
+
+	// Strategy selects the access route of the blocking collective
+	// calls. The zero value (and blockio.StrategyCollective) keeps the
+	// two-phase exchange; StrategyVectored/StrategySieved route every
+	// rank's requests as independent vectored/sieved Set transfers
+	// (skipping the exchange entirely); StrategyAuto prices the three
+	// routes per call — exchange traffic against the group's modeled
+	// interconnect (mpp.Group.LinkModel), device requests against the
+	// store's drive parameters — and picks the cheapest. Plan
+	// validation, cross-rank overlap rejection, and LastWriterWins
+	// semantics are identical on every route. The nonblocking entry
+	// points (Service) always run two-phase.
+	Strategy blockio.Strategy
 }
 
 // ExchangeStats reports where one collective call's exchange-phase bytes
@@ -159,6 +172,7 @@ type Collective struct {
 	errs  []error
 	pl    *plan
 	plErr error
+	route route
 	stats ExchangeStats
 	// per-call phase busy intervals, appended by every rank (strict
 	// alternation again) and folded into stats by rank 0 at the end.
@@ -283,7 +297,14 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 	if rank == 0 {
 		c.pl, c.plErr = buildPlan(c.group, c.reqs, c.bufs, c.naggs, write, c.opts)
 		if c.plErr == nil {
+			// Route selection happens only after the plan validates, so
+			// every strategy rejects bad requests (cross-rank write
+			// overlap above all) with byte-identical errors.
+			c.route = c.chooseRoute(p, c.pl, write)
 			c.stats = c.pl.exchangeStats(c.size)
+			if c.route != routeTwoPhase {
+				c.stats = ExchangeStats{} // independent routes exchange nothing
+			}
 			rec.Instant(trk, "collective", "plan", p.Now())
 		}
 		c.commIv, c.ioIv = c.commIv[:0], c.ioIv[:0]
@@ -294,6 +315,8 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 	}
 	pl := c.pl
 	switch {
+	case c.route != routeTwoPhase:
+		c.runIndependent(p, pl, write, c.route == routeSieved)
 	case pl.rounds > 0:
 		// Chunked staging buffers configured (Options.ChunkBytes): the
 		// pipelined schedule overlapping exchange with device access.

@@ -16,6 +16,8 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -46,10 +48,21 @@ const (
 	diffVectoredWrite
 	diffExtentWrite
 	diffExtentRead
+	// Sieved phases hit the data-sieving paths directly (independent
+	// per-rank WriteVecSieved/ReadVecSieved — the read-modify-write and
+	// covering-span scatter against the same reference as everything
+	// else); auto phases go through a collective handle with
+	// Strategy: Auto, so whichever route its cost model picks for the
+	// scenario's machine must produce reference-identical bytes.
+	diffSievedWrite
+	diffSievedRead
+	diffAutoWrite
+	diffAutoRead
 	diffKinds
 )
 
-var diffKindNames = [...]string{"cwrite", "cread", "pwrite", "pread", "vwrite", "ewrite", "eread"}
+var diffKindNames = [...]string{"cwrite", "cread", "pwrite", "pread", "vwrite", "ewrite", "eread",
+	"swrite", "sread", "awrite", "aread"}
 
 // diffPhase is one precomputed phase: per-rank request lists and
 // buffers (pre-filled for writes, pre-sized with expected images for
@@ -197,9 +210,9 @@ func genScenario(seed int64) *diffScenario {
 			kind = diffPipelinedWrite // every scenario exercises the tentpole path
 		}
 		switch kind {
-		case diffCollectiveWrite, diffPipelinedWrite, diffVectoredWrite:
+		case diffCollectiveWrite, diffPipelinedWrite, diffVectoredWrite, diffSievedWrite, diffAutoWrite:
 			sc.genAssignedWrite(rng, g, ph, kind)
-		case diffCollectiveRead, diffPipelinedRead:
+		case diffCollectiveRead, diffPipelinedRead, diffSievedRead, diffAutoRead:
 			sc.genCollectiveRead(rng, g, ph, kind)
 		case diffExtentWrite:
 			sc.genExtentWrite(rng, g, ph)
@@ -214,7 +227,11 @@ func genScenario(seed int64) *diffScenario {
 // overlaps only for collective writes under LastWriterWins), fills the
 // buffers, and applies rank-order-wins to the reference image.
 func (sc *diffScenario) genAssignedWrite(rng *rand.Rand, g *fileGroupInfo, ph, kind int) {
-	overlaps := (kind == diffCollectiveWrite || kind == diffPipelinedWrite) && sc.opts.LastWriterWins
+	// Raw vectored/sieved Set writes have no overlap resolution, so only
+	// the collective kinds — including Auto, which must honor
+	// LastWriterWins on whatever route it picks — generate overlaps.
+	overlaps := (kind == diffCollectiveWrite || kind == diffPipelinedWrite || kind == diffAutoWrite) &&
+		sc.opts.LastWriterWins
 	density := 0.2 + 0.6*rng.Float64()
 	owners := make([][]int, g.total)
 	for gb := int64(0); gb < g.total; gb++ {
@@ -369,22 +386,34 @@ func (sc *diffScenario) run(t *testing.T) {
 	if err != nil {
 		t.Fatalf("seed %d: %v", sc.seed, err)
 	}
+	aopts := sc.opts
+	aopts.Strategy = blockio.StrategyAuto
+	auto, err := Open(g, sc.nRanks, aopts)
+	if err != nil {
+		t.Fatalf("seed %d: %v", sc.seed, err)
+	}
 	mg, join := mpp.Run(e, sc.nRanks, "diff", func(p *mpp.Proc) {
 		r := p.Rank()
 		for pi, ph := range sc.phases {
 			switch ph.kind {
-			case diffCollectiveWrite, diffPipelinedWrite:
+			case diffCollectiveWrite, diffPipelinedWrite, diffAutoWrite:
 				h := col
-				if ph.kind == diffPipelinedWrite {
+				switch ph.kind {
+				case diffPipelinedWrite:
 					h = piped
+				case diffAutoWrite:
+					h = auto
 				}
 				if err := h.WriteAll(p, ph.reqs[r], ph.bufs[r]); err != nil {
 					t.Errorf("seed %d phase %d (%s) rank %d: %v", sc.seed, pi, diffKindNames[ph.kind], r, err)
 				}
-			case diffCollectiveRead, diffPipelinedRead:
+			case diffCollectiveRead, diffPipelinedRead, diffAutoRead:
 				h := col
-				if ph.kind == diffPipelinedRead {
+				switch ph.kind {
+				case diffPipelinedRead:
 					h = piped
+				case diffAutoRead:
+					h = auto
 				}
 				if err := h.ReadAll(p, ph.reqs[r], ph.bufs[r]); err != nil {
 					t.Errorf("seed %d phase %d (%s) rank %d: %v", sc.seed, pi, diffKindNames[ph.kind], r, err)
@@ -392,11 +421,28 @@ func (sc *diffScenario) run(t *testing.T) {
 					t.Errorf("seed %d phase %d (%s) rank %d: read diverged from reference model",
 						sc.seed, pi, diffKindNames[ph.kind], r)
 				}
-			case diffVectoredWrite:
+			case diffVectoredWrite, diffSievedWrite:
 				for _, q := range ph.reqs[r] {
-					if err := g.File(q.File).Set().WriteVec(p.Proc, q.Vec, ph.bufs[r]); err != nil {
+					set := g.File(q.File).Set()
+					var err error
+					if ph.kind == diffSievedWrite {
+						err = set.WriteVecSieved(p.Proc, q.Vec, ph.bufs[r])
+					} else {
+						err = set.WriteVec(p.Proc, q.Vec, ph.bufs[r])
+					}
+					if err != nil {
 						t.Errorf("seed %d phase %d (%s) rank %d: %v", sc.seed, pi, diffKindNames[ph.kind], r, err)
 					}
+				}
+			case diffSievedRead:
+				for _, q := range ph.reqs[r] {
+					if err := g.File(q.File).Set().ReadVecSieved(p.Proc, q.Vec, ph.bufs[r]); err != nil {
+						t.Errorf("seed %d phase %d (%s) rank %d: %v", sc.seed, pi, diffKindNames[ph.kind], r, err)
+					}
+				}
+				if !bytes.Equal(ph.bufs[r], ph.expect[r]) {
+					t.Errorf("seed %d phase %d (%s) rank %d: sieved read diverged from reference model",
+						sc.seed, pi, diffKindNames[ph.kind], r)
 				}
 			case diffExtentWrite:
 				for _, q := range ph.reqs[r] {
@@ -448,7 +494,21 @@ func (sc *diffScenario) run(t *testing.T) {
 // 3×3 matrix), with randomized rank counts, aggregator counts, locality
 // and overlap policies, link models, chunk sizes for the pipelined
 // phases, and phase mixes.
+// Set PARIO_DIFF_SEED=N to replay a single scenario — including seeds
+// outside the fixed matrix — e.g.
+//
+//	PARIO_DIFF_SEED=1234 go test -run TestDifferential ./internal/collective
 func TestDifferential(t *testing.T) {
+	if s := os.Getenv("PARIO_DIFF_SEED"); s != "" {
+		seed, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("PARIO_DIFF_SEED=%q: %v", s, err)
+		}
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			genScenario(seed).run(t)
+		})
+		return
+	}
 	for seed := int64(0); seed < 60; seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			genScenario(seed).run(t)

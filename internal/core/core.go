@@ -64,7 +64,24 @@ type Options struct {
 	Trace *trace.Recorder
 	// Proc identifies the calling process in traces.
 	Proc int
+	// Strategy selects how noncontiguous extent transfers execute:
+	// vectored (one request per physical run), sieved (one covering span
+	// per device, writes as read-modify-write), or Auto, which prices
+	// both against the store's modeled device parameters per operation
+	// and picks the cheaper. The zero value keeps the historical
+	// vectored path, so the paper's modeled shapes are unchanged;
+	// TunedOptions sets StrategyAuto.
+	Strategy blockio.Strategy
 }
+
+// The blockio strategies, re-exported for Options.Strategy.
+const (
+	StrategyDefault    = blockio.StrategyDefault
+	StrategyVectored   = blockio.StrategyVectored
+	StrategySieved     = blockio.StrategySieved
+	StrategyCollective = blockio.StrategyCollective
+	StrategyAuto       = blockio.StrategyAuto
+)
 
 // DefaultOptions is the paper-recommended configuration: double
 // buffering with one dedicated I/O process, early release, and a small
@@ -94,6 +111,7 @@ func TunedOptions() Options {
 		IOProcs:      1,
 		EarlyRelease: true,
 		CacheBlocks:  64,
+		Strategy:     StrategyAuto,
 	}
 }
 
@@ -205,33 +223,46 @@ func (s blockSeq) streamVec(dst blockio.Vec, fsPer, bs, first, n int64) blockio.
 	return dst
 }
 
+// costModelFor derives the cost model a strategy-dispatched transfer
+// prices paths with — built once per handle, not per operation. Fixed
+// strategies never consult it, so the zero model is fine for them.
+func costModelFor(f *pfs.File, strat blockio.Strategy) blockio.CostModel {
+	if strat != blockio.StrategyAuto {
+		return blockio.CostModel{}
+	}
+	return blockio.StoreCostModel(f.Set().Store(), 1)
+}
+
 // rangedFetch returns a FetchRun over the stream's fs blocks that issues
 // each extent as one vectored request (Set.ReadVec) — the extent read
-// path, gather-capable since vectored I/O.
-func rangedFetch(f *pfs.File, seq blockSeq) buffer.FetchRun {
+// path, gather-capable since vectored I/O — or, under Options.Strategy,
+// through the sieved/auto-selected path.
+func rangedFetch(f *pfs.File, seq blockSeq, strat blockio.Strategy) buffer.FetchRun {
 	set := f.Set()
 	fsPer := f.Mapper().FSPerBlock()
 	bs := int64(f.Mapper().FSBlockSize())
+	cm := costModelFor(f, strat)
 	// vec is reused across calls, which is safe even with several
 	// prefetch processes sharing this closure: ReadVec consumes the
 	// descriptor into physical runs before its first wait.
 	var vec blockio.Vec
 	return func(ctx sim.Context, first int64, n int, buf []byte) error {
 		vec = seq.streamVec(vec[:0], fsPer, bs, first, int64(n))
-		return set.ReadVec(ctx, vec, buf)
+		return set.ReadVecStrategy(ctx, strat, cm, vec, buf)
 	}
 }
 
 // rangedFlush is the write counterpart of rangedFetch, built on
-// Set.WriteVec.
-func rangedFlush(f *pfs.File, seq blockSeq) buffer.FlushRun {
+// Set.WriteVec (or its sieved/auto-selected counterpart).
+func rangedFlush(f *pfs.File, seq blockSeq, strat blockio.Strategy) buffer.FlushRun {
 	set := f.Set()
 	fsPer := f.Mapper().FSPerBlock()
 	bs := int64(f.Mapper().FSBlockSize())
+	cm := costModelFor(f, strat)
 	var vec blockio.Vec
 	return func(ctx sim.Context, first int64, n int, buf []byte) error {
 		vec = seq.streamVec(vec[:0], fsPer, bs, first, int64(n))
-		return set.WriteVec(ctx, vec, buf)
+		return set.WriteVecStrategy(ctx, strat, cm, vec, buf)
 	}
 }
 

@@ -15,15 +15,19 @@ import (
 // listed fs block becomes a one-block descriptor segment, so physically
 // adjacent blocks — even when logically strided — coalesce into gather
 // runs (Set.ReadVec), the ranged fault path of the direct handles.
-func fetchSpanOf(f *pfs.File) buffer.FetchSpan {
+// Under Options.Strategy the faulted set may instead come in as one
+// sieved covering span per device — direct access faults are exactly
+// the dense-but-holey patterns sieving was invented for.
+func fetchSpanOf(f *pfs.File, strat blockio.Strategy) buffer.FetchSpan {
 	set := f.Set()
 	bs := int64(f.Mapper().FSBlockSize())
+	cm := costModelFor(f, strat)
 	return func(ctx sim.Context, idxs []int64, buf []byte) error {
 		vec := make(blockio.Vec, len(idxs))
 		for i, k := range idxs {
 			vec[i] = blockio.VecSeg{Block: k, N: 1, BufOff: int64(i) * bs}
 		}
-		return set.ReadVec(ctx, vec, buf)
+		return set.ReadVecStrategy(ctx, strat, cm, vec, buf)
 	}
 }
 
@@ -166,7 +170,7 @@ func OpenDirect(f *pfs.File, opts Options) (*Direct, error) {
 	if err != nil {
 		return nil, err
 	}
-	cache.SetFetchSpan(fetchSpanOf(f))
+	cache.SetFetchSpan(fetchSpanOf(f, opts.Strategy))
 	return &Direct{f: f, opts: opts, cache: cache}, nil
 }
 
@@ -271,7 +275,7 @@ func OpenDirectPart(f *pfs.File, part int, opts Options) (*DirectPart, error) {
 	if err != nil {
 		return nil, err
 	}
-	cache.SetFetchSpan(fetchSpanOf(f))
+	cache.SetFetchSpan(fetchSpanOf(f, opts.Strategy))
 	dp := &DirectPart{f: f, part: part, opts: opts, cache: cache}
 	if opts.SeqWithinBlocks {
 		dp.seqPos = make(map[int64]int)

@@ -261,6 +261,10 @@ func (d *Disk) Name() string { return d.name }
 // Geometry reports the device geometry.
 func (d *Disk) Geometry() Geometry { return d.geom }
 
+// Timing reports the disk's service-time model — the parameters cost
+// models (blockio.StoreCostModel) price device requests with.
+func (d *Disk) Timing() Timing { return d.timing }
+
 // Stats returns a snapshot of the device counters.
 func (d *Disk) Stats() Stats { return d.stats }
 

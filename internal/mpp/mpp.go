@@ -297,6 +297,23 @@ func (g *Group) SetLink(msg time.Duration, bytesPerSec float64) {
 	g.linkBytes = bytesPerSec
 }
 
+// LinkModel reports the group's interconnect parameters — per-message
+// latency, per-process bandwidth (0 = infinite), and the shared
+// bisection pool's aggregate bandwidth (0 = uncontended) — for cost
+// models that weigh exchange traffic against device access
+// (blockio.CostModel).
+func (g *Group) LinkModel() (msg time.Duration, bytesPerSec, bisectionBytesPerSec float64) {
+	if g.bisection != nil {
+		bisectionBytesPerSec = g.bisection.bw
+	}
+	return g.linkMsg, g.linkBytes, bisectionBytesPerSec
+}
+
+// LinkModel reports the interconnect parameters of the proc's group.
+func (p *Proc) LinkModel() (msg time.Duration, bytesPerSec, bisectionBytesPerSec float64) {
+	return p.group.LinkModel()
+}
+
 // SetBisection configures the shared-link (contention) model: the whole
 // group shares one pool of bytesPerSec aggregate bisection bandwidth,
 // and every collective charges each process the exchange's total

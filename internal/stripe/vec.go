@@ -13,10 +13,35 @@ package stripe
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/device"
 	"repro/internal/sim"
 )
+
+// vecPool recycles the contiguous staging buffers the Parity vectored
+// paths gather/scatter through. Sieved covering spans make these runs
+// large, so a fresh n*bs allocation per call would be real allocator
+// churn (the ROADMAP carry-over this closes).
+var vecPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getVecBuf pops a pooled buffer of at least n bytes.
+func getVecBuf(n int) *[]byte {
+	bp := vecPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// DeviceTiming implements blockio.DeviceTimer with the array's drive
+// parameters.
+func (p *Parity) DeviceTiming() device.Timing { return p.disks[0].Timing() }
+
+// DeviceTiming implements blockio.DeviceTimer with the pair's drive
+// parameters.
+func (m *Mirror) DeviceTiming() device.Timing { return m.primary[0].Timing() }
 
 // checkVec validates a scatter/gather list against a run of n blocks.
 func checkVec(op string, bs, n int, iov [][]byte) error {
@@ -60,11 +85,12 @@ func (p *Parity) ReadBlocksVec(ctx sim.Context, dev int, b int64, n int, dsts []
 	if len(dsts) == 1 {
 		return p.ReadBlocks(ctx, dev, b, n, dsts[0])
 	}
-	scratch := make([]byte, n*bs)
-	if err := p.ReadBlocks(ctx, dev, b, n, scratch); err != nil {
+	bp := getVecBuf(n * bs)
+	defer vecPool.Put(bp)
+	if err := p.ReadBlocks(ctx, dev, b, n, *bp); err != nil {
 		return err
 	}
-	scatter(scratch, dsts)
+	scatter(*bp, dsts)
 	return nil
 }
 
@@ -80,9 +106,10 @@ func (p *Parity) WriteBlocksVec(ctx sim.Context, dev int, b int64, n int, srcs [
 	if len(srcs) == 1 {
 		return p.WriteBlocks(ctx, dev, b, n, srcs[0])
 	}
-	scratch := make([]byte, n*bs)
-	gather(srcs, scratch)
-	return p.WriteBlocks(ctx, dev, b, n, scratch)
+	bp := getVecBuf(n * bs)
+	defer vecPool.Put(bp)
+	gather(srcs, *bp)
+	return p.WriteBlocks(ctx, dev, b, n, *bp)
 }
 
 // ReadBlocksVec implements blockio.Store as one scatter request on the

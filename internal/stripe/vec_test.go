@@ -139,6 +139,62 @@ func TestVecStoreEquivalence(t *testing.T) {
 	}
 }
 
+// TestParityVecScratchPooled pins the ROADMAP carry-over fix: the
+// contiguous staging buffer the Parity vectored paths gather/scatter
+// through comes from a pool, so a steady-state vectored sweep allocates
+// no more than the equivalent contiguous call (which pays the run path's
+// own per-call allocations) plus a small constant — not a fresh n×bs
+// buffer per call.
+func TestParityVecScratchPooled(t *testing.T) {
+	ctx := sim.NewWall()
+	geom := device.Geometry{BlockSize: 64, BlocksPerCyl: 16, Cylinders: 8}
+	disks := make([]*device.Disk, 5)
+	for i := range disks {
+		disks[i] = device.New(device.Config{Name: fmt.Sprintf("d%d", i), Geometry: geom})
+	}
+	p, err := NewParity(disks, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	bs := p.BlockSize()
+	flat := make([]byte, n*bs)
+	iov := make([][]byte, n) // one slice per block: the staged multi-iov path
+	for i := range iov {
+		iov[i] = flat[i*bs : (i+1)*bs]
+	}
+	for _, op := range []struct {
+		name  string
+		plain func() error
+		vec   func() error
+	}{
+		{"write",
+			func() error { return p.WriteBlocks(ctx, 0, 0, n, flat) },
+			func() error { return p.WriteBlocksVec(ctx, 0, 0, n, iov) }},
+		{"read",
+			func() error { return p.ReadBlocks(ctx, 0, 0, n, flat) },
+			func() error { return p.ReadBlocksVec(ctx, 0, 0, n, iov) }},
+	} {
+		if err := op.vec(); err != nil { // warm the pool
+			t.Fatal(err)
+		}
+		plain := testing.AllocsPerRun(50, func() {
+			if err := op.plain(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		vec := testing.AllocsPerRun(50, func() {
+			if err := op.vec(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if vec > plain+2 {
+			t.Errorf("%s: vectored path allocates %.0f/run vs %.0f for the contiguous path — scratch is not pooled",
+				op.name, vec, plain)
+		}
+	}
+}
+
 // requests sums completed requests over drives.
 func requests(ds []*device.Disk) int64 {
 	var n int64

@@ -155,6 +155,37 @@
 // Everything is opt-in: without a Service, collectives and their
 // modeled times are unchanged (TestDefaultModelPinned).
 //
+// # Data sieving & strategy selection
+//
+// Vectored I/O issues one device request per physically contiguous
+// gather run — optimal when runs are long, but every hole in a pattern
+// costs a full request (overhead + seek + rotational latency).
+// Set.ReadVecSieved and Set.WriteVecSieved instead move each device's
+// whole covering span as ONE request (two for writes: a
+// read-modify-write, serialized per device through ordered locks so
+// concurrent sieved writers with disjoint blocks stay safe),
+// scattering the requested pieces straight into the caller's buffer
+// and the hole blocks into pooled scratch — ROMIO-style data sieving.
+// No fixed choice wins everywhere ("Noncontiguous I/O through PVFS",
+// PAPERS.md): sieving wins dense patterns, vectored wins sparse ones,
+// and the two-phase collective wins when ranks' pieces interleave so
+// the union footprint coalesces though no single rank's view does —
+// until link contention inverts that trade again. Options.Strategy and
+// CollectiveOptions.Strategy expose the choice: StrategyVectored,
+// StrategySieved and StrategyCollective force a path, the zero value
+// keeps each layer's historical default, and StrategyAuto prices the
+// candidate routes per operation with a cost model built from the
+// modeled drive parameters (StoreCostModel) and the rank group's link
+// model, picking the cheapest — one self-tuning knob where tuning
+// previously meant picking fixed mechanisms per workload.
+// TunedProfile and TunedOptions now set StrategyAuto.
+// TestStrategyAutoWins enforces that Auto matches the best fixed
+// strategy on every configuration of a density × rank-count ×
+// link-bandwidth sweep and strictly beats each fixed strategy on at
+// least one; `pariosim -scenario strategy` prints the sweep. The paper
+// defaults are untouched: StrategyDefault keeps every pinned modeled
+// time bit-identical (TestDefaultModelPinned).
+//
 // Profiles bundle the knobs grown across all these layers:
 // PaperProfile is the pinned 1989 model, TunedProfile the "modern
 // defaults" (extents, SCAN scheduling with queue merging, a modeled
@@ -360,6 +391,19 @@ type (
 	// into issue windows (BatchVec.Plan) — the prepared form the
 	// pipelined collective issues its per-chunk device requests through.
 	BatchPlan = blockio.BatchPlan
+	// Strategy selects how noncontiguous transfers execute: a forced
+	// path, each layer's historical default (the zero value), or
+	// per-operation cost-model selection (StrategyAuto). See the "Data
+	// sieving & strategy selection" doc section.
+	Strategy = blockio.Strategy
+	// CostModel carries the modeled machine parameters strategy
+	// decisions price transfers with (StoreCostModel derives the device
+	// half from a volume's drives).
+	CostModel = blockio.CostModel
+	// SieveSpan is one device's covering span for a sieved transfer
+	// (Set.SieveSpans plans them; Set.ReadVecSieved/WriteVecSieved
+	// execute them).
+	SieveSpan = blockio.SieveSpan
 
 	// Rank is one process of a parallel program (GoRanks), with the
 	// group collectives (Barrier, AlltoallvSparse, reductions).
@@ -448,6 +492,22 @@ const (
 	SchedFCFS = device.FCFS
 	SchedSCAN = device.SCAN
 )
+
+// Access-strategy constants (Options.Strategy /
+// CollectiveOptions.Strategy; see "Data sieving & strategy selection").
+const (
+	StrategyDefault    = blockio.StrategyDefault
+	StrategyVectored   = blockio.StrategyVectored
+	StrategySieved     = blockio.StrategySieved
+	StrategyCollective = blockio.StrategyCollective
+	StrategyAuto       = blockio.StrategyAuto
+)
+
+// StoreCostModel derives the device half of a strategy CostModel from a
+// store's drive parameters (Volume.Store), for ranks concurrent
+// accessors; the collective layer fills in the link half from the rank
+// group automatically.
+var StoreCostModel = blockio.StoreCostModel
 
 // I/O server scheduling policies.
 const (
@@ -579,7 +639,9 @@ func PaperProfile() Profile {
 // shared bisection pool — generous late-era numbers that make
 // communication real but still cheaper than seeks), and collectives
 // with locality-aware aggregator domains pipelined through 1 MiB
-// chunks. Every knob is one of the opt-in mechanisms grown since PR 1;
+// chunks under per-call strategy selection (StrategyAuto — see "Data
+// sieving & strategy selection"). Every knob is one of the opt-in
+// mechanisms grown since PR 1;
 // TestTunedProfileWins enforces that the bundle beats PaperProfile on
 // the checkpoint scenario even though the paper's interconnect is free.
 func TunedProfile() Profile {
@@ -594,6 +656,7 @@ func TunedProfile() Profile {
 		Collective: CollectiveOptions{
 			Locality:   true,
 			ChunkBytes: 1 << 20,
+			Strategy:   StrategyAuto,
 		},
 	}
 }
