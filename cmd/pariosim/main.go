@@ -68,7 +68,7 @@ func attachMachine(scope string, m *pario.Machine) {
 }
 
 func main() {
-	scenario := flag.String("scenario", "all", "one of: seek, service, stripe, extent, noncontig, collective, strategy, contended, pipeline, profile, multijob, scale, all")
+	scenario := flag.String("scenario", "all", "one of: seek, service, stripe, extent, noncontig, collective, strategy, contended, pipeline, replay, profile, multijob, scale, all")
 	profile := flag.String("profile", "", "profile for the profile scenario: tuned, paper, or empty for both")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
@@ -166,6 +166,8 @@ func run(scenario, profile string, w io.Writer) error {
 		return contendedDemo(w)
 	case "pipeline":
 		return pipelineDemo(w)
+	case "replay":
+		return replayDemo(w)
 	case "profile":
 		return profileDemo(w, profile)
 	case "multijob":
@@ -198,6 +200,9 @@ func run(scenario, profile string, w io.Writer) error {
 			return err
 		}
 		if err := pipelineDemo(w); err != nil {
+			return err
+		}
+		if err := replayDemo(w); err != nil {
 			return err
 		}
 		if err := profileDemo(w, profile); err != nil {
@@ -1002,6 +1007,104 @@ func scaleDemo(w io.Writer) error {
 			fmt.Sprintf("%.3f", wall.Seconds()/e.Now().Seconds()))
 	}
 	t.Note = "wall time is host-dependent; the shape to watch is sub-linear growth in wall s / modeled s\nas ranks × drives grow. BenchmarkEngineScale tracks the 4096 × 256 point in CI (BENCH_scale.json)."
+	fmt.Fprintln(w, t.String())
+	return nil
+}
+
+// replayDemo sweeps the schedule cache: the same iterated collective
+// checkpoint (every rank rewrites its 8 interleaved blocks each
+// iteration with fresh contents, contended interconnect) run with the
+// plan cache enabled — iteration 1 plans, the rest replay the captured
+// schedule — versus disabled (every iteration replans). Modeled time is
+// identical by construction; the column to watch is host wall-clock.
+func replayDemo(w io.Writer) error {
+	t := stats.NewTable("Plan capture & replay: iterated collective checkpoint, host wall-clock cached vs uncached",
+		"ranks", "iterations", "modeled", "wall uncached", "wall cached", "speedup")
+	one := func(ranks, iters int, cache bool, scope string) (modeled, wall time.Duration, err error) {
+		const bs = 256
+		const perRank = 8
+		e := sim.NewEngine()
+		geom := device.Geometry{BlockSize: bs, BlocksPerCyl: 8, Cylinders: 64}
+		disks := make([]*device.Disk, 16)
+		for i := range disks {
+			disks[i] = device.New(device.Config{
+				Name: fmt.Sprintf("d%d", i), Geometry: geom, Engine: e,
+			})
+		}
+		store, err := blockio.NewDirect(disks)
+		if err != nil {
+			return 0, 0, err
+		}
+		attach(scope, e, disks, store)
+		vol := pfs.NewVolume(store)
+		if _, err := vol.Create(pfs.Spec{
+			Name: "chk", Org: pfs.OrgSequential, RecordSize: bs,
+			NumRecords: int64(perRank * ranks), Placement: pfs.PlaceStriped, StripeUnitFS: 1,
+		}); err != nil {
+			return 0, 0, err
+		}
+		group, err := vol.OpenGroup("chk")
+		if err != nil {
+			return 0, 0, err
+		}
+		opts := collective.Options{}
+		if !cache {
+			opts.PlanCache = -1
+		}
+		col, err := collective.Open(group, ranks, opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		var rankErr error
+		g, _ := mpp.Run(e, ranks, "rank", func(p *mpp.Proc) {
+			r := int64(p.Rank())
+			var vec blockio.Vec
+			for k := int64(0); k < perRank; k++ {
+				vec = append(vec, blockio.VecSeg{Block: r + k*int64(ranks), N: 1, BufOff: k * bs})
+			}
+			reqs := []collective.VecReq{{File: 0, Vec: vec}}
+			buf := make([]byte, perRank*bs)
+			for it := 0; it < iters; it++ {
+				for i := range buf {
+					buf[i] = byte(it + i)
+				}
+				if err := col.WriteAll(p, reqs, buf); err != nil && rankErr == nil {
+					rankErr = err
+				}
+			}
+		})
+		g.SetLink(2*time.Microsecond, 50e6)
+		g.SetBisection(200e6)
+		attachGroup(g, "rank")
+		start := time.Now()
+		if err := e.Run(); err != nil {
+			return 0, 0, err
+		}
+		if rankErr != nil {
+			return 0, 0, rankErr
+		}
+		return e.Now(), time.Since(start), nil
+	}
+	for _, ranks := range []int{256, 1024} {
+		for _, iters := range []int{4, 32} {
+			var walls [2]time.Duration
+			var modeled time.Duration
+			for i, cache := range []bool{false, true} {
+				mode := "uncached"
+				if cache {
+					mode = "cached"
+				}
+				m, wl, err := one(ranks, iters, cache, fmt.Sprintf("replay/%dx%d/%s", ranks, iters, mode))
+				if err != nil {
+					return err
+				}
+				walls[i], modeled = wl, m
+			}
+			t.AddRow(ranks, iters, modeled, walls[0].Round(time.Millisecond), walls[1].Round(time.Millisecond),
+				fmt.Sprintf("%.2fx", float64(walls[0])/float64(walls[1])))
+		}
+	}
+	t.Note = "cached: iteration 1 builds and captures the schedule, iterations 2+ replay it (fingerprint\nlookup + payload packing only). Modeled results are bit-identical either way — TestPlanReplayWin\nenforces the host-side win and the identity (BENCH_replay.json tracks it in CI)."
 	fmt.Fprintln(w, t.String())
 	return nil
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestScenarios(t *testing.T) {
-	for _, sc := range []string{"seek", "service", "stripe", "extent", "noncontig", "collective", "strategy", "contended", "pipeline", "profile", "multijob", "scale"} {
+	for _, sc := range []string{"seek", "service", "stripe", "extent", "noncontig", "collective", "strategy", "contended", "pipeline", "replay", "profile", "multijob", "scale"} {
 		var out bytes.Buffer
 		if err := run(sc, "", &out); err != nil {
 			t.Fatalf("%s: %v", sc, err)
@@ -24,7 +24,7 @@ func TestAllScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	for _, want := range []string{"Seek curve", "service time", "striped scan", "Extent coalescing", "Vectored I/O", "Collective I/O", "Strategy selection", "Contention-aware", "Pipelined collective", "Cross-layer profiles", "Multi-job I/O service", "Engine scaling"} {
+	for _, want := range []string{"Seek curve", "service time", "striped scan", "Extent coalescing", "Vectored I/O", "Collective I/O", "Strategy selection", "Contention-aware", "Pipelined collective", "Plan capture & replay", "Cross-layer profiles", "Multi-job I/O service", "Engine scaling"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("missing %q in:\n%s", want, s)
 		}

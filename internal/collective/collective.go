@@ -116,6 +116,21 @@ type Options struct {
 	// semantics are identical on every route. The nonblocking entry
 	// points (Service) always run two-phase.
 	Strategy blockio.Strategy
+
+	// PlanCache bounds the handle's schedule cache (schedule.go).
+	// Iterative workloads issue the same request lists every iteration;
+	// the handle fingerprints each call's gathered requests and, on a
+	// match, replays the frozen schedule — validated plan, domain
+	// assignment, chosen route, chunk windows, prepared per-domain
+	// batch plans — rebinding only buffers and payloads. Replay is
+	// bit-identical to a fresh build in modeled time and probe trace,
+	// so caching is on by default: 0 selects the default capacity
+	// (8 schedules, LRU), larger values retain more distinct patterns,
+	// and a negative value disables caching (every call re-plans).
+	// Schedules are invalidated by SetOptions and by interconnect-model
+	// reconfiguration (mpp.Group.SetLink/SetBisection/SetBisectionPool/
+	// SetTopology bump the group's model epoch).
+	PlanCache int
 }
 
 // ExchangeStats reports where one collective call's exchange-phase bytes
@@ -170,7 +185,7 @@ type Collective struct {
 	reqs  [][]VecReq
 	bufs  [][]byte
 	errs  []error
-	pl    *plan
+	sched *schedule
 	plErr error
 	route route
 	stats ExchangeStats
@@ -197,6 +212,22 @@ type Collective struct {
 	payPool    [][]byte
 	dstIdx     []int
 	msgScratch [][]mpp.Msg
+
+	// Single-shot aggregation staging, per rank: each rank's
+	// owned-domain buffers, retained and resized across calls
+	// (schedule.domBufs) so steady-state iterations allocate nothing.
+	domScr [][][]byte
+
+	// Schedule capture/replay state (schedule.go): the cached
+	// schedules in MRU order, the interconnect-model stamp they were
+	// built under, the fingerprint scratch, and the counters
+	// PlanCacheStats reports.
+	cacheCap   int
+	cached     []*schedule
+	cacheStamp modelStamp
+	sigScratch []uint64
+
+	hits, misses, evictions, invalidations uint64
 }
 
 // getPay pops a recycled payload buffer (length 0, capacity whatever it
@@ -245,6 +276,8 @@ func Open(g *pfs.FileGroup, size int, opts Options) (*Collective, error) {
 		errs:       make([]error, size),
 		dstIdx:     make([]int, size),
 		msgScratch: make([][]mpp.Msg, size),
+		domScr:     make([][][]byte, size),
+		cacheCap:   planCacheCap(opts.PlanCache),
 	}
 	for i := range c.dstIdx {
 		c.dstIdx[i] = -1
@@ -292,16 +325,18 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 	rec, trk, prefix := p.Probe()
 	c.reqs[rank], c.bufs[rank], c.errs[rank] = reqs, buf, nil
 	p.Barrier()
-	// One rank derives the shared plan; the plan is a pure function of
-	// the gathered requests, so any rank would compute the same one.
+	// One rank derives the shared schedule; it is a pure function of the
+	// gathered requests and the machine model, so any rank would compute
+	// the same one — which is also why a cached replay (scheduleFor) is
+	// indistinguishable from a fresh build.
 	if rank == 0 {
-		c.pl, c.plErr = buildPlan(c.group, c.reqs, c.bufs, c.naggs, write, c.opts)
+		c.sched, c.plErr = c.scheduleFor(p, write)
 		if c.plErr == nil {
 			// Route selection happens only after the plan validates, so
 			// every strategy rejects bad requests (cross-rank write
 			// overlap above all) with byte-identical errors.
-			c.route = c.chooseRoute(p, c.pl, write)
-			c.stats = c.pl.exchangeStats(c.size)
+			c.route = c.sched.route
+			c.stats = c.sched.stats
 			if c.route != routeTwoPhase {
 				c.stats = ExchangeStats{} // independent routes exchange nothing
 			}
@@ -313,14 +348,15 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 	if c.plErr != nil {
 		return c.plErr
 	}
-	pl := c.pl
+	sd := c.sched
+	pl := sd.pl
 	switch {
 	case c.route != routeTwoPhase:
-		c.runIndependent(p, pl, write, c.route == routeSieved)
+		c.runIndependent(p, sd, write, c.route == routeSieved)
 	case pl.rounds > 0:
 		// Chunked staging buffers configured (Options.ChunkBytes): the
 		// pipelined schedule overlapping exchange with device access.
-		c.runPipelined(p, pl, write, buf)
+		c.runPipelined(p, sd, write, buf)
 	case write:
 		send := c.packRankMsgs(pl, rank, buf)
 		t0 := p.Now()
@@ -331,15 +367,8 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 		// issue the device batches. Assembly is pure compute — it costs no
 		// virtual time — so hoisting it above the first batch leaves the
 		// modeled schedule bit-identical to interleaving it per domain.
-		var owned []int
-		var dombufs [][]byte
-		for a := 0; a < pl.naggs; a++ {
-			if pl.owner[a] == rank {
-				lo, hi := pl.domain(a)
-				owned = append(owned, a)
-				dombufs = append(dombufs, make([]byte, (hi-lo)*pl.bs))
-			}
-		}
+		owned := sd.ownedOf[rank]
+		dombufs := c.domBufs(rank, pl, owned)
 		c.assembleDomains(pl, owned, recv, dombufs)
 		p.RecycleRecv(recv)
 		var ioTrk probe.TrackID
@@ -351,7 +380,7 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 			// p.Proc, not p: sim.Par recognizes the underlying engine
 			// process, so the domain's per-device runs issue in parallel.
 			t0 := p.Now()
-			if err := c.domainBatch(pl, a, dombufs[i]).Write(p.Proc); err != nil {
+			if err := sd.issueDomain(c, p, a, dombufs[i], true); err != nil {
 				aggErrs = append(aggErrs, err)
 			}
 			c.ioIv = append(c.ioIv, iv{t0, p.Now()})
@@ -363,28 +392,21 @@ func (c *Collective) run(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) err
 		// non-parking section (the pack shares the handle's scratch, and
 		// packing is free in virtual time — same schedule as packing each
 		// domain right after its read).
-		var owned []int
-		var dombufs [][]byte
+		owned := sd.ownedOf[rank]
+		dombufs := c.domBufs(rank, pl, owned)
 		var aggErrs []error
 		var ioTrk probe.TrackID
 		var lastAcc probe.SpanID
-		for a := 0; a < pl.naggs; a++ {
-			if pl.owner[a] != rank {
-				continue
-			}
-			if rec != nil && ioTrk == 0 {
-				ioTrk = rec.Track(fmt.Sprintf("%s/%d/io", prefix, rank))
-			}
-			lo, hi := pl.domain(a)
-			dombuf := make([]byte, (hi-lo)*pl.bs)
+		if rec != nil && len(owned) > 0 {
+			ioTrk = rec.Track(fmt.Sprintf("%s/%d/io", prefix, rank))
+		}
+		for i, a := range owned {
 			t0 := p.Now()
-			if err := c.domainBatch(pl, a, dombuf).Read(p.Proc); err != nil {
+			if err := sd.issueDomain(c, p, a, dombufs[i], false); err != nil {
 				aggErrs = append(aggErrs, err)
 			}
 			c.ioIv = append(c.ioIv, iv{t0, p.Now()})
-			lastAcc = rec.Span(ioTrk, "collective", "access", t0, p.Now(), int64(len(dombuf)), 0)
-			owned = append(owned, a)
-			dombufs = append(dombufs, dombuf)
+			lastAcc = rec.Span(ioTrk, "collective", "access", t0, p.Now(), int64(len(dombufs[i])), 0)
 		}
 		c.errs[rank] = errors.Join(aggErrs...)
 		send := c.packDomainMsgs(pl, rank, owned, dombufs)
@@ -516,17 +538,6 @@ func (c *Collective) scatterRankMsgs(pl *plan, rank int, recv []mpp.RecvMsg, buf
 		}
 		c.putPay(m.Data)
 	}
-}
-
-// domainBatch assembles domain a's cross-file batch with every item
-// scatter/gathering directly on the domain buffer — the single-shot
-// schedule's form of the batch shape domainBatchVec builds.
-func (c *Collective) domainBatch(pl *plan, a int, dombuf []byte) blockio.BatchVec {
-	batch := c.domainBatchVec(pl, a)
-	for i := range batch {
-		batch[i].Buf = dombuf
-	}
-	return batch
 }
 
 // RecordRangeReq builds the VecReq covering records [firstRec,

@@ -58,11 +58,27 @@ const (
 	diffSievedRead
 	diffAutoWrite
 	diffAutoRead
+	// Replay phases exercise the schedule cache (PR 10): the same
+	// request lists issued several consecutive iterations with mutated
+	// buffer contents through a cache-enabled handle — iterations 2+
+	// replay the captured schedule — then cross-checked by re-issuing
+	// through a fresh-plan (cache-disabled) handle against the same
+	// reference.
+	diffReplayWrite
+	diffReplayRead
 	diffKinds
 )
 
 var diffKindNames = [...]string{"cwrite", "cread", "pwrite", "pread", "vwrite", "ewrite", "eread",
-	"swrite", "sread", "awrite", "aread"}
+	"swrite", "sread", "awrite", "aread", "rwrite", "rread"}
+
+// diffReplayReps is how many consecutive iterations a replay phase
+// issues its request lists (first plans, the rest replay).
+const diffReplayReps = 3
+
+// diffReplayKey spreads a replay iteration's content key away from the
+// plain phase indexes (< nPhases ≤ 6), so no two writes collide.
+func diffReplayKey(ph, it int) int { return 100 + ph*diffReplayReps + it }
 
 // diffPhase is one precomputed phase: per-rank request lists and
 // buffers (pre-filled for writes, pre-sized with expected images for
@@ -72,7 +88,8 @@ type diffPhase struct {
 	kind   int
 	reqs   [][]VecReq
 	bufs   [][]byte
-	expect [][]byte // read kinds: wanted buffer contents after the phase
+	expect [][]byte   // read kinds: wanted buffer contents after the phase
+	iters  [][][]byte // replay write: per-iteration per-rank buffers
 }
 
 // diffScenario is one generated workload plus its reference image.
@@ -218,6 +235,10 @@ func genScenario(seed int64) *diffScenario {
 			sc.genExtentWrite(rng, g, ph)
 		case diffExtentRead:
 			sc.genExtentRead(rng, g, ph)
+		case diffReplayWrite:
+			sc.genReplayWrite(rng, g, ph)
+		case diffReplayRead:
+			sc.genCollectiveRead(rng, g, ph, kind)
 		}
 	}
 	return sc
@@ -274,6 +295,62 @@ func (sc *diffScenario) genAssignedWrite(rng *rand.Rand, g *fileGroupInfo, ph, k
 		}
 	}
 	sc.phases = append(sc.phases, diffPhase{kind: kind, reqs: reqs, bufs: bufs})
+}
+
+// genReplayWrite generates one assigned-write footprint that is issued
+// diffReplayReps consecutive iterations with different contents — the
+// schedule-cache shape. Cross-rank overlaps appear under LastWriterWins
+// exactly as for the plain collective write. The reference holds the
+// final iteration's (winner's) bytes.
+func (sc *diffScenario) genReplayWrite(rng *rand.Rand, g *fileGroupInfo, ph int) {
+	overlaps := sc.opts.LastWriterWins
+	density := 0.2 + 0.6*rng.Float64()
+	owners := make([][]int, g.total)
+	for gb := int64(0); gb < g.total; gb++ {
+		if rng.Float64() >= density {
+			continue
+		}
+		r := rng.Intn(sc.nRanks)
+		owners[gb] = []int{r}
+		if overlaps && rng.Float64() < 0.25 {
+			if r2 := rng.Intn(sc.nRanks); r2 != r {
+				owners[gb] = append(owners[gb], r2)
+			}
+		}
+	}
+	reqs, bufs := rankSegments(rng, g, owners, sc.nRanks)
+	iters := make([][][]byte, diffReplayReps)
+	for it := range iters {
+		iters[it] = make([][]byte, sc.nRanks)
+		for r := range reqs {
+			iters[it][r] = make([]byte, len(bufs[r]))
+			for _, q := range reqs[r] {
+				for _, sg := range q.Vec {
+					gb0 := g.offs[q.File] + sg.Block
+					for b := int64(0); b < sg.N; b++ {
+						for i := int64(0); i < testBS; i++ {
+							iters[it][r][sg.BufOff+b*testBS+i] = diffContent(sc.seed, diffReplayKey(ph, it), r, gb0+b, i)
+						}
+					}
+				}
+			}
+		}
+	}
+	for gb := int64(0); gb < g.total; gb++ {
+		if len(owners[gb]) == 0 {
+			continue
+		}
+		winner := owners[gb][0]
+		for _, w := range owners[gb] {
+			if w > winner {
+				winner = w
+			}
+		}
+		for i := int64(0); i < testBS; i++ {
+			sc.ref[gb*testBS+i] = diffContent(sc.seed, diffReplayKey(ph, diffReplayReps-1), winner, gb, i)
+		}
+	}
+	sc.phases = append(sc.phases, diffPhase{kind: diffReplayWrite, reqs: reqs, bufs: bufs, iters: iters})
 }
 
 // genCollectiveRead generates per-rank read requests — cross-rank and
@@ -392,6 +469,12 @@ func (sc *diffScenario) run(t *testing.T) {
 	if err != nil {
 		t.Fatalf("seed %d: %v", sc.seed, err)
 	}
+	fopts := sc.opts
+	fopts.PlanCache = -1
+	fresh, err := Open(g, sc.nRanks, fopts)
+	if err != nil {
+		t.Fatalf("seed %d: %v", sc.seed, err)
+	}
 	mg, join := mpp.Run(e, sc.nRanks, "diff", func(p *mpp.Proc) {
 		r := p.Rank()
 		for pi, ph := range sc.phases {
@@ -443,6 +526,39 @@ func (sc *diffScenario) run(t *testing.T) {
 				if !bytes.Equal(ph.bufs[r], ph.expect[r]) {
 					t.Errorf("seed %d phase %d (%s) rank %d: sieved read diverged from reference model",
 						sc.seed, pi, diffKindNames[ph.kind], r)
+				}
+			case diffReplayWrite:
+				// Iteration 1 plans, 2..N replay the captured schedule
+				// with mutated payloads; then the last iteration is
+				// re-issued through the fresh-plan handle, which must
+				// land the identical final bytes.
+				for it, ibufs := range ph.iters {
+					if err := col.WriteAll(p, ph.reqs[r], ibufs[r]); err != nil {
+						t.Errorf("seed %d phase %d (%s) rank %d iter %d: %v", sc.seed, pi, diffKindNames[ph.kind], r, it, err)
+					}
+				}
+				if err := fresh.WriteAll(p, ph.reqs[r], ph.iters[diffReplayReps-1][r]); err != nil {
+					t.Errorf("seed %d phase %d (%s) rank %d fresh-plan: %v", sc.seed, pi, diffKindNames[ph.kind], r, err)
+				}
+			case diffReplayRead:
+				// The same reads issued repeatedly through the cached
+				// handle — buffers scribbled between iterations so a
+				// replay that failed to deliver would be caught — then
+				// once through the fresh-plan handle.
+				for it := 0; it <= diffReplayReps; it++ {
+					for i := range ph.bufs[r] {
+						ph.bufs[r][i] ^= 0xA5
+					}
+					h, tag := col, "replay"
+					if it == diffReplayReps {
+						h, tag = fresh, "fresh-plan"
+					}
+					if err := h.ReadAll(p, ph.reqs[r], ph.bufs[r]); err != nil {
+						t.Errorf("seed %d phase %d (%s) rank %d iter %d (%s): %v", sc.seed, pi, diffKindNames[ph.kind], r, it, tag, err)
+					} else if !bytes.Equal(ph.bufs[r], ph.expect[r]) {
+						t.Errorf("seed %d phase %d (%s) rank %d iter %d (%s): read diverged from reference model",
+							sc.seed, pi, diffKindNames[ph.kind], r, it, tag)
+					}
 				}
 			case diffExtentWrite:
 				for _, q := range ph.reqs[r] {

@@ -34,11 +34,10 @@ import (
 type Handle struct {
 	c     *Collective
 	write bool
-	pl    *plan
+	sd    *schedule
 
 	// Per-rank state, indexed by the owning rank.
 	tickets [][]*ioserver.Request
-	owned   [][]int
 	dombufs [][][]byte
 	bufs    [][]byte
 	errs    []error
@@ -76,19 +75,17 @@ func (c *Collective) istart(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) 
 	c.reqs[rank], c.bufs[rank], c.errs[rank] = reqs, buf, nil
 	p.Barrier()
 	if rank == 0 {
-		c.pl, c.plErr = buildPlan(c.group, c.reqs, c.bufs, c.naggs, write, c.opts)
+		c.sched, c.plErr = c.scheduleFor(p, write)
 		if c.plErr == nil {
 			// LastStats reports the exchange byte split for nonblocking
 			// calls too; the phase-time fields stay zero (the access
 			// phase runs on the server's clock, not inside this call).
-			c.stats = c.pl.exchangeStats(c.size)
-			c.stats.ExchangeTime, c.stats.AccessTime, c.stats.Overlap = 0, 0, 0
+			c.stats = c.sched.stats
 			c.hScratch = &Handle{
 				c:       c,
 				write:   write,
-				pl:      c.pl,
+				sd:      c.sched,
 				tickets: make([][]*ioserver.Request, c.size),
-				owned:   make([][]int, c.size),
 				dombufs: make([][][]byte, c.size),
 				bufs:    make([][]byte, c.size),
 				errs:    make([]error, c.size),
@@ -100,18 +97,16 @@ func (c *Collective) istart(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) 
 		return nil, c.plErr
 	}
 	h := c.hScratch
-	pl := h.pl
+	sd := h.sd
+	pl := sd.pl
 	h.bufs[rank] = buf
 
-	// Enumerate this rank's owned domains and allocate their buffers.
-	// The buffers outlive the call — the server holds them until the
-	// batches complete — so they are fresh per call, not pooled.
-	for a := 0; a < pl.naggs; a++ {
-		if pl.owner[a] != rank {
-			continue
-		}
+	// Allocate this rank's owned-domain buffers. The buffers outlive the
+	// call — the server holds them until the batches complete — so they
+	// are fresh per call, never pooled (unlike the blocking path's).
+	owned := sd.ownedOf[rank]
+	for _, a := range owned {
 		lo, hi := pl.domain(a)
-		h.owned[rank] = append(h.owned[rank], a)
 		h.dombufs[rank] = append(h.dombufs[rank], make([]byte, (hi-lo)*pl.bs))
 	}
 
@@ -121,21 +116,29 @@ func (c *Collective) istart(p *mpp.Proc, write bool, reqs []VecReq, buf []byte) 
 		// and the server may run them in any order.
 		send := c.packRankMsgs(pl, rank, buf)
 		recv := p.AlltoallvSparse(send)
-		c.assembleDomains(pl, h.owned[rank], recv, h.dombufs[rank])
+		c.assembleDomains(pl, owned, recv, h.dombufs[rank])
 		p.RecycleRecv(recv)
 	}
-	for i, a := range h.owned[rank] {
+	var aggErrs []error
+	for i, a := range owned {
 		lo, hi := pl.domain(a)
-		batch := c.domainBatch(pl, a, h.dombufs[rank][i])
+		bp, err := sd.batchPlan(c, a)
+		if err != nil {
+			// Unreachable in practice; surfaced through the Handle's
+			// error slots so every rank still joins in Wait.
+			aggErrs = append(aggErrs, err)
+			continue
+		}
 		bytes := (hi - lo) * pl.bs
 		var tk *ioserver.Request
 		if write {
-			tk = c.opts.Service.SubmitWrite(p.Proc, batch, bytes)
+			tk = c.opts.Service.SubmitWritePlan(p.Proc, bp, h.dombufs[rank][i], bytes)
 		} else {
-			tk = c.opts.Service.SubmitRead(p.Proc, batch, bytes)
+			tk = c.opts.Service.SubmitReadPlan(p.Proc, bp, h.dombufs[rank][i], bytes)
 		}
 		h.tickets[rank] = append(h.tickets[rank], tk)
 	}
+	h.errs[rank] = errors.Join(aggErrs...)
 	return h, nil
 }
 
@@ -156,8 +159,8 @@ func (h *Handle) Test(p *mpp.Proc) bool {
 // all ranks return the same joined error — exactly the error contract
 // of the blocking calls.
 func (h *Handle) Wait(p *mpp.Proc) error {
-	c, pl, rank := h.c, h.pl, p.Rank()
-	var aggErrs []error
+	c, pl, rank := h.c, h.sd.pl, p.Rank()
+	aggErrs := []error{h.errs[rank]} // istart's submission errors, if any
 	for _, tk := range h.tickets[rank] {
 		if err := tk.Wait(p.Proc); err != nil {
 			aggErrs = append(aggErrs, err)
@@ -167,7 +170,7 @@ func (h *Handle) Wait(p *mpp.Proc) error {
 	if !h.write {
 		// Delivery: the freshly read domains ship back to the ranks and
 		// scatter into their buffers, as in the blocking read's tail.
-		send := c.packDomainMsgs(pl, rank, h.owned[rank], h.dombufs[rank])
+		send := c.packDomainMsgs(pl, rank, h.sd.ownedOf[rank], h.dombufs[rank])
 		recv := p.AlltoallvSparse(send)
 		c.scatterRankMsgs(pl, rank, recv, h.bufs[rank])
 		p.RecycleRecv(recv)

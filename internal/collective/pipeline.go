@@ -42,15 +42,11 @@ type iv struct{ from, to time.Duration }
 
 // runPipelined executes the chunked schedule for one rank, leaving its
 // error in c.errs[rank]. Called with pl.rounds > 0.
-func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte) {
+func (c *Collective) runPipelined(p *mpp.Proc, sd *schedule, write bool, buf []byte) {
 	rank := p.Rank()
+	pl := sd.pl
 	rec, trk, prefix := p.Probe()
-	var owned []int
-	for a := 0; a < pl.naggs; a++ {
-		if pl.owner[a] == rank {
-			owned = append(owned, a)
-		}
-	}
+	owned := sd.ownedOf[rank]
 	ex := p.NewSparseExchange()
 	if len(owned) == 0 {
 		// Pure compute rank: it only feeds (or drains) the exchange
@@ -82,7 +78,7 @@ func (c *Collective) runPipelined(p *mpp.Proc, pl *plan, write bool, buf []byte)
 		ioTrk = rec.Track(fmt.Sprintf("%s/%d/io", prefix, rank))
 	}
 
-	agg, err := c.newAggState(pl, owned)
+	agg, err := sd.aggState(c, rank, owned)
 	if err != nil {
 		// Unreachable in practice (the plan's windows are valid by
 		// construction), but surface it on every round's schedule anyway:

@@ -1,0 +1,8 @@
+//go:build race
+
+package collective
+
+// raceEnabled reports whether the race detector is active; perf-ratio
+// assertions are skipped under -race, where instrumentation overhead
+// distorts the comparison.
+const raceEnabled = true

@@ -1,0 +1,339 @@
+// Schedule capture & replay tests: a replayed iteration must be
+// bit-identical — modeled time, stats, traffic, probe trace, data — to
+// the same iteration planned from scratch, and every invalidation
+// trigger (SetOptions, link-model reconfiguration, topology changes,
+// undersized buffers) must force a rebuild that still matches the
+// uncached path exactly.
+
+package collective
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"repro/internal/blockio"
+	"repro/internal/device"
+	"repro/internal/mpp"
+	"repro/internal/pfs"
+	"repro/internal/probe"
+	"repro/internal/sim"
+)
+
+// replayContent is the byte written at offset i of a rank's buffer in
+// iteration it — every iteration writes fresh data, so a replay that
+// reused stale payloads would be caught by the read-back.
+func replayContent(it, rank int, i int64) byte {
+	return byte(7*it + 13*rank + int(i)*3 + 1)
+}
+
+// replayScn is one iterated checkpoint scenario: every rank writes the
+// same interleaved footprint each iteration with fresh contents, then
+// reads it back.
+type replayScn struct {
+	nRanks, iters int
+	opts          Options
+	// mutate, when set, runs on rank 0 before iteration it's write
+	// (it ≥ 1) — the hook the invalidation tests use to change options
+	// or the interconnect model mid-loop.
+	mutate func(it int, col *Collective, mg *mpp.Group)
+	// bufLen, when set, overrides the write-buffer length for (it, rank)
+	// (return <0 for the full length) — the bounds-error test's hook.
+	bufLen func(it, rank int) int64
+}
+
+// replayObs is everything observable about one scenario run.
+type replayObs struct {
+	now       time.Duration
+	iterDur   []time.Duration
+	rankHash  []uint64
+	imageHash uint64
+	iterErrs  []string
+	cache     CacheStats
+	trace     []byte
+	metrics   []byte
+}
+
+// runReplayScenario executes the scenario on a fresh simulated machine.
+// cache=false disables the schedule cache (PlanCache -1), everything
+// else identical — the comparison baseline.
+func runReplayScenario(t *testing.T, scn replayScn, cache bool, rec *probe.Recorder) replayObs {
+	t.Helper()
+	const perRank = 4
+	e := sim.NewEngine()
+	geom := device.Geometry{BlockSize: testBS, BlocksPerCyl: 8, Cylinders: 64}
+	disks := make([]*device.Disk, 8)
+	for i := range disks {
+		disks[i] = device.New(device.Config{
+			Name: fmt.Sprintf("d%d", i), Geometry: geom, Engine: e,
+		})
+	}
+	store, err := blockio.NewDirect(disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := pfs.NewVolume(store)
+	nBlocks := int64(perRank * scn.nRanks)
+	if _, err := vol.Create(pfs.Spec{
+		Name: "chk", Org: pfs.OrgSequential, RecordSize: testBS,
+		NumRecords: nBlocks, Placement: pfs.PlaceStriped, StripeUnitFS: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := vol.OpenGroup("chk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := scn.opts
+	if !cache {
+		opts.PlanCache = -1
+	}
+	col, err := Open(g, scn.nRanks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		e.SetProbe(rec)
+		for _, d := range disks {
+			d.SetProbe(rec)
+		}
+		store.SetProbe(rec)
+	}
+	obs := replayObs{
+		iterDur:  make([]time.Duration, scn.iters),
+		rankHash: make([]uint64, scn.nRanks),
+		iterErrs: make([]string, scn.iters),
+	}
+	var mg *mpp.Group
+	var join *sim.Group
+	mg, join = mpp.Run(e, scn.nRanks, "rp", func(p *mpp.Proc) {
+		rank := p.Rank()
+		// Blocks rank + k·nRanks, k in [0, perRank): interleaved, every
+		// aggregator hears from many ranks.
+		var vec blockio.Vec
+		for k := int64(0); k < perRank; k++ {
+			vec = append(vec, blockio.VecSeg{
+				Block: int64(rank) + k*int64(scn.nRanks), N: 1, BufOff: k * testBS,
+			})
+		}
+		reqs := []VecReq{{File: 0, Vec: vec}}
+		buf := make([]byte, perRank*testBS)
+		rbuf := make([]byte, perRank*testBS)
+		h := fnv.New64a()
+		for it := 0; it < scn.iters; it++ {
+			if rank == 0 && scn.mutate != nil && it > 0 {
+				scn.mutate(it, col, mg)
+			}
+			for i := range buf {
+				buf[i] = replayContent(it, rank, int64(i))
+			}
+			wbuf := buf
+			if scn.bufLen != nil {
+				if n := scn.bufLen(it, rank); n >= 0 {
+					wbuf = buf[:n]
+				}
+			}
+			t0 := p.Now()
+			werr := col.WriteAll(p, reqs, wbuf)
+			rerr := col.ReadAll(p, reqs, rbuf)
+			if rank == 0 {
+				obs.iterDur[it] = p.Now() - t0
+				var es string
+				if werr != nil {
+					es = "write: " + werr.Error()
+				}
+				if rerr != nil {
+					es += " read: " + rerr.Error()
+				}
+				obs.iterErrs[it] = es
+			}
+			if werr == nil && rerr == nil && scn.bufLen == nil && !bytes.Equal(rbuf, buf) {
+				t.Errorf("iter %d rank %d: read back different bytes than written", it, rank)
+			}
+			h.Write(rbuf)
+		}
+		obs.rankHash[rank] = h.Sum64()
+	})
+	mg.SetLink(2*time.Microsecond, 100e6)
+	mg.SetBisection(500e6)
+	if rec != nil {
+		mg.SetProbe(rec, "rp")
+	}
+	e.Go("join", func(sp *sim.Proc) { join.Wait(sp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	obs.now = e.Now()
+	obs.cache = col.PlanCacheStats()
+	img := readAllBlocks(t, g)
+	ih := fnv.New64a()
+	ih.Write(img)
+	obs.imageHash = ih.Sum64()
+	if rec != nil {
+		var tr bytes.Buffer
+		if err := rec.WriteChromeTrace(&tr); err != nil {
+			t.Fatal(err)
+		}
+		obs.trace = tr.Bytes()
+		obs.metrics = []byte(rec.Metrics().Table().String())
+	}
+	return obs
+}
+
+// diffReplayObs asserts two runs observed the same modeled world —
+// virtual time, per-iteration durations, data, errors, and (when
+// recorded) byte-identical traces and metrics.
+func diffReplayObs(t *testing.T, label string, a, b replayObs) {
+	t.Helper()
+	if a.now != b.now {
+		t.Errorf("%s: final virtual time differs: %v vs %v", label, a.now, b.now)
+	}
+	for it := range a.iterDur {
+		if a.iterDur[it] != b.iterDur[it] {
+			t.Errorf("%s: iteration %d modeled duration differs: %v vs %v", label, it, a.iterDur[it], b.iterDur[it])
+		}
+		if a.iterErrs[it] != b.iterErrs[it] {
+			t.Errorf("%s: iteration %d errors differ:\n  %q\n  %q", label, it, a.iterErrs[it], b.iterErrs[it])
+		}
+	}
+	for r := range a.rankHash {
+		if a.rankHash[r] != b.rankHash[r] {
+			t.Errorf("%s: rank %d read different data between runs", label, r)
+		}
+	}
+	if a.imageHash != b.imageHash {
+		t.Errorf("%s: final images differ", label)
+	}
+	if !bytes.Equal(a.trace, b.trace) {
+		t.Errorf("%s: exported traces differ (%d vs %d bytes)", label, len(a.trace), len(b.trace))
+	}
+	if !bytes.Equal(a.metrics, b.metrics) {
+		t.Errorf("%s: metrics tables differ", label)
+	}
+}
+
+// TestReplayBitIdentical runs the iterated checkpoint loop cached and
+// uncached on every route family — single-shot two-phase, pipelined,
+// auto, vectored and sieved (the latter two with LastWriterWins, so the
+// cached LWW clips are exercised) — and requires bit-identical modeled
+// observables and probe traces, while the cached run actually replays.
+func TestReplayBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"single-shot", Options{}},
+		{"locality", Options{Locality: true}},
+		{"pipelined", Options{ChunkBytes: 2 * testBS}},
+		{"auto", Options{Strategy: blockio.StrategyAuto}},
+		{"vectored-lww", Options{Strategy: blockio.StrategyVectored, LastWriterWins: true}},
+		{"sieved-lww", Options{Strategy: blockio.StrategySieved, LastWriterWins: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scn := replayScn{nRanks: 24, iters: 5, opts: tc.opts}
+			run := func(cache bool) replayObs {
+				return runReplayScenario(t, scn, cache, probe.New())
+			}
+			cached := run(true)
+			fresh := run(false)
+			diffReplayObs(t, tc.name, cached, fresh)
+			// 5 iterations × (write + read) = 2 misses then 8 replays.
+			if cached.cache.Hits != 8 || cached.cache.Misses != 2 {
+				t.Errorf("cached run: got %d hits / %d misses, want 8 / 2 (stats %+v)",
+					cached.cache.Hits, cached.cache.Misses, cached.cache)
+			}
+			if fresh.cache.Hits != 0 || fresh.cache.Misses != 10 {
+				t.Errorf("uncached run: got %d hits / %d misses, want 0 / 10", fresh.cache.Hits, fresh.cache.Misses)
+			}
+		})
+	}
+}
+
+// TestReplayInvalidation mutates the handle options (ChunkBytes, then
+// Strategy) and the interconnect model (SetLink, then SetTopology)
+// between iterations: every mutation must flush the cache, rebuild the
+// schedule, and still match an uncached run bit for bit.
+func TestReplayInvalidation(t *testing.T) {
+	const nRanks = 24
+	mutate := func(it int, col *Collective, mg *mpp.Group) {
+		switch it {
+		case 2:
+			col.SetOptions(Options{ChunkBytes: 4 * testBS})
+		case 4:
+			col.SetOptions(Options{Strategy: blockio.StrategyVectored})
+		case 6:
+			mg.SetLink(5*time.Microsecond, 80e6)
+		case 8:
+			side := make([]int, nRanks)
+			for i := range side {
+				side[i] = i % 2
+			}
+			mg.SetTopology(side)
+		}
+	}
+	scn := replayScn{nRanks: nRanks, iters: 10, mutate: mutate}
+	cached := runReplayScenario(t, scn, true, probe.New())
+	fresh := runReplayScenario(t, scn, false, probe.New())
+	diffReplayObs(t, "invalidation", cached, fresh)
+	// Write+read schedules rebuild at iteration 0 and after each of the
+	// four mutations (iterations 2, 4, 6, 8); the odd iterations replay.
+	st := cached.cache
+	if st.Misses != 10 || st.Hits != 10 {
+		t.Errorf("got %d misses / %d hits, want 10 / 10 (stats %+v)", st.Misses, st.Hits, st)
+	}
+	if st.Invalidations < 4 {
+		t.Errorf("got %d invalidations, want ≥ 4 (one per mutation)", st.Invalidations)
+	}
+}
+
+// TestReplayBufferBoundsError shrinks one rank's buffer on a later
+// iteration of an otherwise-replayed pattern: the cache must fall back
+// to a fresh build so the bounds error is byte-identical to the
+// uncached path's, instead of silently replaying past the validation.
+func TestReplayBufferBoundsError(t *testing.T) {
+	scn := replayScn{
+		nRanks: 8, iters: 4,
+		bufLen: func(it, rank int) int64 {
+			if it == 2 && rank == 5 {
+				return 2 * testBS // last two segments now exceed the buffer
+			}
+			return -1
+		},
+	}
+	cached := runReplayScenario(t, scn, true, nil)
+	fresh := runReplayScenario(t, scn, false, nil)
+	diffReplayObs(t, "bounds", cached, fresh)
+	if cached.iterErrs[2] == "" {
+		t.Fatal("truncated buffer produced no error")
+	}
+	if cached.iterErrs[2] != fresh.iterErrs[2] {
+		t.Errorf("cached and uncached bounds errors differ:\n  %q\n  %q", cached.iterErrs[2], fresh.iterErrs[2])
+	}
+}
+
+// TestReplayDeterminism512 is the replay determinism fence: a 512-rank
+// contended pipelined checkpoint loop, replayed across 3 iterations
+// with the cache enabled, run twice on fresh engines — every modeled
+// observable must be bit-identical, and the cache must actually have
+// replayed. The CI race job runs this package, so the same scenario is
+// exercised under -race.
+func TestReplayDeterminism512(t *testing.T) {
+	scn := replayScn{nRanks: 512, iters: 3, opts: Options{ChunkBytes: 16 * testBS}}
+	a := runReplayScenario(t, scn, true, nil)
+	b := runReplayScenario(t, scn, true, nil)
+	diffReplayObs(t, "determinism", a, b)
+	if a.cache != b.cache {
+		t.Errorf("cache stats differ between runs: %+v vs %+v", a.cache, b.cache)
+	}
+	if a.cache.Hits != 4 || a.cache.Misses != 2 {
+		t.Errorf("got %d hits / %d misses, want 4 / 2 (stats %+v)", a.cache.Hits, a.cache.Misses, a.cache)
+	}
+	for it := range a.iterErrs {
+		if a.iterErrs[it] != "" {
+			t.Fatalf("iteration %d failed: %s", it, a.iterErrs[it])
+		}
+	}
+}

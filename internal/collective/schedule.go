@@ -1,0 +1,398 @@
+// Schedule capture & replay: amortizing the collective's scheduling
+// work across iterative workloads.
+//
+// The paper's headline workload — and every checkpoint-every-iteration
+// loop — issues the *same* request lists over and over with fresh data
+// in the buffers. Rebuilding the whole schedule per call (buildPlan's
+// validation, sort and union merge, chooseRoute's pricing, the
+// per-domain BatchVec map→sort→merge) throws that repetition away;
+// Thakur/Gropp/Lusk note that collective optimization cost must be
+// amortized over repeated accesses, and ViPIOS precomputes server-side
+// access profiles for the same reason.
+//
+// The cache is transparent and first-call: rank 0 fingerprints the
+// gathered request lists after the entry barrier, and a hit replays the
+// frozen schedule — the validated plan, the domain→aggregator
+// assignment, the chosen route, the per-domain prepared
+// blockio.BatchPlans, the pipelined aggregator state, and the
+// LastWriterWins clips — rebinding only the callers' buffers and
+// packing fresh payloads. Everything frozen is a pure function of the
+// request values and the machine model, so a replayed call is
+// bit-identical in modeled time and probe trace to a fresh build; the
+// win is host wall-clock and allocations.
+//
+// Invalidation is epoch-based: SetOptions flushes the handle's cache
+// (Options shape every planning decision), and the group's model epoch
+// (mpp.Group.ModelEpoch, bumped by SetLink/SetBisection/
+// SetBisectionPool/SetTopology) is checked per call so reconfiguring
+// the interconnect forces a rebuild — the route chooser priced the old
+// model. The store's drive parameters are immutable after construction,
+// so no device epoch is needed. A small LRU (Options.PlanCache) keeps
+// several schedules so multi-pattern jobs don't thrash.
+
+package collective
+
+import (
+	"time"
+
+	"repro/internal/blockio"
+	"repro/internal/mpp"
+)
+
+// defaultPlanCacheCap is the schedule-LRU capacity Options.PlanCache 0
+// selects: enough for a few concurrent access patterns (checkpoint +
+// restart + analysis dump) without retaining unbounded plan memory.
+const defaultPlanCacheCap = 8
+
+// schedule is one frozen collective schedule: everything derivable from
+// the request values and the machine model, none of it referencing the
+// callers' buffers. Immutable once built except for the lazily
+// constructed per-rank/per-domain execution state, which is itself a
+// pure function of the plan (laziness is a host-memory optimization and
+// never moves virtual time).
+type schedule struct {
+	pl    *plan
+	route route
+	stats ExchangeStats // byte split only; time fields stay zero
+
+	key uint64   // fingerprint hash (fast reject)
+	sig []uint64 // full flattened signature (exact compare on lookup)
+
+	// minBuf[r] is the smallest buffer length rank r's requests address;
+	// a replayed call with a shorter buffer falls back to buildPlan so
+	// the bounds error is byte-identical to the uncached path.
+	minBuf []int64
+	// ownedOf[r] lists the domains rank r aggregates, ascending —
+	// including empty past-the-footprint domains, mirroring the
+	// enumeration the execution paths historically did per call.
+	ownedOf [][]int
+	// maxSegRank is the highest rank with a nonempty footprint (-1 when
+	// no rank requested anything): clipLWW's no-higher-writers fast path
+	// in one comparison.
+	maxSegRank int
+
+	// Lazily built execution state. bplans[a] is domain a's prepared
+	// single-window batch plan (single-shot and nonblocking paths);
+	// aggs[r] is rank r's pipelined aggregator state (chunk-cut batch
+	// plans plus double-buffered staging); lww[r] holds rank r's
+	// LastWriterWins-clipped requests, rebuilt from the plan's own
+	// segments so no caller slice is retained across calls.
+	bplans []*blockio.BatchPlan
+	aggs   []*aggState
+	lww    [][]VecReq
+	lwwSet []bool
+}
+
+// CacheStats is a point-in-time snapshot of a handle's schedule cache:
+// replayed calls (Hits), full builds (Misses — including all calls on a
+// disabled cache), schedules dropped by capacity (Evictions), and
+// wholesale flushes from SetOptions or a model-epoch change
+// (Invalidations). Entries is the current cache population.
+type CacheStats struct {
+	Hits, Misses, Evictions, Invalidations uint64
+	Entries                                int
+}
+
+// PlanCacheStats snapshots the handle's schedule-cache counters. Valid
+// between collective calls, like LastStats.
+func (c *Collective) PlanCacheStats() CacheStats {
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Invalidations: c.invalidations, Entries: len(c.cached),
+	}
+}
+
+// SetOptions replaces the handle's options between collective calls,
+// recomputing the aggregator count exactly as Open does and flushing
+// the schedule cache — every cached decision (domain split, route,
+// chunking, service binding) was shaped by the old options. Call it
+// from one place between operations (not concurrently with a
+// collective), like the mpp model setters.
+func (c *Collective) SetOptions(opts Options) {
+	c.opts = opts
+	naggs := opts.Aggregators
+	if naggs <= 0 {
+		naggs = c.group.Store().Devices()
+	}
+	if naggs > c.size {
+		naggs = c.size
+	}
+	c.naggs = naggs
+	c.cacheCap = planCacheCap(opts.PlanCache)
+	c.flushSchedules()
+}
+
+// InvalidateSchedules drops every cached schedule. The handle does this
+// itself on SetOptions and on model-epoch changes; the explicit form is
+// for callers that mutate state the handle cannot observe.
+func (c *Collective) InvalidateSchedules() { c.flushSchedules() }
+
+func (c *Collective) flushSchedules() {
+	if len(c.cached) == 0 {
+		return
+	}
+	c.invalidations++
+	for i := range c.cached {
+		c.cached[i] = nil
+	}
+	c.cached = c.cached[:0]
+}
+
+// planCacheCap resolves the Options.PlanCache knob: 0 = default
+// capacity, negative = caching disabled.
+func planCacheCap(v int) int {
+	switch {
+	case v == 0:
+		return defaultPlanCacheCap
+	case v < 0:
+		return 0
+	}
+	return v
+}
+
+// modelStamp identifies the interconnect model a schedule was priced
+// under. The epoch catches reconfiguration of one group; the raw
+// parameters additionally catch a handle migrating between groups whose
+// epochs happen to collide.
+type modelStamp struct {
+	epoch    uint64
+	msg      time.Duration
+	bps, bis float64
+}
+
+func stampOf(p *mpp.Proc) modelStamp {
+	st := modelStamp{epoch: p.ModelEpoch()}
+	st.msg, st.bps, st.bis = p.LinkModel()
+	return st
+}
+
+// scheduleFor resolves the schedule for the current call: a cache hit
+// replays the frozen schedule, a miss (or a disabled cache) builds it
+// fresh — buildPlan, chooseRoute, the byte-split stats — and inserts
+// it. Runs on rank 0 between the plan barriers; pure host work, no
+// virtual time.
+func (c *Collective) scheduleFor(p *mpp.Proc, write bool) (*schedule, error) {
+	if st := stampOf(p); st != c.cacheStamp {
+		c.flushSchedules()
+		c.cacheStamp = st
+	}
+	key, sig := c.fingerprint(write)
+	if c.cacheCap > 0 {
+		for i, sd := range c.cached {
+			if sd.key != key || !sigEqual(sd.sig, sig) {
+				continue
+			}
+			if !c.bufsFit(sd) {
+				// A replay would skip validation; rebuild so the bounds
+				// error is byte-identical to the uncached path.
+				break
+			}
+			copy(c.cached[1:i+1], c.cached[:i]) // move to front (MRU)
+			c.cached[0] = sd
+			c.hits++
+			return sd, nil
+		}
+	}
+	c.misses++
+	pl, err := buildPlan(c.group, c.reqs, c.bufs, c.naggs, write, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	sd := c.newSchedule(p, pl, write, key, sig)
+	if c.cacheCap > 0 {
+		if len(c.cached) >= c.cacheCap {
+			last := len(c.cached) - 1
+			c.cached[last] = nil
+			c.cached = c.cached[:last]
+			c.evictions++
+		}
+		c.cached = append(c.cached, nil)
+		copy(c.cached[1:], c.cached)
+		c.cached[0] = sd
+	}
+	return sd, nil
+}
+
+// newSchedule freezes a fresh plan into a schedule: route choice,
+// byte-split stats, the per-rank owned-domain lists and buffer bounds.
+// The signature is copied so no fingerprint scratch is retained.
+func (c *Collective) newSchedule(p *mpp.Proc, pl *plan, write bool, key uint64, sig []uint64) *schedule {
+	sd := &schedule{
+		pl:         pl,
+		key:        key,
+		sig:        append([]uint64(nil), sig...),
+		minBuf:     make([]int64, c.size),
+		ownedOf:    make([][]int, c.size),
+		maxSegRank: -1,
+		bplans:     make([]*blockio.BatchPlan, pl.naggs),
+	}
+	sd.route = c.chooseRoute(p, pl, write)
+	sd.stats = pl.exchangeStats(c.size)
+	for a := 0; a < pl.naggs; a++ {
+		r := pl.owner[a]
+		sd.ownedOf[r] = append(sd.ownedOf[r], a)
+	}
+	for r, segs := range pl.segs {
+		if len(segs) > 0 {
+			sd.maxSegRank = r
+		}
+		for _, sg := range segs {
+			if end := sg.bufOff + sg.n*pl.bs; end > sd.minBuf[r] {
+				sd.minBuf[r] = end
+			}
+		}
+	}
+	if pl.rounds > 0 {
+		sd.aggs = make([]*aggState, c.size)
+	}
+	return sd
+}
+
+// bufsFit reports whether every rank's current buffer is long enough
+// for the schedule's requests — the only buffer-dependent validation
+// buildPlan performs.
+func (c *Collective) bufsFit(sd *schedule) bool {
+	for r, min := range sd.minBuf {
+		if int64(len(c.bufs[r])) < min {
+			return false
+		}
+	}
+	return true
+}
+
+// fingerprint flattens the gathered request lists (and the call
+// direction) into the handle's signature scratch and hashes it. The
+// signature captures everything buildPlan reads from the requests —
+// per-rank list shapes, file indexes, and every segment's (Block, N,
+// BufOff) — so equal signatures mean value-identical requests.
+func (c *Collective) fingerprint(write bool) (key uint64, sig []uint64) {
+	s := c.sigScratch[:0]
+	w := uint64(0)
+	if write {
+		w = 1
+	}
+	s = append(s, w)
+	for r, rr := range c.reqs {
+		if len(rr) == 0 {
+			continue
+		}
+		s = append(s, uint64(r)<<32|uint64(len(rr)))
+		for _, q := range rr {
+			s = append(s, uint64(q.File)<<32|uint64(len(q.Vec)))
+			for _, sg := range q.Vec {
+				s = append(s, uint64(sg.Block), uint64(sg.N), uint64(sg.BufOff))
+			}
+		}
+	}
+	c.sigScratch = s
+	// FNV-1a over the words; collisions are harmless (sig is compared
+	// exactly on lookup), the hash only short-circuits mismatches.
+	h := uint64(14695981039346656037)
+	for _, v := range s {
+		h = (h ^ v) * 1099511628211
+	}
+	return h, s
+}
+
+func sigEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// batchPlan returns domain a's prepared single-window batch plan,
+// building it on first use. The plan is buffer-less — the domain
+// staging buffer binds at issue time — so one plan serves every
+// iteration and every entry point (blocking and nonblocking alike).
+func (sd *schedule) batchPlan(c *Collective, a int) (*blockio.BatchPlan, error) {
+	if bp := sd.bplans[a]; bp != nil {
+		return bp, nil
+	}
+	bp, err := c.domainBatchVec(sd.pl, a).Plan(nil)
+	if err != nil {
+		// Unreachable in practice: domain batches are derived from
+		// validated, physically disjoint covered spans.
+		return nil, err
+	}
+	sd.bplans[a] = bp
+	return bp, nil
+}
+
+// issueDomain moves domain a between the device array and dombuf
+// through the schedule's prepared plan — one window covering the whole
+// domain, each merged run one device request, runs in parallel across
+// devices (the single-shot schedule's access phase).
+func (sd *schedule) issueDomain(c *Collective, p *mpp.Proc, a int, dombuf []byte, write bool) error {
+	bp, err := sd.batchPlan(c, a)
+	if err != nil {
+		return err
+	}
+	if write {
+		return bp.WriteWindow(p.Proc, 0, dombuf, 0)
+	}
+	return bp.ReadWindow(p.Proc, 0, dombuf, 0)
+}
+
+// aggState returns rank's pipelined aggregator state (chunk-cut batch
+// plans, double-buffered staging), building it on first use.
+func (sd *schedule) aggState(c *Collective, rank int, owned []int) (*aggState, error) {
+	if s := sd.aggs[rank]; s != nil {
+		return s, nil
+	}
+	s, err := c.newAggState(sd.pl, owned)
+	if err == nil {
+		sd.aggs[rank] = s
+	}
+	return s, err
+}
+
+// lwwReqs returns rank's LastWriterWins-clipped write requests for the
+// independent routes. The no-higher-writers fast path returns the
+// caller's own request list (value-identical to the one the schedule
+// was built from — the fingerprint matched); the clipped rebuild is
+// derived from the plan's segments only, so caching it retains no
+// caller slice.
+func (sd *schedule) lwwReqs(c *Collective, rank int) []VecReq {
+	if rank >= sd.maxSegRank {
+		return c.reqs[rank]
+	}
+	if sd.lww == nil {
+		sd.lww = make([][]VecReq, len(sd.pl.segs))
+		sd.lwwSet = make([]bool, len(sd.pl.segs))
+	}
+	if !sd.lwwSet[rank] {
+		sd.lww[rank] = c.clipLWW(sd.pl, rank)
+		sd.lwwSet[rank] = true
+	}
+	return sd.lww[rank]
+}
+
+// domBufs returns rank's owned-domain staging buffers sized for the
+// plan, reusing the handle's per-rank retained scratch (grown as
+// needed, never shrunk). Safe to reuse without zeroing: write domains
+// are fully covered by the ranks' clips (domains tile the covered
+// footprint) and read domains are fully overwritten by the device
+// read, so stale bytes never travel.
+func (c *Collective) domBufs(rank int, pl *plan, owned []int) [][]byte {
+	bufs := c.domScr[rank]
+	if cap(bufs) < len(owned) {
+		bufs = append(bufs[:cap(bufs)], make([][]byte, len(owned)-cap(bufs))...)
+	}
+	bufs = bufs[:len(owned)]
+	for i, a := range owned {
+		lo, hi := pl.domain(a)
+		n := (hi - lo) * pl.bs
+		if int64(cap(bufs[i])) < n {
+			bufs[i] = make([]byte, n)
+		}
+		bufs[i] = bufs[i][:n]
+	}
+	c.domScr[rank] = bufs
+	return bufs
+}

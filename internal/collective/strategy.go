@@ -234,12 +234,12 @@ func (c *Collective) twoPhaseCost(m blockio.CostModel, pl *plan) time.Duration {
 // straight to the store, sieved or vectored. Concurrent sieved writers
 // are safe under the Sets' per-device sieve locks; vectored writers are
 // block-disjoint by plan validation (after LastWriterWins clipping).
-func (c *Collective) runIndependent(p *mpp.Proc, pl *plan, write, sieved bool) {
+func (c *Collective) runIndependent(p *mpp.Proc, sd *schedule, write, sieved bool) {
 	rank := p.Rank()
 	buf := c.bufs[rank]
 	reqs := c.reqs[rank]
 	if write && c.opts.LastWriterWins {
-		reqs = c.clipLWW(pl, rank)
+		reqs = sd.lwwReqs(c, rank)
 	}
 	rec, _, prefix := p.Probe()
 	var ioTrk probe.TrackID

@@ -166,6 +166,12 @@ type Request struct {
 	job   *Job
 	write bool
 	batch blockio.BatchVec
+	// Prepared-plan form (SubmitWritePlan/SubmitReadPlan): window 0 of
+	// plan is issued against pbuf instead of executing batch. Lets a
+	// client reuse one validated, merged plan across many submissions
+	// (the collective layer's schedule replay).
+	plan  *blockio.BatchPlan
+	pbuf  []byte
 	bytes int64
 	seq   int64 // global arrival order
 	enq   time.Duration
@@ -299,15 +305,32 @@ func (s *Server) Stop(p *sim.Proc) {
 // SubmitWrite enqueues a write of the batch (bytes is the payload size
 // the accounting and QoS policies charge) and returns its ticket.
 func (j *Job) SubmitWrite(p *sim.Proc, batch blockio.BatchVec, bytes int64) *Request {
-	return j.submit(p, true, batch, bytes)
+	return j.submit(p, true, batch, nil, nil, bytes)
 }
 
 // SubmitRead enqueues a read of the batch and returns its ticket.
 func (j *Job) SubmitRead(p *sim.Proc, batch blockio.BatchVec, bytes int64) *Request {
-	return j.submit(p, false, batch, bytes)
+	return j.submit(p, false, batch, nil, nil, bytes)
 }
 
-func (j *Job) submit(p *sim.Proc, write bool, batch blockio.BatchVec, bytes int64) *Request {
+// SubmitWritePlan enqueues a write issued through a prepared
+// blockio.BatchPlan: the worker issues window 0 of the plan bound to
+// buf. Service semantics (queueing, QoS, accounting, modeled time) are
+// identical to SubmitWrite of the equivalent batch — the prepared form
+// exists so a client can validate and merge once, then submit every
+// iteration with only the buffer rebound (the collective layer's
+// schedule replay).
+func (j *Job) SubmitWritePlan(p *sim.Proc, plan *blockio.BatchPlan, buf []byte, bytes int64) *Request {
+	return j.submit(p, true, nil, plan, buf, bytes)
+}
+
+// SubmitReadPlan enqueues a read through a prepared plan — the read
+// counterpart of SubmitWritePlan.
+func (j *Job) SubmitReadPlan(p *sim.Proc, plan *blockio.BatchPlan, buf []byte, bytes int64) *Request {
+	return j.submit(p, false, nil, plan, buf, bytes)
+}
+
+func (j *Job) submit(p *sim.Proc, write bool, batch blockio.BatchVec, plan *blockio.BatchPlan, pbuf []byte, bytes int64) *Request {
 	s := j.s
 	if !s.started {
 		panic("ioserver: Submit before Start")
@@ -317,6 +340,8 @@ func (j *Job) submit(p *sim.Proc, write bool, batch blockio.BatchVec, bytes int6
 		job:   j,
 		write: write,
 		batch: batch,
+		plan:  plan,
+		pbuf:  pbuf,
 		bytes: bytes,
 		seq:   s.seq,
 		enq:   p.Now(),
@@ -347,9 +372,14 @@ func (s *Server) worker(p *sim.Proc) {
 		}
 		start := p.Now()
 		var err error
-		if r.write {
+		switch {
+		case r.plan != nil && r.write:
+			err = r.plan.WriteWindow(p, 0, r.pbuf, 0)
+		case r.plan != nil:
+			err = r.plan.ReadWindow(p, 0, r.pbuf, 0)
+		case r.write:
 			err = r.batch.Write(p)
-		} else {
+		default:
 			err = r.batch.Read(p)
 		}
 		s.complete(p, r, start, err)

@@ -183,6 +183,11 @@ type Group struct {
 	// topo, when non-nil, assigns each rank a side of the bisection cut;
 	// only cross-cut traffic then charges the pool (see SetTopology)
 	topo []int
+	// epoch counts interconnect-model reconfigurations (SetLink,
+	// SetBisection, SetBisectionPool, SetTopology). Layers that cache
+	// model-derived decisions (collective's schedule cache) compare it
+	// to detect that a cached decision was priced under a stale model.
+	epoch uint64
 	// flight recorder (nil: detached); one trace track per rank
 	rec      *probe.Recorder
 	prPrefix string
@@ -295,7 +300,18 @@ func (p *Proc) Gather(payload []byte) [][]byte {
 func (g *Group) SetLink(msg time.Duration, bytesPerSec float64) {
 	g.linkMsg = msg
 	g.linkBytes = bytesPerSec
+	g.epoch++
 }
+
+// ModelEpoch reports how many times the group's interconnect model has
+// been reconfigured (SetLink, SetBisection, SetBisectionPool,
+// SetTopology). Consumers that cache decisions priced under the model —
+// the collective layer's schedule cache — compare epochs to invalidate
+// on reconfiguration.
+func (g *Group) ModelEpoch() uint64 { return g.epoch }
+
+// ModelEpoch reports the model epoch of the proc's group.
+func (p *Proc) ModelEpoch() uint64 { return p.group.epoch }
 
 // LinkModel reports the group's interconnect parameters — per-message
 // latency, per-process bandwidth (0 = infinite), and the shared
@@ -322,6 +338,7 @@ func (p *Proc) LinkModel() (msg time.Duration, bytesPerSec, bisectionBytesPerSec
 // receive costs are charged in addition to the pool. Configure before
 // the group's processes start communicating.
 func (g *Group) SetBisection(bytesPerSec float64) {
+	g.epoch++
 	if bytesPerSec <= 0 {
 		g.bisection = nil
 		return
@@ -339,6 +356,7 @@ func (g *Group) SetBisectionPool(pool *Bisection) {
 		pool = nil
 	}
 	g.bisection = pool
+	g.epoch++
 }
 
 // SetTopology assigns each rank a side of the bisection cut: side[r] is
@@ -358,6 +376,7 @@ func (g *Group) SetTopology(side []int) {
 		panic("mpp: SetTopology side length != group size")
 	}
 	g.topo = side
+	g.epoch++
 }
 
 // SetProbe attaches a flight recorder to the group: one trace track per

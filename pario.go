@@ -186,6 +186,38 @@
 // defaults are untouched: StrategyDefault keeps every pinned modeled
 // time bit-identical (TestDefaultModelPinned).
 //
+// # Plan capture & replay
+//
+// Iterative checkpoints issue the SAME request lists every iteration
+// with fresh payloads, yet each collective call used to rebuild its
+// whole schedule from scratch — domain assignment, route choice, chunk
+// windows, per-pair message shapes, device batch plans. Every
+// Collective now carries a transparent schedule cache: the first call
+// fingerprints the request lists (an FNV-1a hash plus an exact
+// signature compare, so collisions cannot alias), builds and validates
+// the plan once, and freezes it into an immutable schedule; subsequent
+// calls with the same shape replay it, doing only buffer rebinding and
+// payload packing. The cache is a small per-handle LRU
+// (CollectiveOptions.PlanCache: 0 = default capacity 8, >0 sets the
+// capacity, <0 disables), invalidated whenever the answer could change:
+// Collective.SetOptions re-tunes a handle and flushes, and every
+// interconnect reconfiguration (RankGroup.SetLink / SetBisection /
+// SetBisectionPool / SetTopology) bumps a model epoch the cache
+// stamps its entries against; Collective.InvalidateSchedules drops
+// them by hand. Replay threads through every route — single-shot
+// two-phase, vectored, sieved, the pipelined chunked schedule, and the
+// nonblocking server path — and is invisible to the virtual world:
+// modeled times, stats and probe traces are bit-identical cached or
+// uncached (the win is host wall-clock and allocations, ≥2× and ≥3×
+// per replayed iteration, enforced by TestPlanReplayWin on a 1024-rank
+// × 64-iteration contended loop and tracked in CI by
+// BENCH_replay.json). Collective.PlanCacheStats reports hits, misses,
+// evictions and invalidations (CollectiveCacheStats);
+// TestReplayDeterminism512 fences determinism, the differential
+// harness's replay phases diff replayed iterations against fresh-plan
+// and reference-model execution, and `pariosim -scenario replay`
+// sweeps iterations × ranks cached vs uncached.
+//
 // Profiles bundle the knobs grown across all these layers:
 // PaperProfile is the pinned 1989 model, TunedProfile the "modern
 // defaults" (extents, SCAN scheduling with queue merging, a modeled
@@ -427,12 +459,17 @@ type (
 	// collective's group.
 	VecReq = collective.VecReq
 	// CollectiveOptions tunes a Collective (aggregator count,
-	// locality-aware domain assignment, last-writer-wins overlaps).
+	// locality-aware domain assignment, last-writer-wins overlaps,
+	// schedule-cache capacity via PlanCache).
 	CollectiveOptions = collective.Options
 	// ExchangeStats reports a collective call's exchange split — bytes
 	// moved over the interconnect vs bytes kept local on aggregating
 	// ranks (Collective.LastStats).
 	ExchangeStats = collective.ExchangeStats
+	// CollectiveCacheStats is a handle's schedule-cache accounting —
+	// hits, misses, evictions, invalidations, live entries
+	// (Collective.PlanCacheStats; see "Plan capture & replay").
+	CollectiveCacheStats = collective.CacheStats
 
 	// IOServer is the I/O-service subsystem: dedicated server processes
 	// own the device array and execute client jobs' request batches
